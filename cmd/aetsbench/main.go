@@ -1,0 +1,99 @@
+// Command aetsbench regenerates every table and figure of the paper's
+// evaluation (§VI). Each subcommand prints the same rows/series the paper
+// reports; EXPERIMENTS.md records paper-vs-measured for each.
+//
+// Usage:
+//
+//	aetsbench <experiment> [flags]
+//
+// Experiments: table1 fig7 fig8 fig9 fig10 fig11 table2 fig12 fig13
+// table3 table4 fig14 all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+// opts are the shared experiment knobs.
+type opts struct {
+	Txns    int
+	Epoch   int
+	Workers int
+	Quick   bool
+	Seed    int64
+}
+
+type experiment struct {
+	name string
+	desc string
+	run  func(o opts) error
+}
+
+var experiments = []experiment{
+	{"table1", "Table I: hot-table log-entry ratio per benchmark", runTable1},
+	{"fig7", "Fig 7: BusTracker table access rates over time", runFig7},
+	{"fig8", "Fig 8: TPC-C throughput / replay time / visibility delay", runFig8},
+	{"fig9", "Fig 9: BusTracker throughput / replay time / visibility delay", runFig9},
+	{"fig10", "Fig 10: CH-benCHmark per-query visibility delay", runFig10},
+	{"fig11", "Fig 11: normalised replay throughput vs thread count", runFig11},
+	{"table2", "Table II: dispatch/replay/commit time breakdown", runTable2},
+	{"fig12", "Fig 12: epoch size vs average visibility delay", runFig12},
+	{"fig13", "Fig 13: adaptive thread allocation policies", runFig13},
+	{"table3", "Table III: predictor MAPE at 15/30/60 min", runTable3},
+	{"table4", "Table IV: DTGM vs w/o-gcn ablation", runTable4},
+	{"fig14", "Fig 14: DTGM hidden-dimension sweep", runFig14},
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	name := os.Args[1]
+
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	var o opts
+	fs.IntVar(&o.Txns, "txns", 0, "transactions to replay (0 = experiment default)")
+	fs.IntVar(&o.Epoch, "epoch", 2048, "epoch size in transactions")
+	fs.IntVar(&o.Workers, "workers", 32, "replay worker budget T")
+	fs.BoolVar(&o.Quick, "quick", false, "reduced sizes for a fast smoke run")
+	fs.Int64Var(&o.Seed, "seed", 1, "workload seed")
+	_ = fs.Parse(os.Args[2:])
+
+	if name == "all" {
+		for _, e := range experiments {
+			fmt.Printf("==== %s — %s ====\n", e.name, e.desc)
+			start := time.Now()
+			if err := e.run(o); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(%s in %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		}
+		return
+	}
+	for _, e := range experiments {
+		if e.name == name {
+			if err := e.run(o); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "unknown experiment %q\n\n", name)
+	usage()
+	os.Exit(2)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: aetsbench <experiment> [-txns N] [-epoch N] [-workers N] [-quick] [-seed N]")
+	fmt.Fprintln(os.Stderr, "\nexperiments:")
+	for _, e := range experiments {
+		fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.name, e.desc)
+	}
+	fmt.Fprintln(os.Stderr, "  all      run everything in sequence")
+}

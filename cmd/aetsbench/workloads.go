@@ -1,0 +1,70 @@
+package main
+
+import (
+	"fmt"
+
+	"aets/internal/workload"
+)
+
+// runTable1 reproduces Table I: written-table counts, analytical
+// footprints and the hot-entry ratio of each benchmark.
+func runTable1(o opts) error {
+	n := 50000
+	if o.Quick {
+		n = 5000
+	}
+	type row struct {
+		gen      workload.Generator
+		paperPct float64
+	}
+	rows := []row{
+		{workload.NewTPCC(20), 90.98},
+		{workload.NewSEATS(), 38.08},
+		{workload.NewCHBench(20), 93.72},
+		{workload.NewBusTracker(), 37.12},
+	}
+	fmt.Printf("%-14s %8s %8s %10s %10s %10s\n",
+		"benchmark", "num(T)", "num(A∩T)", "ratio", "paper", "delta")
+	for _, r := range rows {
+		ratio := workload.HotEntryRatio(r.gen, n, o.Seed) * 100
+		tables := r.gen.Tables()
+		fmt.Printf("%-14s %8d %8d %9.2f%% %9.2f%% %+9.2fpp\n",
+			r.gen.Name(), len(tables), len(workload.HotTables(tables)),
+			ratio, r.paperPct, ratio-r.paperPct)
+	}
+	return nil
+}
+
+// runFig7 prints the access-rate series of three typical BusTracker tables
+// (the Fig 7 curves).
+func runFig7(o opts) error {
+	bt := workload.NewBusTracker()
+	slots := 240
+	if o.Quick {
+		slots = 60
+	}
+	series, ids := bt.RateSeries(slots)
+	names := make(map[int]string)
+	for _, t := range bt.Tables() {
+		for j, id := range ids {
+			if t.ID == id {
+				names[j] = t.Name
+			}
+		}
+	}
+	// Three representative tables: the first, one mid-rate, one shifted.
+	cols := []int{0, 4, 5}
+	fmt.Printf("%-6s", "slot")
+	for _, c := range cols {
+		fmt.Printf(" %14s", names[c])
+	}
+	fmt.Println()
+	for s := 0; s < slots; s += slots / 30 {
+		fmt.Printf("%-6d", s)
+		for _, c := range cols {
+			fmt.Printf(" %14.1f", series[s][c])
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+// Command replayd demonstrates primary→backup log shipping over TCP: the
+// primary mode executes a benchmark workload, batches it into epochs and
+// streams them; the backup mode receives the stream, replays it with a
+// chosen algorithm, and periodically reports replay progress and
+// visibility.
+//
+//	replayd backup -listen :7070 -algo aets -workers 8
+//	replayd primary -connect localhost:7070 -workload tpcc -txns 50000
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"time"
+
+	"aets/internal/checkpoint"
+	"aets/internal/epoch"
+	"aets/internal/grouping"
+	"aets/internal/htap"
+	"aets/internal/memtable"
+	"aets/internal/primary"
+	"aets/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: replayd primary|backup [flags]")
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "primary":
+		err = runPrimary(os.Args[2:])
+	case "backup":
+		err = runBackup(os.Args[2:])
+	default:
+		err = fmt.Errorf("unknown mode %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// Wire format per epoch: seq u64 | txnCount u32 | lastTxnID u64 |
+// lastCommitTS i64 | entryCount u32 | bufLen u32 | buf. All little endian.
+
+func writeEpoch(w io.Writer, enc *epoch.Encoded) error {
+	var hdr [36]byte
+	binary.LittleEndian.PutUint64(hdr[0:], enc.Seq)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(enc.TxnCount))
+	binary.LittleEndian.PutUint64(hdr[12:], enc.LastTxnID)
+	binary.LittleEndian.PutUint64(hdr[20:], uint64(enc.LastCommitTS))
+	binary.LittleEndian.PutUint32(hdr[28:], uint32(enc.EntryCount))
+	binary.LittleEndian.PutUint32(hdr[32:], uint32(len(enc.Buf)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(enc.Buf)
+	return err
+}
+
+func readEpoch(r io.Reader) (*epoch.Encoded, error) {
+	var hdr [36]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	enc := &epoch.Encoded{
+		Seq:          binary.LittleEndian.Uint64(hdr[0:]),
+		TxnCount:     int(binary.LittleEndian.Uint32(hdr[8:])),
+		LastTxnID:    binary.LittleEndian.Uint64(hdr[12:]),
+		LastCommitTS: int64(binary.LittleEndian.Uint64(hdr[20:])),
+		EntryCount:   int(binary.LittleEndian.Uint32(hdr[28:])),
+	}
+	n := binary.LittleEndian.Uint32(hdr[32:])
+	if n > 0 {
+		enc.Buf = make([]byte, n)
+		if _, err := io.ReadFull(r, enc.Buf); err != nil {
+			return nil, err
+		}
+	}
+	return enc, nil
+}
+
+func runPrimary(args []string) error {
+	fs := flag.NewFlagSet("primary", flag.ExitOnError)
+	connect := fs.String("connect", "localhost:7070", "backup address")
+	name := fs.String("workload", "tpcc", "workload: tpcc, chbench, seats, bustracker")
+	txns := fs.Int("txns", 50000, "transactions to ship")
+	epochSize := fs.Int("epoch", 2048, "epoch size")
+	seed := fs.Int64("seed", 1, "seed")
+	rate := fs.Int("rate", 0, "epochs per second pacing (0 = as fast as possible)")
+	_ = fs.Parse(args)
+
+	var gen workload.Generator
+	switch *name {
+	case "tpcc":
+		gen = workload.NewTPCC(20)
+	case "chbench":
+		gen = workload.NewCHBench(20)
+	case "seats":
+		gen = workload.NewSEATS()
+	case "bustracker":
+		gen = workload.NewBusTracker()
+	default:
+		return fmt.Errorf("unknown workload %q", *name)
+	}
+
+	conn, err := net.Dial("tcp", *connect)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	w := bufio.NewWriterSize(conn, 1<<20)
+
+	p := primary.New(gen, *seed)
+	encs := p.GenerateEncoded(*txns, *epochSize)
+	start := time.Now()
+	for i := range encs {
+		if err := writeEpoch(w, &encs[i]); err != nil {
+			return err
+		}
+		if *rate > 0 {
+			time.Sleep(time.Second / time.Duration(*rate))
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("shipped %d epochs (%d txns) in %v\n", len(encs), *txns, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runBackup(args []string) error {
+	fs := flag.NewFlagSet("backup", flag.ExitOnError)
+	listen := fs.String("listen", ":7070", "listen address")
+	algo := fs.String("algo", "aets", "replay algorithm: aets, tplr, atr, c5")
+	workers := fs.Int("workers", 8, "replay workers")
+	name := fs.String("workload", "tpcc", "workload schema (for grouping): tpcc, chbench, seats, bustracker")
+	once := fs.Bool("once", true, "exit after the first primary disconnects")
+	ckpt := fs.String("checkpoint", "", "write a checkpoint file after the stream drains")
+	gcEvery := fs.Duration("gc-every", 0, "vacuum version chains at this interval (0 disables)")
+	_ = fs.Parse(args)
+
+	var gen workload.Generator
+	var plan *grouping.Plan
+	switch *name {
+	case "tpcc":
+		gen = workload.NewTPCC(20)
+		plan = grouping.Build(htap.TPCCRates(1000), workload.TableIDs(gen.Tables()),
+			grouping.Options{Eps: 0.05, MinPts: 2})
+	case "chbench":
+		gen = workload.NewCHBench(20)
+		plan = grouping.Build(htap.CHRates(gen), workload.TableIDs(gen.Tables()),
+			grouping.Options{PerTable: true})
+	case "seats":
+		gen = workload.NewSEATS()
+		plan = grouping.SingleGroup(workload.TableIDs(gen.Tables()))
+	case "bustracker":
+		bt := workload.NewBusTracker()
+		gen = bt
+		plan = grouping.Build(bt.Rates(0), workload.TableIDs(bt.Tables()),
+			grouping.Options{Eps: 0.3, MinPts: 2})
+	default:
+		return fmt.Errorf("unknown workload %q", *name)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Printf("backup (%s, %d workers) listening on %s\n", *algo, *workers, *listen)
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		if err := serveStream(conn, htap.Kind(*algo), plan, *workers, *ckpt, *gcEvery); err != nil {
+			fmt.Fprintln(os.Stderr, "stream:", err)
+		}
+		if *once {
+			return nil
+		}
+	}
+}
+
+func serveStream(conn net.Conn, kind htap.Kind, plan *grouping.Plan, workers int, ckptPath string, gcEvery time.Duration) error {
+	defer conn.Close()
+	mt := memtable.New()
+	r, err := htap.NewReplayer(kind, mt, plan, htap.Options{Workers: workers})
+	if err != nil {
+		return err
+	}
+	r.Start()
+	defer r.Stop()
+
+	// Optional background vacuum: prune versions older than a trailing
+	// retention window behind the visible timestamp. Readers are served at
+	// or after the visible timestamp, so the watermark is safe.
+	stopGC := make(chan struct{})
+	defer close(stopGC)
+	if gcEvery > 0 {
+		go func() {
+			t := time.NewTicker(gcEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopGC:
+					return
+				case <-t.C:
+					if ts := r.GlobalTS(); ts > 0 {
+						removed := mt.Vacuum(ts)
+						if removed > 0 {
+							fmt.Printf("  gc: pruned %d versions below ts %d\n", removed, ts)
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	br := bufio.NewReaderSize(conn, 1<<20)
+	start := time.Now()
+	var txns, entries int
+	var lastSeq uint64
+	lastReport := start
+	for {
+		enc, err := readEpoch(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		txns += enc.TxnCount
+		entries += enc.EntryCount
+		lastSeq = enc.Seq
+		r.Feed(enc)
+		if time.Since(lastReport) > time.Second {
+			fmt.Printf("  %8d txns received, visible ts %d\n", txns, r.GlobalTS())
+			lastReport = time.Now()
+		}
+	}
+	r.Drain()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("replayed %d txns (%d entries) in %v — %.0f txns/s, final visible ts %d\n",
+		txns, entries, elapsed.Round(time.Millisecond),
+		float64(txns)/elapsed.Seconds(), r.GlobalTS())
+
+	if ckptPath != "" {
+		f, err := os.Create(ckptPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		meta := checkpoint.Meta{LastEpochSeq: lastSeq, LastCommitTS: r.GlobalTS()}
+		if err := checkpoint.Write(f, mt, meta); err != nil {
+			return err
+		}
+		fmt.Printf("checkpoint written to %s (epoch %d, ts %d)\n", ckptPath, meta.LastEpochSeq, meta.LastCommitTS)
+	}
+	return nil
+}

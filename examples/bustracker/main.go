@@ -1,0 +1,65 @@
+// BusTracker: the paper's motivating real-time application. Analytical
+// queries predict bus waiting times from fresh position data, but the
+// write volume is dominated by logging tables nobody queries. This example
+// runs the workload minute by minute with time-varying access rates and
+// shows the adaptive machinery end to end:
+//
+//   - the DTGM predictor forecasts each table's access rate for the next
+//     minute;
+//   - DBSCAN regroups tables with similar predicted rates;
+//   - the λ=log(r) allocator shifts replay workers toward hot groups;
+//   - queries on heavily accessed tables see low visibility delays even
+//     though 63% of the log volume belongs to cold tables.
+//
+// Run with: go run ./examples/bustracker
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aets/internal/htap"
+	"aets/internal/workload"
+)
+
+func main() {
+	bt := workload.NewBusTracker()
+	fmt.Printf("BusTracker: %d tables, %d hot, %.1f%% hot log entries\n",
+		len(bt.Tables()), len(workload.HotTables(bt.Tables())),
+		workload.HotEntryRatio(bt, 5000, 1)*100)
+
+	fmt.Println("\ncurrent access rates of three typical tables:")
+	series, ids := bt.RateSeries(4)
+	names := map[int]string{}
+	for _, t := range bt.Tables() {
+		for j, id := range ids {
+			if id == t.ID {
+				names[j] = t.Name
+			}
+		}
+	}
+	for _, j := range []int{0, 4, 9} {
+		fmt.Printf("  %-14s %8.0f queries/min\n", names[j], series[0][j])
+	}
+
+	cfg := htap.AdaptiveConfig{
+		Slots: 6, WarmupSlots: 2, TxnsPerSlot: 2048, EpochSize: 1024,
+		Workers: 8, QueriesPerSlot: 48, TrainSlots: 150,
+		DTGMHidden: 8, DTGMEpochs: 3, Seed: 7,
+	}
+
+	fmt.Println("\nrunning 6 simulated minutes per policy (2 warm-up)...")
+	for _, s := range []htap.Strategy{htap.StrategyDTGM, htap.StrategyHA, htap.StrategyNOAC} {
+		res, err := htap.RunAdaptive(s, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s mean visibility delay %8.1f us  (per minute:", s, res.Mean())
+		for _, v := range res.PerSlotMeanUS {
+			fmt.Printf(" %.0f", v)
+		}
+		fmt.Println(")")
+	}
+	fmt.Println("\nAETS (DTGM-predicted rates) should sit at or below the")
+	fmt.Println("history-only and allocation-blind variants, mirroring Fig 13.")
+}

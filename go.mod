@@ -1,0 +1,3 @@
+module aets
+
+go 1.22

@@ -1,0 +1,59 @@
+package epoch
+
+import "aets/internal/wal"
+
+// Encoded is the wire form of an epoch: the transactions' entries with
+// BEGIN/COMMIT framing, flattened and encoded into one buffer. This is what
+// the primary replicates and what every replayer consumes — forcing each
+// replayer to pay its own, algorithm-specific parsing cost, as in the
+// paper's experimental setup.
+type Encoded struct {
+	Seq uint64
+	Buf []byte
+
+	// Summary fields, available without parsing.
+	TxnCount     int
+	EntryCount   int // DML entries only
+	FirstTxnID   uint64
+	LastTxnID    uint64
+	LastCommitTS int64
+}
+
+// Encode serialises an epoch into its wire form. firstLSN seeds the LSN
+// sequence; the next unused LSN is returned so consecutive epochs share one
+// LSN space.
+func Encode(e *Epoch, firstLSN uint64) (Encoded, uint64) {
+	entries, next := wal.FlattenTxns(e.Txns, firstLSN)
+	enc := Encoded{
+		Seq:        e.Seq,
+		Buf:        wal.EncodeStream(entries),
+		TxnCount:   len(e.Txns),
+		EntryCount: e.Entries(),
+		FirstTxnID: e.FirstTxnID(),
+		LastTxnID:  e.LastTxnID(),
+	}
+	if n := len(e.Txns); n > 0 {
+		enc.LastCommitTS = e.Txns[n-1].CommitTS
+	}
+	return enc, next
+}
+
+// EncodeAll encodes a sequence of epochs with a shared LSN space.
+func EncodeAll(eps []*Epoch) []Encoded {
+	out := make([]Encoded, len(eps))
+	lsn := uint64(1)
+	for i, e := range eps {
+		out[i], lsn = Encode(e, lsn)
+	}
+	return out
+}
+
+// Decode parses the wire form back into transactions. Used by tests and by
+// replayers that need the full image up front.
+func (enc *Encoded) Decode() ([]wal.Txn, error) {
+	entries, err := wal.DecodeStream(enc.Buf)
+	if err != nil {
+		return nil, err
+	}
+	return wal.AssembleTxns(entries)
+}

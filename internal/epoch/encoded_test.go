@@ -1,0 +1,70 @@
+package epoch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aets/internal/wal"
+)
+
+// TestEncodedRoundTripQuick: encode→decode of random epochs preserves the
+// transactions exactly and the summary fields agree with the content.
+func TestEncodedRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(60)
+		txns := make([]wal.Txn, n)
+		ts := int64(0)
+		for i := range txns {
+			ts += 1 + r.Int63n(20)
+			txns[i] = wal.Txn{ID: uint64(i + 1), CommitTS: ts}
+			for j := 0; j < r.Intn(5); j++ {
+				e := wal.Entry{
+					Type: wal.TypeUpdate, TxnID: uint64(i + 1), Timestamp: ts,
+					Table: wal.TableID(1 + r.Intn(5)), RowKey: r.Uint64() % 1000,
+					WriteSeq: r.Uint64() % 100,
+					Columns:  []wal.Column{{ID: 1, Value: []byte{byte(j)}}},
+				}
+				txns[i].Entries = append(txns[i].Entries, e)
+			}
+		}
+		ep := &Epoch{Seq: uint64(r.Intn(100)), Txns: txns}
+		enc, _ := Encode(ep, 1)
+		if enc.TxnCount != n || enc.FirstTxnID != 1 || enc.LastTxnID != uint64(n) ||
+			enc.LastCommitTS != ts || enc.EntryCount != ep.Entries() {
+			return false
+		}
+		back, err := enc.Decode()
+		if err != nil || len(back) != n {
+			return false
+		}
+		for i := range back {
+			if back[i].ID != txns[i].ID || back[i].CommitTS != txns[i].CommitTS ||
+				len(back[i].Entries) != len(txns[i].Entries) {
+				return false
+			}
+			for j := range back[i].Entries {
+				a, b := back[i].Entries[j], txns[i].Entries[j]
+				if a.Table != b.Table || a.RowKey != b.RowKey || a.WriteSeq != b.WriteSeq {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeEmptyEpoch(t *testing.T) {
+	enc, next := Encode(&Epoch{Seq: 3}, 7)
+	if next != 7 || len(enc.Buf) != 0 || enc.TxnCount != 0 {
+		t.Fatalf("empty epoch: %+v next=%d", enc, next)
+	}
+	txns, err := enc.Decode()
+	if err != nil || len(txns) != 0 {
+		t.Fatalf("decode empty: %v %v", txns, err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package epoch batches committed transactions into fixed-size,
+// non-overlapping epochs (paper §III-B). Epochs are segmented on transaction
+// boundaries — a transaction's entries never straddle two epochs — and are
+// replicated and replayed strictly in order.
+package epoch
+
+import (
+	"fmt"
+
+	"aets/internal/wal"
+)
+
+// DefaultSize is the paper's empirically chosen epoch size (§VI-E): the
+// number of committed transactions batched into one epoch.
+const DefaultSize = 2048
+
+// Epoch is one replication unit: a consecutive run of committed
+// transactions in primary commit order.
+type Epoch struct {
+	Seq  uint64
+	Txns []wal.Txn
+}
+
+// FirstTxnID returns the smallest transaction ID in the epoch.
+func (e *Epoch) FirstTxnID() uint64 {
+	if len(e.Txns) == 0 {
+		return 0
+	}
+	return e.Txns[0].ID
+}
+
+// LastTxnID returns the largest transaction ID in the epoch.
+func (e *Epoch) LastTxnID() uint64 {
+	if len(e.Txns) == 0 {
+		return 0
+	}
+	return e.Txns[len(e.Txns)-1].ID
+}
+
+// Entries returns the total number of DML entries in the epoch.
+func (e *Epoch) Entries() int {
+	n := 0
+	for i := range e.Txns {
+		n += len(e.Txns[i].Entries)
+	}
+	return n
+}
+
+// Size returns the total byte size of the epoch's DML entries.
+func (e *Epoch) Size() int {
+	n := 0
+	for i := range e.Txns {
+		n += e.Txns[i].Size()
+	}
+	return n
+}
+
+// Validate checks the epoch-level ordering invariants: transaction IDs are
+// strictly increasing and commit timestamps are non-decreasing.
+func (e *Epoch) Validate() error {
+	for i := 1; i < len(e.Txns); i++ {
+		if e.Txns[i].ID <= e.Txns[i-1].ID {
+			return fmt.Errorf("epoch %d: txn IDs not strictly increasing at index %d (%d after %d)",
+				e.Seq, i, e.Txns[i].ID, e.Txns[i-1].ID)
+		}
+		if e.Txns[i].CommitTS < e.Txns[i-1].CommitTS {
+			return fmt.Errorf("epoch %d: commit timestamps decrease at index %d", e.Seq, i)
+		}
+	}
+	return nil
+}
+
+// Batcher accumulates committed transactions and cuts an epoch every `size`
+// transactions. The zero value is not usable; use NewBatcher.
+type Batcher struct {
+	size    int
+	nextSeq uint64
+	pending []wal.Txn
+	lastID  uint64
+}
+
+// NewBatcher returns a Batcher cutting epochs of the given transaction
+// count. size must be ≥ 1.
+func NewBatcher(size int) *Batcher {
+	if size < 1 {
+		panic("epoch: batcher size must be >= 1")
+	}
+	return &Batcher{size: size}
+}
+
+// Add appends one committed transaction. If the pending batch reaches the
+// epoch size, the completed epoch is returned; otherwise Add returns nil.
+// Transactions must arrive in strictly increasing ID order.
+func (b *Batcher) Add(t wal.Txn) (*Epoch, error) {
+	if t.ID <= b.lastID {
+		return nil, fmt.Errorf("epoch: txn %d arrives after txn %d", t.ID, b.lastID)
+	}
+	b.lastID = t.ID
+	b.pending = append(b.pending, t)
+	if len(b.pending) < b.size {
+		return nil, nil
+	}
+	return b.cut(), nil
+}
+
+// Flush returns the partially filled pending epoch, or nil if none. The
+// primary calls it when a load phase ends or on shutdown.
+func (b *Batcher) Flush() *Epoch {
+	if len(b.pending) == 0 {
+		return nil
+	}
+	return b.cut()
+}
+
+func (b *Batcher) cut() *Epoch {
+	e := &Epoch{Seq: b.nextSeq, Txns: b.pending}
+	b.nextSeq++
+	b.pending = nil
+	return e
+}
+
+// Split cuts an already-assembled transaction list into epochs of the given
+// size. It is the batch analogue of feeding every txn through a Batcher and
+// flushing, and is used by benchmark drivers that pre-generate workloads.
+func Split(txns []wal.Txn, size int) []*Epoch {
+	b := NewBatcher(size)
+	var out []*Epoch
+	for _, t := range txns {
+		e, err := b.Add(t)
+		if err != nil {
+			panic(err) // pre-generated workloads are ID-ordered by construction
+		}
+		if e != nil {
+			out = append(out, e)
+		}
+	}
+	if e := b.Flush(); e != nil {
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package grouping
+
+import "sort"
+
+// Noise is the DBSCAN label of points belonging to no cluster.
+const Noise = -1
+
+// DBSCAN1D clusters one-dimensional points (table access rates) with a
+// relative epsilon: points a and b are neighbours when
+// |a-b| ≤ eps·max(|a|,|b|). It returns a label per input point, Noise for
+// outliers. Labels are dense, starting at 0, ordered by descending cluster
+// rate so label 0 is the hottest cluster.
+//
+// The 1-D specialisation sorts the points and uses window scans instead of
+// pairwise distance queries, making it O(n log n).
+func DBSCAN1D(points []float64, eps float64, minPts int) []int {
+	n := len(points)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	if n == 0 {
+		return labels
+	}
+
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return points[idx[a]] > points[idx[b]] })
+
+	neighbours := func(si int) []int {
+		p := points[idx[si]]
+		var out []int
+		for sj := si; sj >= 0; sj-- {
+			if !within(p, points[idx[sj]], eps) {
+				break
+			}
+			out = append(out, sj)
+		}
+		for sj := si + 1; sj < n; sj++ {
+			if !within(p, points[idx[sj]], eps) {
+				break
+			}
+			out = append(out, sj)
+		}
+		return out
+	}
+
+	next := 0
+	for si := 0; si < n; si++ {
+		i := idx[si]
+		if labels[i] != Noise {
+			continue
+		}
+		nb := neighbours(si)
+		if len(nb) < minPts {
+			continue // stays noise unless later absorbed as a border point
+		}
+		cluster := next
+		next++
+		labels[i] = cluster
+		queue := nb
+		for len(queue) > 0 {
+			sj := queue[0]
+			queue = queue[1:]
+			j := idx[sj]
+			if labels[j] != Noise {
+				continue
+			}
+			labels[j] = cluster
+			if nb2 := neighbours(sj); len(nb2) >= minPts {
+				queue = append(queue, nb2...)
+			}
+		}
+	}
+	return labels
+}
+
+func within(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	if m < 0 {
+		m = -m
+	}
+	return d <= eps*m
+}

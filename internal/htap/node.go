@@ -1,0 +1,147 @@
+package htap
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"aets/internal/checkpoint"
+	"aets/internal/epoch"
+	"aets/internal/grouping"
+	"aets/internal/memtable"
+	"aets/internal/query"
+	"aets/internal/wal"
+)
+
+// Node is a complete backup node: a replayer over an MVCC Memtable, a
+// snapshot query executor, version-chain garbage collection, and
+// checkpoint/restore — everything a replica deployment needs behind one
+// handle.
+type Node struct {
+	mt *memtable.Memtable
+	r  Replayer
+	ex *query.Executor
+
+	mu      sync.Mutex
+	lastSeq uint64
+}
+
+// NewNode builds a backup node with the given replay algorithm and plan.
+func NewNode(kind Kind, plan *grouping.Plan, opts Options) (*Node, error) {
+	mt := memtable.New()
+	return newNodeWith(mt, kind, plan, opts)
+}
+
+// RestoreNode rebuilds a node from a checkpoint stream. The returned meta
+// tells the caller which epoch to resume feeding from (LastEpochSeq+1).
+func RestoreNode(src io.Reader, kind Kind, plan *grouping.Plan, opts Options) (*Node, checkpoint.Meta, error) {
+	mt, meta, err := checkpoint.Read(src)
+	if err != nil {
+		return nil, meta, err
+	}
+	n, err := newNodeWith(mt, kind, plan, opts)
+	if err != nil {
+		return nil, meta, err
+	}
+	n.lastSeq = meta.LastEpochSeq
+	// Make the restored state immediately visible: everything up to the
+	// checkpoint watermark is present.
+	hb := epoch.Encoded{Seq: meta.LastEpochSeq, LastCommitTS: meta.LastCommitTS}
+	n.r.Feed(&hb)
+	n.r.Drain()
+	return n, meta, nil
+}
+
+func newNodeWith(mt *memtable.Memtable, kind Kind, plan *grouping.Plan, opts Options) (*Node, error) {
+	r, err := NewReplayer(kind, mt, plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{mt: mt, r: r, ex: query.NewExecutor(mt, r)}
+	n.r.Start()
+	return n, nil
+}
+
+// Feed enqueues one encoded epoch for replay.
+func (n *Node) Feed(enc *epoch.Encoded) {
+	n.mu.Lock()
+	n.lastSeq = enc.Seq
+	n.mu.Unlock()
+	n.r.Feed(enc)
+}
+
+// Drain blocks until all fed epochs are replayed.
+func (n *Node) Drain() { n.r.Drain() }
+
+// Close drains and stops the node.
+func (n *Node) Close() error {
+	n.r.Stop()
+	return n.r.Err()
+}
+
+// Err returns the first fatal replay error.
+func (n *Node) Err() error { return n.r.Err() }
+
+// VisibleTS returns the node's global visible timestamp.
+func (n *Node) VisibleTS() int64 { return n.r.GlobalTS() }
+
+// Query begins a snapshot read at qts over the given tables, blocking per
+// Algorithm 3 until the snapshot is visible. qts ≤ 0 reads the freshest
+// currently visible state without blocking.
+func (n *Node) Query(qts int64, tables ...wal.TableID) *query.Snapshot {
+	return n.ex.Begin(qts, tables...)
+}
+
+// Vacuum prunes record versions older than the given watermark and returns
+// the number removed. Callers must not run queries at snapshots below the
+// watermark afterwards; the node's visible timestamp is always a safe
+// choice for "retain only what future queries can request".
+func (n *Node) Vacuum(watermark int64) int {
+	return n.mt.Vacuum(watermark)
+}
+
+// Checkpoint quiesces replay (Drain) and writes the node's state to w. The
+// recorded meta points at the last fed epoch, so a restore can resume the
+// stream at LastEpochSeq+1.
+func (n *Node) Checkpoint(w io.Writer) (checkpoint.Meta, error) {
+	n.r.Drain()
+	if err := n.r.Err(); err != nil {
+		return checkpoint.Meta{}, fmt.Errorf("htap: cannot checkpoint a failed node: %w", err)
+	}
+	n.mu.Lock()
+	meta := checkpoint.Meta{
+		LastEpochSeq: n.lastSeq,
+		LastCommitTS: n.r.GlobalTS(),
+	}
+	n.mu.Unlock()
+	return meta, checkpoint.Write(w, n.mt, meta)
+}
+
+// Memtable exposes the underlying storage (read-mostly helpers, tests).
+func (n *Node) Memtable() *memtable.Memtable { return n.mt }
+
+// StartVacuumLoop prunes versions older than `retention` behind the
+// visible timestamp every `every`. It returns a stop function. Timestamps
+// are in the log's commit-timestamp domain, so retention is expressed
+// there too (with the default primary clock, 1 unit = 1 ns of virtual
+// time, 1000 units per transaction).
+func (n *Node) StartVacuumLoop(every time.Duration, retention int64) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if ts := n.r.GlobalTS() - retention; ts > 0 {
+					n.mt.Vacuum(ts)
+				}
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

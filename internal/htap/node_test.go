@@ -1,0 +1,157 @@
+package htap
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"aets/internal/epoch"
+	"aets/internal/grouping"
+	"aets/internal/memtable"
+	"aets/internal/primary"
+	"aets/internal/reference"
+	"aets/internal/wal"
+	"aets/internal/workload"
+)
+
+func nodeFixture(t *testing.T) (*Node, []wal.Txn, []epoch.Encoded, *grouping.Plan) {
+	t.Helper()
+	gen := workload.NewTPCC(1)
+	p := primary.New(gen, 77)
+	txns := p.GenerateTxns(600)
+	encs := epoch.EncodeAll(epoch.Split(txns, 128))
+	plan := grouping.Build(TPCCRates(500), workload.TableIDs(gen.Tables()),
+		grouping.Options{Eps: 0.05, MinPts: 2})
+	n, err := NewNode(KindAETS, plan, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, txns, encs, plan
+}
+
+func TestNodeFeedQueryClose(t *testing.T) {
+	n, txns, encs, _ := nodeFixture(t)
+	for i := range encs {
+		n.Feed(&encs[i])
+	}
+	n.Drain()
+
+	last := txns[len(txns)-1].CommitTS
+	snap := n.Query(last, workload.TPCCOrderLine)
+	count, err := snap.Count(workload.TPCCOrderLine)
+	if err != nil || count == 0 {
+		t.Fatalf("count %d err %v", count, err)
+	}
+	if n.VisibleTS() < last {
+		t.Fatalf("visible ts %d < %d", n.VisibleTS(), last)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeCheckpointRestoreResume(t *testing.T) {
+	n, txns, encs, plan := nodeFixture(t)
+	half := len(encs) / 2
+	for i := 0; i < half; i++ {
+		n.Feed(&encs[i])
+	}
+	var buf bytes.Buffer
+	meta, err := n.Checkpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.LastEpochSeq != encs[half-1].Seq {
+		t.Fatalf("checkpoint at epoch %d, want %d", meta.LastEpochSeq, encs[half-1].Seq)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, gotMeta, err := RestoreNode(&buf, KindAETS, plan, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta.LastEpochSeq != meta.LastEpochSeq {
+		t.Fatalf("restored meta %+v", gotMeta)
+	}
+	// The restored state must already be visible at the watermark.
+	if restored.VisibleTS() < meta.LastCommitTS {
+		t.Fatalf("restored visible ts %d < %d", restored.VisibleTS(), meta.LastCommitTS)
+	}
+	// Resume the stream.
+	for i := half; i < len(encs); i++ {
+		restored.Feed(&encs[i])
+	}
+	restored.Drain()
+
+	full := memtable.New()
+	reference.Apply(full, txns)
+	gen := workload.NewTPCC(1)
+	if err := reference.Equal(full, restored.Memtable(), workload.TableIDs(gen.Tables())); err != nil {
+		t.Fatal(err)
+	}
+	restored.Close()
+}
+
+func TestNodeVacuumBoundsVersions(t *testing.T) {
+	// One hot row updated many times: before vacuum the chain holds every
+	// version, afterwards only those at or above the watermark (plus its
+	// anchor).
+	var txns []wal.Txn
+	for i := 1; i <= 300; i++ {
+		txns = append(txns, wal.Txn{ID: uint64(i), CommitTS: int64(i * 10),
+			Entries: []wal.Entry{{
+				Type: wal.TypeUpdate, TxnID: uint64(i), Table: 1, RowKey: 1,
+				WriteSeq: uint64(i - 1),
+				Columns:  []wal.Column{{ID: 1, Value: []byte{byte(i)}}},
+			}}})
+	}
+	plan := grouping.SingleGroup([]wal.TableID{1})
+	n, err := NewNode(KindAETS, plan, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	for _, enc := range epoch.EncodeAll(epoch.Split(txns, 100)) {
+		enc := enc
+		n.Feed(&enc)
+	}
+	n.Drain()
+
+	rec := n.Memtable().Table(1).Get(1)
+	if rec.ChainLen() != 300 {
+		t.Fatalf("chain %d, want 300", rec.ChainLen())
+	}
+	removed := n.Vacuum(2500) // keep versions ≥ ts 2500 plus the anchor at 2500
+	if removed == 0 {
+		t.Fatal("vacuum removed nothing")
+	}
+	if got := rec.ChainLen(); got != 51 { // 2500..3000 by 10 = 51 versions
+		t.Fatalf("post-vacuum chain %d, want 51", got)
+	}
+	// Reads at or above the watermark still correct.
+	snap := n.Query(2500, 1)
+	row, ok, err := snap.Get(1, 1)
+	if err != nil || !ok || row.CommitTS != 2500 {
+		t.Fatalf("watermark read: %+v ok=%v err=%v", row, ok, err)
+	}
+}
+
+func TestNodeVacuumLoop(t *testing.T) {
+	n, _, encs, _ := nodeFixture(t)
+	defer n.Close()
+	stop := n.StartVacuumLoop(5*time.Millisecond, 1000)
+	defer stop()
+	for i := range encs {
+		n.Feed(&encs[i])
+	}
+	n.Drain()
+	time.Sleep(30 * time.Millisecond) // let the loop fire at least once
+	stop()
+	// The loop must not have broken reads at the visible timestamp.
+	snap := n.Query(n.VisibleTS(), workload.TPCCStock)
+	if _, err := snap.Count(workload.TPCCStock); err != nil {
+		t.Fatal(err)
+	}
+}

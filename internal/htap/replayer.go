@@ -1,0 +1,131 @@
+// Package htap is the top-level façade of the library: it wires the backup
+// node together (Memtable, group plan, replayer implementation) and
+// provides the experiment harness used by the benchmarks, the examples and
+// cmd/aetsbench to reproduce the paper's tables and figures.
+package htap
+
+import (
+	"fmt"
+	"time"
+
+	"aets/internal/alloc"
+	"aets/internal/baselines"
+	"aets/internal/epoch"
+	"aets/internal/grouping"
+	"aets/internal/memtable"
+	"aets/internal/metrics"
+	"aets/internal/replay"
+	"aets/internal/wal"
+)
+
+// Replayer is the common surface of the four replay algorithms: the AETS
+// engine, ungrouped TPLR, and the ATR and C5 baselines.
+type Replayer interface {
+	// Name returns the algorithm name.
+	Name() string
+	// Start launches the replayer's goroutines.
+	Start()
+	// Feed enqueues one encoded epoch; epochs must arrive in order.
+	Feed(*epoch.Encoded)
+	// Drain blocks until all fed epochs are replayed.
+	Drain()
+	// Stop drains and terminates the replayer.
+	Stop()
+	// WaitVisible blocks until data committed at or before qts in the given
+	// tables is visible to readers (Algorithm 3 or the baseline's
+	// equivalent snapshot rule).
+	WaitVisible(qts int64, tables []wal.TableID)
+	// GlobalTS returns the current global visible timestamp.
+	GlobalTS() int64
+	// Err returns the first fatal replay error, if any.
+	Err() error
+	// Memtable returns the backup storage engine.
+	Memtable() *memtable.Memtable
+}
+
+// Kind selects a replay algorithm.
+type Kind string
+
+// The four algorithms of the evaluation.
+const (
+	KindAETS Kind = "aets"
+	KindTPLR Kind = "tplr"
+	KindATR  Kind = "atr"
+	KindC5   Kind = "c5"
+)
+
+// Kinds lists all algorithms in the paper's presentation order.
+var Kinds = []Kind{KindAETS, KindATR, KindC5, KindTPLR}
+
+// Options configures a replayer.
+type Options struct {
+	// Workers is the replay thread budget T (default GOMAXPROCS).
+	Workers int
+	// Urgency is AETS's thread-allocation urgency λ (default log-rate).
+	Urgency alloc.UrgencyFunc
+	// SnapshotPeriod is C5's snapshot advance period (default 5 ms).
+	SnapshotPeriod time.Duration
+	// Breakdown, when non-nil, records the Table II phase timing
+	// (AETS/TPLR only).
+	Breakdown *metrics.Breakdown
+}
+
+// NewReplayer builds a replayer of the given kind over mt. plan is the
+// table-group plan; ATR and C5 ignore it (they are ungrouped), TPLR
+// collapses it to a single group.
+func NewReplayer(kind Kind, mt *memtable.Memtable, plan *grouping.Plan, opts Options) (Replayer, error) {
+	switch kind {
+	case KindAETS:
+		return NewAETS(mt, plan, opts), nil
+	case KindTPLR:
+		single := grouping.SingleGroup(planTables(plan))
+		e := replay.New("TPLR", mt, single, replay.Config{
+			Workers: opts.Workers, Urgency: opts.Urgency,
+			TwoStage: false, Breakdown: opts.Breakdown,
+		})
+		return engineReplayer{e, mt}, nil
+	case KindATR:
+		return baselines.NewATR(mt, opts.Workers), nil
+	case KindC5:
+		return baselines.NewC5(mt, opts.Workers, opts.SnapshotPeriod), nil
+	default:
+		return nil, fmt.Errorf("htap: unknown replayer kind %q", kind)
+	}
+}
+
+// NewAETS builds the full AETS engine (two-stage, grouped, adaptive).
+// The returned value also satisfies Replayer.
+func NewAETS(mt *memtable.Memtable, plan *grouping.Plan, opts Options) *AETSEngine {
+	e := replay.New("AETS", mt, plan, replay.Config{
+		Workers: opts.Workers, Urgency: opts.Urgency,
+		TwoStage: true, Breakdown: opts.Breakdown,
+	})
+	return &AETSEngine{Engine: e, mt: mt}
+}
+
+// AETSEngine wraps the replay engine with its Memtable so it satisfies
+// Replayer while still exposing SetPlan/GroupTS for adaptive experiments.
+type AETSEngine struct {
+	*replay.Engine
+	mt *memtable.Memtable
+}
+
+// Memtable implements Replayer.
+func (e *AETSEngine) Memtable() *memtable.Memtable { return e.mt }
+
+// engineReplayer adapts a plain replay.Engine (TPLR mode) to Replayer.
+type engineReplayer struct {
+	*replay.Engine
+	m *memtable.Memtable
+}
+
+// Memtable implements Replayer.
+func (e engineReplayer) Memtable() *memtable.Memtable { return e.m }
+
+func planTables(p *grouping.Plan) []wal.TableID {
+	var out []wal.TableID
+	for _, g := range p.Groups {
+		out = append(out, g.Tables...)
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package memtable
+
+import (
+	"math/rand"
+	"testing"
+
+	"aets/internal/wal"
+)
+
+func BenchmarkGetOrCreate(b *testing.B) {
+	mt := New()
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 1<<16)
+	for i := range keys {
+		keys[i] = rng.Uint64() % (1 << 18)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mt.Table(1).GetOrCreate(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	rec := &Record{Key: 1}
+	vers := make([]*Version, 1024)
+	for i := range vers {
+		vers[i] = &Version{TxnID: uint64(i), CommitTS: int64(i),
+			Columns: []wal.Column{{ID: 1, Value: make([]byte, 16)}}}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Append(vers[i%len(vers)])
+	}
+}
+
+func BenchmarkVisible(b *testing.B) {
+	rec := &Record{Key: 1}
+	for i := 1; i <= 64; i++ {
+		rec.Append(&Version{TxnID: uint64(i), CommitTS: int64(i * 10)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rec.Visible(int64((i%64+1)*10)) == nil {
+			b.Fatal("version lost")
+		}
+	}
+}
+
+func BenchmarkVacuum(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		mt := New()
+		for key := uint64(1); key <= 1000; key++ {
+			rec := mt.Table(1).GetOrCreate(key)
+			for ts := int64(1); ts <= 20; ts++ {
+				rec.Append(&Version{TxnID: uint64(ts), CommitTS: ts})
+			}
+		}
+		b.StartTimer()
+		mt.Vacuum(15)
+	}
+}

@@ -1,0 +1,72 @@
+package memtable
+
+// gc.go implements version-chain garbage collection. A backup accumulates
+// one version per replayed modification; long-running replicas must prune
+// versions no active reader can request. The paper's backup inherits this
+// from its MVCC substrate (cf. its citations of HANA's hybrid GC and
+// steam-style in-memory MVCC GC); the rule here is the classical
+// watermark: given a GC timestamp no active or future reader will read
+// below, every record keeps its newest version with CommitTS ≤ watermark
+// (the version a reader exactly at the watermark needs) and drops
+// everything older.
+
+// Vacuum prunes the record's chain for the given watermark and returns the
+// number of versions removed.
+//
+// Safety: callers must guarantee no reader is traversing versions older
+// than the watermark. Readers are lock-free, so this is a contract, not an
+// enforced property — the usual arrangement is to take the minimum
+// snapshot timestamp of active queries (or now−retention) as the
+// watermark. A reader that already holds a pointer into the pruned suffix
+// keeps a consistent view: the suffix stays intact off-chain until Go's
+// collector reclaims it.
+func (r *Record) Vacuum(watermark int64) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.head.Load()
+	// Find the newest version at or below the watermark; everything after
+	// it (older) is unreachable for watermark-respecting readers.
+	for v != nil && v.CommitTS > watermark {
+		v = v.Next
+	}
+	if v == nil {
+		return 0
+	}
+	removed := 0
+	for w := v.Next; w != nil; w = w.Next {
+		removed++
+	}
+	v.Next = nil
+	return removed
+}
+
+// Vacuum prunes every record of the table and returns the total number of
+// versions removed.
+func (t *Table) Vacuum(watermark int64) int {
+	removed := 0
+	t.Scan(0, ^uint64(0), func(_ uint64, rec *Record) bool {
+		removed += rec.Vacuum(watermark)
+		return true
+	})
+	return removed
+}
+
+// Vacuum prunes every table of the Memtable.
+func (m *Memtable) Vacuum(watermark int64) int {
+	removed := 0
+	for _, id := range m.Tables() {
+		removed += m.Table(id).Vacuum(watermark)
+	}
+	return removed
+}
+
+// VersionCount returns the total number of live versions in the table —
+// the quantity Vacuum exists to bound. Test and monitoring helper.
+func (t *Table) VersionCount() int {
+	n := 0
+	t.Scan(0, ^uint64(0), func(_ uint64, rec *Record) bool {
+		n += rec.ChainLen()
+		return true
+	})
+	return n
+}

@@ -1,0 +1,136 @@
+package memtable
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aets/internal/wal"
+)
+
+func chainOf(times ...int64) *Record {
+	r := &Record{Key: 1}
+	for i, ts := range times {
+		r.Append(&Version{TxnID: uint64(i + 1), CommitTS: ts,
+			Columns: []wal.Column{{ID: 1, Value: []byte{byte(i)}}}})
+	}
+	return r
+}
+
+func TestVacuumKeepsWatermarkVersion(t *testing.T) {
+	r := chainOf(10, 20, 30, 40, 50)
+	removed := r.Vacuum(35)
+	if removed != 2 { // 10 and 20 go; 30 stays (newest ≤ 35)
+		t.Fatalf("removed %d, want 2", removed)
+	}
+	if r.ChainLen() != 3 {
+		t.Fatalf("chain length %d, want 3", r.ChainLen())
+	}
+	// A reader exactly at the watermark still finds its version.
+	if v := r.Visible(35); v == nil || v.CommitTS != 30 {
+		t.Fatalf("watermark read broken: %+v", v)
+	}
+	// Newer reads unaffected.
+	if v := r.Visible(45); v == nil || v.CommitTS != 40 {
+		t.Fatalf("read above watermark broken: %+v", v)
+	}
+}
+
+func TestVacuumNoVersionBelowWatermark(t *testing.T) {
+	r := chainOf(100, 200)
+	if removed := r.Vacuum(50); removed != 0 {
+		t.Fatalf("removed %d from a chain entirely above the watermark", removed)
+	}
+	if r.ChainLen() != 2 {
+		t.Fatal("chain modified")
+	}
+}
+
+func TestVacuumEmptyRecord(t *testing.T) {
+	r := &Record{Key: 9}
+	if r.Vacuum(100) != 0 {
+		t.Fatal("empty record vacuumed")
+	}
+}
+
+func TestVacuumIdempotent(t *testing.T) {
+	r := chainOf(10, 20, 30)
+	r.Vacuum(25)
+	if r.Vacuum(25) != 0 {
+		t.Fatal("second vacuum at same watermark removed versions")
+	}
+}
+
+func TestVacuumQuickSemantics(t *testing.T) {
+	// Property: after Vacuum(w), reads at any ts ≥ w return exactly what
+	// they returned before.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		times := make([]int64, n)
+		ts := int64(0)
+		for i := range times {
+			ts += 1 + rng.Int63n(20)
+			times[i] = ts
+		}
+		r := chainOf(times...)
+		w := rng.Int63n(ts + 10)
+
+		probes := make([]int64, 20)
+		for i := range probes {
+			probes[i] = w + rng.Int63n(ts-w+20)
+		}
+		type snap struct {
+			ts  int64
+			txn uint64
+			ok  bool
+		}
+		var before []snap
+		for _, p := range probes {
+			v := r.Visible(p)
+			if v == nil {
+				before = append(before, snap{p, 0, false})
+			} else {
+				before = append(before, snap{p, v.TxnID, true})
+			}
+		}
+		r.Vacuum(w)
+		for i, p := range probes {
+			v := r.Visible(p)
+			switch {
+			case v == nil && before[i].ok:
+				return false
+			case v != nil && (!before[i].ok || v.TxnID != before[i].txn):
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemtableVacuum(t *testing.T) {
+	mt := New()
+	for table := wal.TableID(1); table <= 3; table++ {
+		for key := uint64(1); key <= 50; key++ {
+			rec := mt.Table(table).GetOrCreate(key)
+			for ts := int64(10); ts <= 100; ts += 10 {
+				rec.Append(&Version{TxnID: uint64(ts), CommitTS: ts})
+			}
+		}
+	}
+	if got := mt.Table(1).VersionCount(); got != 500 {
+		t.Fatalf("version count %d, want 500", got)
+	}
+	removed := mt.Vacuum(55)
+	// Per record: versions 10..50 exist below watermark; newest ≤55 is 50,
+	// so 10..40 (4 versions) are pruned. 3 tables × 50 records × 4.
+	if removed != 600 {
+		t.Fatalf("removed %d, want 600", removed)
+	}
+	if got := mt.Table(2).VersionCount(); got != 300 {
+		t.Fatalf("post-vacuum count %d, want 300", got)
+	}
+}

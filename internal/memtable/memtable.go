@@ -1,0 +1,205 @@
+// Package memtable implements the backup node's multi-version in-memory
+// storage engine: a B+Tree per table whose records carry transaction-ID
+// ordered version chains (paper §III-A, Figure 6).
+package memtable
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"aets/internal/wal"
+)
+
+// Version is one committed after-image of a record. Versions form a
+// newest-first singly linked chain; the chain is strictly decreasing in
+// CommitTS, which equals the primary's commit order.
+type Version struct {
+	TxnID    uint64
+	CommitTS int64
+	Deleted  bool
+	Columns  []wal.Column
+	Next     *Version // next-older version
+}
+
+// Record is one row of a table. The head of its version chain is an atomic
+// pointer so that readers never block: Algorithm 1's short exclusive lock is
+// needed only to serialise writers, and within AETS each record is committed
+// by exactly one group commit goroutine, so the mutex is uncontended in the
+// common case.
+type Record struct {
+	Key uint64
+
+	mu     sync.Mutex
+	head   atomic.Pointer[Version]
+	writes atomic.Uint64
+}
+
+// Append installs v as the newest version (Algorithm 1, lines 10-13).
+func (r *Record) Append(v *Version) {
+	r.mu.Lock()
+	v.Next = r.head.Load()
+	r.head.Store(v)
+	r.mu.Unlock()
+	r.writes.Add(1)
+}
+
+// Writes returns the number of versions installed so far. ATR's operation
+// sequence check compares it against an entry's WriteSeq witness.
+func (r *Record) Writes() uint64 { return r.writes.Load() }
+
+// Latest returns the newest version, or nil if the record has none yet.
+func (r *Record) Latest() *Version {
+	return r.head.Load()
+}
+
+// Visible returns the newest version with CommitTS ≤ qts (Algorithm 3,
+// line 11), or nil if no such version exists.
+func (r *Record) Visible(qts int64) *Version {
+	for v := r.head.Load(); v != nil; v = v.Next {
+		if v.CommitTS <= qts {
+			return v
+		}
+	}
+	return nil
+}
+
+// ReadRow materialises the full column image of the record as of qts by
+// merging after-images from the newest visible version back to the insert
+// that created it. It returns nil if the record is invisible or deleted at
+// qts.
+func (r *Record) ReadRow(qts int64) map[uint32][]byte {
+	v := r.Visible(qts)
+	if v == nil || v.Deleted {
+		return nil
+	}
+	row := make(map[uint32][]byte, len(v.Columns))
+	for ; v != nil; v = v.Next {
+		if v.Deleted {
+			break // versions older than a delete belong to a prior row
+		}
+		for _, c := range v.Columns {
+			if _, ok := row[c.ID]; !ok {
+				row[c.ID] = c.Value
+			}
+		}
+	}
+	return row
+}
+
+// ChainLen returns the number of versions in the chain. Test helper.
+func (r *Record) ChainLen() int {
+	n := 0
+	for v := r.head.Load(); v != nil; v = v.Next {
+		n++
+	}
+	return n
+}
+
+// ChainOrdered reports whether the version chain is newest-first ordered by
+// (CommitTS, TxnID). Equal IDs are permitted for adjacent versions because
+// one transaction may modify the same row more than once; its versions then
+// appear in entry order. Test helper for the core MVCC invariant.
+func (r *Record) ChainOrdered() bool {
+	v := r.head.Load()
+	for v != nil && v.Next != nil {
+		if v.CommitTS < v.Next.CommitTS || v.TxnID < v.Next.TxnID {
+			return false
+		}
+		v = v.Next
+	}
+	return true
+}
+
+// Table is the B+Tree index of one table's records.
+type Table struct {
+	ID wal.TableID
+
+	mu sync.RWMutex
+	t  *tree
+}
+
+// Get returns the record with the given row key, or nil.
+func (t *Table) Get(key uint64) *Record {
+	t.mu.RLock()
+	rec := t.t.get(key)
+	t.mu.RUnlock()
+	return rec
+}
+
+// GetOrCreate returns the record with the given row key, creating an empty
+// record (no versions) if absent. TPLR's first phase uses this to resolve
+// the Memtable node an uncommitted cell will point at.
+func (t *Table) GetOrCreate(key uint64) *Record {
+	t.mu.RLock()
+	rec := t.t.get(key)
+	t.mu.RUnlock()
+	if rec != nil {
+		return rec
+	}
+	t.mu.Lock()
+	rec, _ = t.t.getOrCreate(key)
+	t.mu.Unlock()
+	return rec
+}
+
+// Scan visits records with from ≤ key ≤ to in key order until fn returns
+// false. Records created concurrently may or may not be observed.
+func (t *Table) Scan(from, to uint64, fn func(key uint64, rec *Record) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.t.scan(from, to, fn)
+}
+
+// Len returns the number of records in the table.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.t.len()
+}
+
+// CheckInvariants verifies B+Tree structural invariants. Test helper; it
+// returns "" when the tree is well-formed.
+func (t *Table) CheckInvariants() string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.t.checkInvariants()
+}
+
+// Memtable is the set of tables of the backup database.
+type Memtable struct {
+	mu     sync.RWMutex
+	tables map[wal.TableID]*Table
+}
+
+// New returns an empty Memtable.
+func New() *Memtable {
+	return &Memtable{tables: make(map[wal.TableID]*Table)}
+}
+
+// Table returns the table with the given ID, creating it if absent.
+func (m *Memtable) Table(id wal.TableID) *Table {
+	m.mu.RLock()
+	t := m.tables[id]
+	m.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t = m.tables[id]; t == nil {
+		t = &Table{ID: id, t: newTree()}
+		m.tables[id] = t
+	}
+	return t
+}
+
+// Tables returns a snapshot of all table IDs currently present.
+func (m *Memtable) Tables() []wal.TableID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]wal.TableID, 0, len(m.tables))
+	for id := range m.tables {
+		out = append(out, id)
+	}
+	return out
+}

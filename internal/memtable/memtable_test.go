@@ -1,0 +1,270 @@
+package memtable
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"aets/internal/wal"
+)
+
+func TestBPTreeInsertGetQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := newTree()
+		n := 1 + r.Intn(2000)
+		keys := make(map[uint64]bool, n)
+		for i := 0; i < n; i++ {
+			k := uint64(r.Intn(5000)) + 1
+			if keys[k] {
+				continue
+			}
+			keys[k] = true
+			tr.insert(k, &Record{Key: k})
+		}
+		if tr.len() != len(keys) {
+			return false
+		}
+		if msg := tr.checkInvariants(); msg != "" {
+			t.Logf("invariant: %s", msg)
+			return false
+		}
+		for k := range keys {
+			rec := tr.get(k)
+			if rec == nil || rec.Key != k {
+				return false
+			}
+		}
+		// Absent keys must return nil.
+		for i := 0; i < 50; i++ {
+			k := uint64(r.Intn(5000)) + 6000
+			if tr.get(k) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBPTreeScanOrder(t *testing.T) {
+	tr := newTree()
+	r := rand.New(rand.NewSource(11))
+	var keys []uint64
+	seen := map[uint64]bool{}
+	for i := 0; i < 3000; i++ {
+		k := uint64(r.Intn(100000)) + 1
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		keys = append(keys, k)
+		tr.insert(k, &Record{Key: k})
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	var got []uint64
+	tr.scan(0, ^uint64(0), func(k uint64, rec *Record) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(keys) {
+		t.Fatalf("scan returned %d keys, want %d", len(got), len(keys))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("scan order broken at %d: got %d want %d", i, got[i], keys[i])
+		}
+	}
+
+	// Bounded scan.
+	lo, hi := keys[len(keys)/4], keys[3*len(keys)/4]
+	var bounded []uint64
+	tr.scan(lo, hi, func(k uint64, rec *Record) bool {
+		bounded = append(bounded, k)
+		return true
+	})
+	for _, k := range bounded {
+		if k < lo || k > hi {
+			t.Fatalf("scan leaked key %d outside [%d,%d]", k, lo, hi)
+		}
+	}
+	want := 0
+	for _, k := range keys {
+		if k >= lo && k <= hi {
+			want++
+		}
+	}
+	if len(bounded) != want {
+		t.Fatalf("bounded scan returned %d keys, want %d", len(bounded), want)
+	}
+}
+
+func TestBPTreeScanEarlyStop(t *testing.T) {
+	tr := newTree()
+	for k := uint64(1); k <= 100; k++ {
+		tr.insert(k, &Record{Key: k})
+	}
+	count := 0
+	tr.scan(1, 100, func(k uint64, rec *Record) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early stop visited %d records, want 10", count)
+	}
+}
+
+func TestGetOrCreateIdempotent(t *testing.T) {
+	tab := &Table{ID: 1, t: newTree()}
+	a := tab.GetOrCreate(42)
+	b := tab.GetOrCreate(42)
+	if a != b {
+		t.Fatal("GetOrCreate returned different records for the same key")
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tab.Len())
+	}
+}
+
+func TestGetOrCreateConcurrent(t *testing.T) {
+	mt := New()
+	const goroutines = 8
+	const keys = 500
+	recs := make([][]*Record, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			recs[g] = make([]*Record, keys)
+			for k := 0; k < keys; k++ {
+				recs[g][k] = mt.Table(1).GetOrCreate(uint64(k + 1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		for g := 1; g < goroutines; g++ {
+			if recs[g][k] != recs[0][k] {
+				t.Fatalf("key %d: goroutines obtained different records", k+1)
+			}
+		}
+	}
+	if mt.Table(1).Len() != keys {
+		t.Fatalf("Len = %d, want %d", mt.Table(1).Len(), keys)
+	}
+	if msg := mt.Table(1).CheckInvariants(); msg != "" {
+		t.Fatalf("tree invariant violated: %s", msg)
+	}
+}
+
+func TestVersionChainVisibility(t *testing.T) {
+	rec := &Record{Key: 1}
+	for i := 1; i <= 5; i++ {
+		rec.Append(&Version{TxnID: uint64(i), CommitTS: int64(i * 10),
+			Columns: []wal.Column{{ID: 1, Value: []byte{byte(i)}}}})
+	}
+	if !rec.ChainOrdered() {
+		t.Fatal("chain out of order")
+	}
+	if rec.ChainLen() != 5 {
+		t.Fatalf("ChainLen = %d, want 5", rec.ChainLen())
+	}
+	cases := []struct {
+		qts  int64
+		want uint64 // expected TxnID; 0 = invisible
+	}{
+		{5, 0}, {10, 1}, {15, 1}, {30, 3}, {50, 5}, {1000, 5},
+	}
+	for _, c := range cases {
+		v := rec.Visible(c.qts)
+		switch {
+		case c.want == 0 && v != nil:
+			t.Fatalf("qts %d: want invisible, got txn %d", c.qts, v.TxnID)
+		case c.want != 0 && (v == nil || v.TxnID != c.want):
+			t.Fatalf("qts %d: want txn %d, got %+v", c.qts, c.want, v)
+		}
+	}
+}
+
+func TestReadRowMergesAfterImages(t *testing.T) {
+	rec := &Record{Key: 1}
+	rec.Append(&Version{TxnID: 1, CommitTS: 10, Columns: []wal.Column{
+		{ID: 1, Value: []byte("a1")}, {ID: 2, Value: []byte("b1")}, {ID: 3, Value: []byte("c1")},
+	}})
+	rec.Append(&Version{TxnID: 2, CommitTS: 20, Columns: []wal.Column{
+		{ID: 2, Value: []byte("b2")},
+	}})
+	rec.Append(&Version{TxnID: 3, CommitTS: 30, Columns: []wal.Column{
+		{ID: 1, Value: []byte("a3")},
+	}})
+
+	row := rec.ReadRow(25)
+	if string(row[1]) != "a1" || string(row[2]) != "b2" || string(row[3]) != "c1" {
+		t.Fatalf("qts 25 row = %v", row)
+	}
+	row = rec.ReadRow(35)
+	if string(row[1]) != "a3" || string(row[2]) != "b2" || string(row[3]) != "c1" {
+		t.Fatalf("qts 35 row = %v", row)
+	}
+	if rec.ReadRow(5) != nil {
+		t.Fatal("row visible before first commit")
+	}
+}
+
+func TestReadRowStopsAtDelete(t *testing.T) {
+	rec := &Record{Key: 1}
+	rec.Append(&Version{TxnID: 1, CommitTS: 10, Columns: []wal.Column{{ID: 1, Value: []byte("old")}}})
+	rec.Append(&Version{TxnID: 2, CommitTS: 20, Deleted: true})
+	rec.Append(&Version{TxnID: 3, CommitTS: 30, Columns: []wal.Column{{ID: 2, Value: []byte("new")}}})
+
+	if rec.ReadRow(25) != nil {
+		t.Fatal("deleted row visible")
+	}
+	row := rec.ReadRow(35)
+	if len(row) != 1 || string(row[2]) != "new" {
+		t.Fatalf("reinserted row leaked pre-delete columns: %v", row)
+	}
+}
+
+func TestMemtableTablesSnapshot(t *testing.T) {
+	mt := New()
+	mt.Table(3)
+	mt.Table(1)
+	mt.Table(2)
+	ids := mt.Tables()
+	if len(ids) != 3 {
+		t.Fatalf("Tables() = %v", ids)
+	}
+}
+
+func TestConcurrentAppendAndRead(t *testing.T) {
+	// Readers walking the chain while a writer appends must never observe
+	// a broken chain (run with -race).
+	rec := &Record{Key: 1}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1; i <= 2000; i++ {
+			rec.Append(&Version{TxnID: uint64(i), CommitTS: int64(i)})
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			if !rec.ChainOrdered() {
+				t.Fatal("final chain out of order")
+			}
+			return
+		default:
+			if v := rec.Visible(1000); v != nil && v.CommitTS > 1000 {
+				t.Fatal("Visible returned future version")
+			}
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package metrics provides the measurement primitives of the evaluation:
+// visibility-delay recorders, replay throughput, and the dispatch/replay/
+// commit time breakdown of Table II.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DelayRecorder accumulates visibility-delay samples. Safe for concurrent
+// use by many query goroutines.
+type DelayRecorder struct {
+	mu      sync.Mutex
+	samples []float64 // microseconds
+}
+
+// Record adds one sample.
+func (r *DelayRecorder) Record(d time.Duration) {
+	us := float64(d) / float64(time.Microsecond)
+	r.mu.Lock()
+	r.samples = append(r.samples, us)
+	r.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (r *DelayRecorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Mean returns the mean delay in microseconds (0 when empty).
+func (r *DelayRecorder) Mean() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range r.samples {
+		s += v
+	}
+	return s / float64(len(r.samples))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) in microseconds.
+func (r *DelayRecorder) Quantile(q float64) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), r.samples...)
+	sort.Float64s(s)
+	idx := q * float64(len(s)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := idx - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Reset discards all samples.
+func (r *DelayRecorder) Reset() {
+	r.mu.Lock()
+	r.samples = nil
+	r.mu.Unlock()
+}
+
+// Summary renders count/mean/p50/p95/p99 for log output.
+func (r *DelayRecorder) Summary() string {
+	return fmt.Sprintf("n=%d mean=%.1fus p50=%.1fus p95=%.1fus p99=%.1fus",
+		r.Count(), r.Mean(), r.Quantile(0.5), r.Quantile(0.95), r.Quantile(0.99))
+}
+
+// Breakdown accumulates the per-phase time shares of Table II. The three
+// phases are accounted in nanoseconds of work (summed across goroutines for
+// the parallel replay phase, matching the paper's CPU-time breakdown).
+type Breakdown struct {
+	DispatchNS atomic.Int64
+	ReplayNS   atomic.Int64
+	CommitNS   atomic.Int64
+}
+
+// AddDispatch, AddReplay and AddCommit add elapsed work time to a phase.
+func (b *Breakdown) AddDispatch(d time.Duration) { b.DispatchNS.Add(int64(d)) }
+
+// AddReplay adds elapsed work time to the replay phase.
+func (b *Breakdown) AddReplay(d time.Duration) { b.ReplayNS.Add(int64(d)) }
+
+// AddCommit adds elapsed work time to the commit phase.
+func (b *Breakdown) AddCommit(d time.Duration) { b.CommitNS.Add(int64(d)) }
+
+// Shares returns the dispatch/replay/commit fractions, summing to 1 when
+// any time has been recorded.
+func (b *Breakdown) Shares() (dispatch, replay, commit float64) {
+	d := float64(b.DispatchNS.Load())
+	r := float64(b.ReplayNS.Load())
+	c := float64(b.CommitNS.Load())
+	tot := d + r + c
+	if tot == 0 {
+		return 0, 0, 0
+	}
+	return d / tot, r / tot, c / tot
+}
+
+// Reset zeroes all phases.
+func (b *Breakdown) Reset() {
+	b.DispatchNS.Store(0)
+	b.ReplayNS.Store(0)
+	b.CommitNS.Store(0)
+}
+
+// Throughput describes one replay run for reporting.
+type Throughput struct {
+	Entries int
+	Txns    int
+	Elapsed time.Duration
+}
+
+// EntriesPerSec returns replayed log entries per second.
+func (t Throughput) EntriesPerSec() float64 {
+	if t.Elapsed <= 0 {
+		return 0
+	}
+	return float64(t.Entries) / t.Elapsed.Seconds()
+}
+
+// TxnsPerSec returns replayed transactions per second.
+func (t Throughput) TxnsPerSec() float64 {
+	if t.Elapsed <= 0 {
+		return 0
+	}
+	return float64(t.Txns) / t.Elapsed.Seconds()
+}

@@ -1,0 +1,323 @@
+package nn
+
+import "math/rand"
+
+// Layers operate on [N, C, T] tensors: N parallel node series (tables), C
+// channels, T timesteps. Parameters are shared across nodes, matching the
+// Graph-WaveNet-style architecture DTGM follows (paper Fig 5).
+
+// ChannelLinear is a 1×1 convolution: a linear map over the channel
+// dimension applied at every (node, timestep).
+type ChannelLinear struct {
+	W *Tensor // [Cin, Cout]
+	B *Tensor // [Cout]
+}
+
+// NewChannelLinear initialises a channel linear layer.
+func NewChannelLinear(rng *rand.Rand, cin, cout int) *ChannelLinear {
+	scale := 1.0 / float64(cin)
+	return &ChannelLinear{
+		W: Param(Randn(rng, scale, cin, cout)),
+		B: Param(Zeros(cout)),
+	}
+}
+
+// Params returns the trainable parameters.
+func (l *ChannelLinear) Params() []*Tensor { return []*Tensor{l.W, l.B} }
+
+// Apply maps [N, Cin, T] → [N, Cout, T].
+func (l *ChannelLinear) Apply(x *Tensor) *Tensor {
+	n, cin, t := x.Shape[0], x.Shape[1], x.Shape[2]
+	if cin != l.W.Shape[0] {
+		panic("nn: ChannelLinear input channel mismatch")
+	}
+	cout := l.W.Shape[1]
+	data := make([]float64, n*cout*t)
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < cin; ci++ {
+			xr := x.Data[(ni*cin+ci)*t : (ni*cin+ci+1)*t]
+			for co := 0; co < cout; co++ {
+				w := l.W.Data[ci*cout+co]
+				if w == 0 {
+					continue
+				}
+				or := data[(ni*cout+co)*t : (ni*cout+co+1)*t]
+				for ti := 0; ti < t; ti++ {
+					or[ti] += w * xr[ti]
+				}
+			}
+		}
+		for co := 0; co < cout; co++ {
+			b := l.B.Data[co]
+			or := data[(ni*cout+co)*t : (ni*cout+co+1)*t]
+			for ti := 0; ti < t; ti++ {
+				or[ti] += b
+			}
+		}
+	}
+	out := result(data, []int{n, cout, t}, x, l.W, l.B)
+	if out.requiresGrad {
+		out.back = func() {
+			for ni := 0; ni < n; ni++ {
+				for co := 0; co < cout; co++ {
+					gr := out.Grad[(ni*cout+co)*t : (ni*cout+co+1)*t]
+					if l.B.requiresGrad {
+						s := 0.0
+						for ti := 0; ti < t; ti++ {
+							s += gr[ti]
+						}
+						l.B.Grad[co] += s
+					}
+					for ci := 0; ci < cin; ci++ {
+						xr := x.Data[(ni*cin+ci)*t : (ni*cin+ci+1)*t]
+						if l.W.requiresGrad {
+							s := 0.0
+							for ti := 0; ti < t; ti++ {
+								s += gr[ti] * xr[ti]
+							}
+							l.W.Grad[ci*cout+co] += s
+						}
+						if x.requiresGrad {
+							w := l.W.Data[ci*cout+co]
+							xg := x.Grad[(ni*cin+ci)*t : (ni*cin+ci+1)*t]
+							for ti := 0; ti < t; ti++ {
+								xg[ti] += gr[ti] * w
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CausalConv1D is a dilated causal convolution along the time dimension,
+// shared across nodes.
+type CausalConv1D struct {
+	W        *Tensor // [Cout, Cin, K]
+	B        *Tensor // [Cout]
+	Dilation int
+}
+
+// NewCausalConv1D initialises a causal convolution layer.
+func NewCausalConv1D(rng *rand.Rand, cin, cout, k, dilation int) *CausalConv1D {
+	scale := 1.0 / float64(cin*k)
+	return &CausalConv1D{
+		W:        Param(Randn(rng, scale, cout, cin, k)),
+		B:        Param(Zeros(cout)),
+		Dilation: dilation,
+	}
+}
+
+// Params returns the trainable parameters.
+func (l *CausalConv1D) Params() []*Tensor { return []*Tensor{l.W, l.B} }
+
+// Apply maps [N, Cin, T] → [N, Cout, T]; positions before the window start
+// see implicit zero padding (causal).
+func (l *CausalConv1D) Apply(x *Tensor) *Tensor {
+	n, cin, t := x.Shape[0], x.Shape[1], x.Shape[2]
+	cout, k, d := l.W.Shape[0], l.W.Shape[2], l.Dilation
+	if cin != l.W.Shape[1] {
+		panic("nn: CausalConv1D input channel mismatch")
+	}
+	data := make([]float64, n*cout*t)
+	for ni := 0; ni < n; ni++ {
+		for co := 0; co < cout; co++ {
+			or := data[(ni*cout+co)*t : (ni*cout+co+1)*t]
+			b := l.B.Data[co]
+			for ti := 0; ti < t; ti++ {
+				or[ti] = b
+			}
+			for ci := 0; ci < cin; ci++ {
+				xr := x.Data[(ni*cin+ci)*t : (ni*cin+ci+1)*t]
+				for ki := 0; ki < k; ki++ {
+					w := l.W.Data[(co*cin+ci)*k+ki]
+					if w == 0 {
+						continue
+					}
+					shift := ki * d
+					for ti := shift; ti < t; ti++ {
+						or[ti] += w * xr[ti-shift]
+					}
+				}
+			}
+		}
+	}
+	out := result(data, []int{n, cout, t}, x, l.W, l.B)
+	if out.requiresGrad {
+		out.back = func() {
+			for ni := 0; ni < n; ni++ {
+				for co := 0; co < cout; co++ {
+					gr := out.Grad[(ni*cout+co)*t : (ni*cout+co+1)*t]
+					if l.B.requiresGrad {
+						s := 0.0
+						for ti := 0; ti < t; ti++ {
+							s += gr[ti]
+						}
+						l.B.Grad[co] += s
+					}
+					for ci := 0; ci < cin; ci++ {
+						xr := x.Data[(ni*cin+ci)*t : (ni*cin+ci+1)*t]
+						for ki := 0; ki < k; ki++ {
+							shift := ki * d
+							if l.W.requiresGrad {
+								s := 0.0
+								for ti := shift; ti < t; ti++ {
+									s += gr[ti] * xr[ti-shift]
+								}
+								l.W.Grad[(co*cin+ci)*k+ki] += s
+							}
+							if x.requiresGrad {
+								w := l.W.Data[(co*cin+ci)*k+ki]
+								xg := x.Grad[(ni*cin+ci)*t : (ni*cin+ci+1)*t]
+								for ti := shift; ti < t; ti++ {
+									xg[ti-shift] += gr[ti] * w
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// GraphProp propagates features over the (fixed) table-access graph:
+// out[n] = Σ_m A[n,m]·x[m]. A is row-normalised outside. When x stacks B
+// graphs (Shape[0] = B·len(adj)), propagation is applied block-diagonally,
+// which is how training batches several windows in one pass.
+func GraphProp(x *Tensor, adj [][]float64) *Tensor {
+	n, c, t := x.Shape[0], x.Shape[1], x.Shape[2]
+	nb := len(adj)
+	if nb == 0 || n%nb != 0 {
+		panic("nn: GraphProp adjacency size mismatch")
+	}
+	blocks := n / nb
+	data := make([]float64, len(x.Data))
+	ct := c * t
+	for b := 0; b < blocks; b++ {
+		base := b * nb
+		for ni := 0; ni < nb; ni++ {
+			or := data[(base+ni)*ct : (base+ni+1)*ct]
+			for mi := 0; mi < nb; mi++ {
+				a := adj[ni][mi]
+				if a == 0 {
+					continue
+				}
+				xr := x.Data[(base+mi)*ct : (base+mi+1)*ct]
+				for i := 0; i < ct; i++ {
+					or[i] += a * xr[i]
+				}
+			}
+		}
+	}
+	out := result(data, x.Shape, x)
+	if out.requiresGrad {
+		out.back = func() {
+			for b := 0; b < blocks; b++ {
+				base := b * nb
+				for ni := 0; ni < nb; ni++ {
+					gr := out.Grad[(base+ni)*ct : (base+ni+1)*ct]
+					for mi := 0; mi < nb; mi++ {
+						a := adj[ni][mi]
+						if a == 0 {
+							continue
+						}
+						xg := x.Grad[(base+mi)*ct : (base+mi+1)*ct]
+						for i := 0; i < ct; i++ {
+							xg[i] += a * gr[i]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Linear is a dense layer over 2-D inputs [rows, in] → [rows, out].
+type Linear struct {
+	W *Tensor // [in, out]
+	B *Tensor // [out]
+}
+
+// NewLinear initialises a dense layer.
+func NewLinear(rng *rand.Rand, in, out int) *Linear {
+	return &Linear{
+		W: Param(Randn(rng, 1.0/float64(in), in, out)),
+		B: Param(Zeros(out)),
+	}
+}
+
+// Params returns the trainable parameters.
+func (l *Linear) Params() []*Tensor { return []*Tensor{l.W, l.B} }
+
+// Apply computes x·W + B.
+func (l *Linear) Apply(x *Tensor) *Tensor {
+	return AddBias(MatMul(x, l.W), l.B)
+}
+
+// SliceCols returns a[:, from:to] of a 2-D tensor.
+func SliceCols(a *Tensor, from, to int) *Tensor {
+	if len(a.Shape) != 2 {
+		panic("nn: SliceCols needs a 2-D tensor")
+	}
+	rows, cols := a.Shape[0], a.Shape[1]
+	w := to - from
+	data := make([]float64, rows*w)
+	for r := 0; r < rows; r++ {
+		copy(data[r*w:], a.Data[r*cols+from:r*cols+to])
+	}
+	out := result(data, []int{rows, w}, a)
+	if out.requiresGrad {
+		out.back = func() {
+			for r := 0; r < rows; r++ {
+				for i := 0; i < w; i++ {
+					a.Grad[r*cols+from+i] += out.Grad[r*w+i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// LSTMCell is a standard LSTM cell used by the QB5000 baseline.
+type LSTMCell struct {
+	Wx *Tensor // [in, 4H]
+	Wh *Tensor // [H, 4H]
+	B  *Tensor // [4H]
+	H  int
+}
+
+// NewLSTMCell initialises an LSTM cell.
+func NewLSTMCell(rng *rand.Rand, in, h int) *LSTMCell {
+	c := &LSTMCell{
+		Wx: Param(Randn(rng, 1.0/float64(in), in, 4*h)),
+		Wh: Param(Randn(rng, 1.0/float64(h), h, 4*h)),
+		B:  Param(Zeros(4 * h)),
+		H:  h,
+	}
+	// Forget-gate bias starts at 1 (standard trick for gradient flow).
+	for i := h; i < 2*h; i++ {
+		c.B.Data[i] = 1
+	}
+	return c
+}
+
+// Params returns the trainable parameters.
+func (c *LSTMCell) Params() []*Tensor { return []*Tensor{c.Wx, c.Wh, c.B} }
+
+// Step advances the cell one timestep: x [rows,in], h,cell [rows,H].
+func (c *LSTMCell) Step(x, h, cell *Tensor) (hNext, cellNext *Tensor) {
+	gates := AddBias(Add(MatMul(x, c.Wx), MatMul(h, c.Wh)), c.B)
+	hd := c.H
+	i := Sigmoid(SliceCols(gates, 0, hd))
+	f := Sigmoid(SliceCols(gates, hd, 2*hd))
+	g := Tanh(SliceCols(gates, 2*hd, 3*hd))
+	o := Sigmoid(SliceCols(gates, 3*hd, 4*hd))
+	cellNext = Add(Mul(f, cell), Mul(i, g))
+	hNext = Mul(o, Tanh(cellNext))
+	return hNext, cellNext
+}

@@ -1,0 +1,49 @@
+package predictor
+
+// HA is the historical-average baseline (paper §VI-G): it predicts every
+// future slot as the mean of the last AverageWindow observed slots. It has
+// no trainable state, which is why its MAPE in Table III is constant across
+// horizons.
+type HA struct {
+	// AverageWindow is the number of trailing slots averaged; the paper
+	// uses the last 60 minutes.
+	AverageWindow int
+}
+
+// NewHA returns an HA predictor with the paper's 60-slot window.
+func NewHA() *HA { return &HA{AverageWindow: 60} }
+
+// Name implements Predictor.
+func (h *HA) Name() string { return "HA" }
+
+// Fit implements Predictor; HA learns nothing.
+func (h *HA) Fit([][]float64) error { return nil }
+
+// Predict implements Predictor.
+func (h *HA) Predict(recent [][]float64, horizon int) [][]float64 {
+	w := h.AverageWindow
+	if w <= 0 {
+		w = 60
+	}
+	if w > len(recent) {
+		w = len(recent)
+	}
+	var tables int
+	if len(recent) > 0 {
+		tables = len(recent[0])
+	}
+	avg := make([]float64, tables)
+	for s := len(recent) - w; s < len(recent); s++ {
+		for j := 0; j < tables; j++ {
+			avg[j] += recent[s][j]
+		}
+	}
+	for j := range avg {
+		avg[j] /= float64(w)
+	}
+	out := make([][]float64, horizon)
+	for s := range out {
+		out[s] = append([]float64(nil), avg...)
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package predictor
+
+import "math"
+
+// HoltWinters is a triple-exponential-smoothing forecaster (additive
+// seasonality) — the classical operational baseline for periodic rate
+// series, included beyond the paper's baselines as a stronger non-neural
+// reference point. One model per table; smoothing coefficients are chosen
+// per table by a coarse grid search on one-step training error.
+type HoltWinters struct {
+	// Period is the seasonal cycle length in slots (0 picks the BusTracker
+	// default of 72).
+	Period int
+
+	models   []hwState
+	nextSlot int // absolute slot of the next forecast (phase anchor)
+}
+
+type hwState struct {
+	alpha, beta, gamma float64
+	level, trend       float64
+	season             []float64
+}
+
+// NewHoltWinters returns the forecaster with the default period.
+func NewHoltWinters(period int) *HoltWinters {
+	if period <= 0 {
+		period = 72
+	}
+	return &HoltWinters{Period: period}
+}
+
+// Name implements Predictor.
+func (h *HoltWinters) Name() string { return "Holt-Winters" }
+
+// Fit implements Predictor: grid-search the smoothing coefficients per
+// table and keep the fitted end state.
+func (h *HoltWinters) Fit(history [][]float64) error {
+	cols := transpose(history)
+	h.models = make([]hwState, len(cols))
+	grid := []float64{0.05, 0.15, 0.3, 0.6}
+	for j, series := range cols {
+		best := math.Inf(1)
+		var bestState hwState
+		for _, a := range grid {
+			for _, b := range grid[:3] { // trend smoothing rarely wants to be large
+				for _, g := range grid {
+					st, sse := h.run(series, a, b, g)
+					if sse < best {
+						best = sse
+						bestState = st
+					}
+				}
+			}
+		}
+		h.models[j] = bestState
+	}
+	h.nextSlot = len(history)
+	return nil
+}
+
+// SetSlot re-anchors the seasonal phase to an absolute slot index, for
+// rolling evaluation that rewinds.
+func (h *HoltWinters) SetSlot(slot int) { h.nextSlot = slot }
+
+// run fits one coefficient triple over series and returns the end state
+// and the one-step sum of squared errors.
+func (h *HoltWinters) run(series []float64, alpha, beta, gamma float64) (hwState, float64) {
+	p := h.Period
+	st := hwState{alpha: alpha, beta: beta, gamma: gamma, season: make([]float64, p)}
+	if len(series) < 2*p {
+		// Too short for seasonal initialisation: flat fallback.
+		if len(series) > 0 {
+			st.level, _ = meanStd(series)
+		}
+		return st, math.Inf(1)
+	}
+	// Initialise level/trend from the first two cycles, season from the
+	// first cycle's deviations.
+	var m1, m2 float64
+	for i := 0; i < p; i++ {
+		m1 += series[i]
+		m2 += series[p+i]
+	}
+	m1 /= float64(p)
+	m2 /= float64(p)
+	st.level = m1
+	st.trend = (m2 - m1) / float64(p)
+	for i := 0; i < p; i++ {
+		st.season[i] = series[i] - m1
+	}
+
+	sse := 0.0
+	for t := p; t < len(series); t++ {
+		fore := st.level + st.trend + st.season[t%p]
+		err := series[t] - fore
+		sse += err * err
+		prevLevel := st.level
+		st.level = alpha*(series[t]-st.season[t%p]) + (1-alpha)*(st.level+st.trend)
+		st.trend = beta*(st.level-prevLevel) + (1-beta)*st.trend
+		st.season[t%p] = gamma*(series[t]-st.level) + (1-gamma)*st.season[t%p]
+	}
+	return st, sse
+}
+
+// Predict implements Predictor. Seasonal components stay frozen from Fit
+// (they are slow-moving); the level and trend are re-estimated from the
+// seasonally adjusted recent window, anchored in absolute slot phase so
+// the frozen seasonals line up.
+func (h *HoltWinters) Predict(recent [][]float64, horizon int) [][]float64 {
+	tables := 0
+	if len(recent) > 0 {
+		tables = len(recent[0])
+	}
+	out := make([][]float64, horizon)
+	for s := range out {
+		out[s] = make([]float64, tables)
+	}
+	p := h.Period
+	for j := 0; j < tables; j++ {
+		series := column(recent, j)
+		if j >= len(h.models) || len(h.models[j].season) != p || len(series) == 0 {
+			mean, _ := meanStd(series)
+			for s := 0; s < horizon; s++ {
+				out[s][j] = mean
+			}
+			continue
+		}
+		st := h.models[j]
+		// Deseasonalise the recent window using its absolute phases, then
+		// fit level+trend by least squares over it.
+		n := len(series)
+		var sumX, sumY, sumXY, sumXX float64
+		for t := 0; t < n; t++ {
+			phase := ((h.nextSlot-n+t)%p + p) % p
+			y := series[t] - st.season[phase]
+			x := float64(t)
+			sumX += x
+			sumY += y
+			sumXY += x * y
+			sumXX += x * x
+		}
+		den := float64(n)*sumXX - sumX*sumX
+		trend := 0.0
+		if den != 0 {
+			trend = (float64(n)*sumXY - sumX*sumY) / den
+		}
+		level := (sumY - trend*sumX) / float64(n) // intercept at t=0
+		for s := 0; s < horizon; s++ {
+			phase := ((h.nextSlot+s)%p + p) % p
+			v := level + trend*float64(n+s) + st.season[phase]
+			if v < 0 {
+				v = 0
+			}
+			out[s][j] = v
+		}
+	}
+	h.nextSlot += horizon
+	return out
+}

@@ -1,0 +1,61 @@
+package predictor
+
+import (
+	"math"
+	"testing"
+
+	"aets/internal/workload"
+)
+
+func TestHoltWintersBeatsHAOnBusTracker(t *testing.T) {
+	bt := workload.NewBusTracker()
+	series, _ := bt.RateSeries(700)
+	hw := NewHoltWinters(workload.BusDayPeriod)
+	m, err := Evaluate(hw, series, 500, 60, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	haM, _ := Evaluate(NewHA(), series, 500, 60, 15)
+	if m >= haM {
+		t.Fatalf("Holt-Winters (%.2f%%) should beat HA (%.2f%%) on a seasonal series", m*100, haM*100)
+	}
+	if math.IsNaN(m) || m > 1 {
+		t.Fatalf("MAPE unreasonable: %v", m)
+	}
+}
+
+func TestHoltWintersPureSeasonal(t *testing.T) {
+	// Noise-free seasonal series: forecasts should be near exact.
+	const p = 24
+	series := make([][]float64, 10*p)
+	for s := range series {
+		series[s] = []float64{100 + 50*math.Sin(2*math.Pi*float64(s)/p)}
+	}
+	hw := NewHoltWinters(p)
+	m, err := Evaluate(hw, series, 8*p, p, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m > 0.05 {
+		t.Fatalf("MAPE %.3f on a noise-free seasonal series", m)
+	}
+}
+
+func TestHoltWintersShortHistoryFallsBack(t *testing.T) {
+	hw := NewHoltWinters(48)
+	series := synthSeries(30, 2, 3) // far less than 2 periods
+	if err := hw.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	pred := hw.Predict(series, 5)
+	if len(pred) != 5 || len(pred[0]) != 2 {
+		t.Fatalf("prediction shape %dx%d", len(pred), len(pred[0]))
+	}
+	for s := range pred {
+		for j := range pred[s] {
+			if math.IsNaN(pred[s][j]) || pred[s][j] < 0 {
+				t.Fatalf("bad value %v", pred[s][j])
+			}
+		}
+	}
+}

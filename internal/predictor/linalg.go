@@ -1,0 +1,79 @@
+package predictor
+
+import "math"
+
+// solveRidge solves (XᵀX + λI)β = Xᵀy for β: ridge-regularised least
+// squares via Gaussian elimination with partial pivoting. X is [n][d],
+// y is [n]. Used by the ARIMA and LR fitters.
+func solveRidge(x [][]float64, y []float64, lambda float64) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	d := len(x[0])
+	// Normal equations.
+	a := make([][]float64, d)
+	b := make([]float64, d)
+	for i := range a {
+		a[i] = make([]float64, d)
+		a[i][i] = lambda
+	}
+	for r := range x {
+		for i := 0; i < d; i++ {
+			xi := x[r][i]
+			if xi == 0 {
+				continue
+			}
+			b[i] += xi * y[r]
+			for j := i; j < d; j++ {
+				a[i][j] += xi * x[r][j]
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := 0; j < i; j++ {
+			a[i][j] = a[j][i]
+		}
+	}
+	return solveLinear(a, b)
+}
+
+// solveLinear solves a·β = b in place with partial pivoting; returns nil
+// when the system is singular beyond repair.
+func solveLinear(a [][]float64, b []float64) []float64 {
+	d := len(b)
+	for col := 0; col < d; col++ {
+		// Pivot.
+		best := col
+		for r := col + 1; r < d; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[best][col]) {
+				best = r
+			}
+		}
+		if math.Abs(a[best][col]) < 1e-12 {
+			return nil
+		}
+		a[col], a[best] = a[best], a[col]
+		b[col], b[best] = b[best], b[col]
+		// Eliminate.
+		inv := 1 / a[col][col]
+		for r := col + 1; r < d; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < d; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	beta := make([]float64, d)
+	for r := d - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < d; c++ {
+			s -= a[r][c] * beta[c]
+		}
+		beta[r] = s / a[r][r]
+	}
+	return beta
+}

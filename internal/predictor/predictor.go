@@ -1,0 +1,120 @@
+// Package predictor implements the table access rate predictors of paper
+// §IV-A and §VI-G: the proposed DTGM (gated TCN + GCN temporal graph
+// model) and the baselines HA (historical average), ARIMA and QB5000
+// (equal-weight ensemble of linear regression, LSTM and kernel
+// regression). All predictors share one interface: fit on a history matrix
+// of per-slot, per-table access rates, then forecast the next horizon
+// slots from a recent window.
+package predictor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Predictor forecasts per-table access rates.
+type Predictor interface {
+	// Name returns the model name as used in Table III.
+	Name() string
+	// Fit trains on history[slot][table]. Implementations must tolerate
+	// repeated calls (refitting).
+	Fit(history [][]float64) error
+	// Predict forecasts the next horizon slots given the most recent
+	// observations recent[slot][table] (at least Window slots). The result
+	// is indexed [slot][table].
+	Predict(recent [][]float64, horizon int) [][]float64
+}
+
+// MAPE computes the mean absolute percentage error between actual and
+// predicted rate matrices, skipping near-zero actuals (the standard
+// convention; a zero actual makes the ratio meaningless).
+func MAPE(actual, pred [][]float64) float64 {
+	var sum float64
+	var n int
+	for s := range actual {
+		for j := range actual[s] {
+			a := actual[s][j]
+			if math.Abs(a) < 1e-9 {
+				continue
+			}
+			sum += math.Abs(a-pred[s][j]) / math.Abs(a)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Evaluate fits p on the first trainSlots of series, then walks the rest
+// producing horizon-step forecasts every horizon slots, and returns the
+// MAPE over all forecast windows — the Table III protocol.
+func Evaluate(p Predictor, series [][]float64, trainSlots, window, horizon int) (float64, error) {
+	if trainSlots+window+horizon > len(series) {
+		return 0, fmt.Errorf("predictor: series too short: %d slots, need %d", len(series), trainSlots+window+horizon)
+	}
+	if err := p.Fit(series[:trainSlots]); err != nil {
+		return 0, err
+	}
+	var allActual, allPred [][]float64
+	for at := trainSlots; at+horizon <= len(series); at += horizon {
+		recent := series[maxInt(0, at-window):at]
+		pred := p.Predict(recent, horizon)
+		actual := series[at : at+horizon]
+		allActual = append(allActual, actual...)
+		allPred = append(allPred, pred...)
+	}
+	return MAPE(allActual, allPred), nil
+}
+
+// transpose flips [slot][table] to [table][slot].
+func transpose(m [][]float64) [][]float64 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([][]float64, len(m[0]))
+	for j := range out {
+		out[j] = make([]float64, len(m))
+		for s := range m {
+			out[j][s] = m[s][j]
+		}
+	}
+	return out
+}
+
+// column extracts one table's series from [slot][table].
+func column(m [][]float64, j int) []float64 {
+	out := make([]float64, len(m))
+	for s := range m {
+		out[s] = m[s][j]
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// meanStd returns the mean and standard deviation of xs (std floored to a
+// small epsilon so normalisation never divides by zero).
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 1
+	}
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	for _, v := range xs {
+		std += (v - mean) * (v - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	if std < 1e-9 {
+		std = 1e-9
+	}
+	return mean, std
+}

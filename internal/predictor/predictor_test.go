@@ -1,0 +1,232 @@
+package predictor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"aets/internal/workload"
+)
+
+// synthSeries builds a small multi-table sinusoid series with noise.
+func synthSeries(slots, tables int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	phase := make([]float64, tables)
+	base := make([]float64, tables)
+	for j := range phase {
+		phase[j] = rng.Float64() * 2 * math.Pi
+		base[j] = 100 + rng.Float64()*400
+	}
+	out := make([][]float64, slots)
+	for s := range out {
+		out[s] = make([]float64, tables)
+		for j := range out[s] {
+			v := base[j] * (1 + 0.5*math.Sin(2*math.Pi*float64(s)/48+phase[j]))
+			out[s][j] = v + rng.NormFloat64()*base[j]*0.02
+		}
+	}
+	return out
+}
+
+func TestMAPEBasics(t *testing.T) {
+	actual := [][]float64{{100, 200}, {100, 0}}
+	pred := [][]float64{{110, 180}, {90, 50}}
+	// Errors: 0.1, 0.1, 0.1; the zero actual is skipped.
+	got := MAPE(actual, pred)
+	if math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("MAPE = %v, want 0.1", got)
+	}
+	if MAPE(nil, nil) != 0 {
+		t.Fatal("empty MAPE must be 0")
+	}
+}
+
+func TestHAPredictsTrailingAverage(t *testing.T) {
+	h := &HA{AverageWindow: 3}
+	recent := [][]float64{{1}, {2}, {3}, {4}, {5}}
+	pred := h.Predict(recent, 2)
+	if len(pred) != 2 || math.Abs(pred[0][0]-4) > 1e-9 || math.Abs(pred[1][0]-4) > 1e-9 {
+		t.Fatalf("HA pred = %v, want flat 4", pred)
+	}
+}
+
+func TestHAIsHorizonInvariant(t *testing.T) {
+	series := synthSeries(400, 3, 1)
+	h := NewHA()
+	m15, err := Evaluate(h, series, 260, 60, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m60, err := Evaluate(h, series, 260, 60, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table III shows HA constant across horizons; allow small sampling
+	// differences from different window alignments.
+	if math.Abs(m15-m60) > 0.15 {
+		t.Fatalf("HA MAPE varies too much across horizons: %v vs %v", m15, m60)
+	}
+}
+
+func TestARIMARecoversARProcess(t *testing.T) {
+	// x_t = 0.7·x_{t-1} + ε on a differenced random walk with drift.
+	rng := rand.New(rand.NewSource(4))
+	n := 600
+	series := make([][]float64, n)
+	level := 500.0
+	inc := 0.0
+	for s := 0; s < n; s++ {
+		inc = 0.7*inc + rng.NormFloat64()*2
+		level += inc + 1 // drift
+		series[s] = []float64{level}
+	}
+	a := NewARIMA()
+	mape, err := Evaluate(a, series, 400, 60, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha := NewHA()
+	haMape, _ := Evaluate(ha, series, 400, 60, 15)
+	if mape >= haMape {
+		t.Fatalf("ARIMA (%v) should beat HA (%v) on an integrated AR process", mape, haMape)
+	}
+}
+
+func TestARIMAFinitePredictions(t *testing.T) {
+	series := synthSeries(400, 4, 5)
+	a := NewARIMA()
+	if err := a.Fit(series[:300]); err != nil {
+		t.Fatal(err)
+	}
+	pred := a.Predict(series[240:300], 60)
+	if len(pred) != 60 {
+		t.Fatalf("horizon %d", len(pred))
+	}
+	for s := range pred {
+		for j := range pred[s] {
+			if math.IsNaN(pred[s][j]) || math.IsInf(pred[s][j], 0) || pred[s][j] < 0 {
+				t.Fatalf("pred[%d][%d] = %v", s, j, pred[s][j])
+			}
+		}
+	}
+}
+
+func TestQB5000BeatsHAOnSinusoid(t *testing.T) {
+	series := synthSeries(500, 3, 6)
+	q := NewQB5000()
+	q.Epochs = 3 // keep the test fast
+	mape, err := Evaluate(q, series, 350, 60, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	haMape, _ := Evaluate(NewHA(), series, 350, 60, 15)
+	if mape >= haMape {
+		t.Fatalf("QB5000 (%v) should beat HA (%v) on a periodic series", mape, haMape)
+	}
+}
+
+func testDTGMConfig(horizon int) DTGMConfig {
+	return DTGMConfig{
+		Window: 12, Horizon: horizon, Hidden: 8, Layers: 2, Hops: 2,
+		Epochs: 6, Batch: 16, LR: 5e-3, Dropout: 0.1, UseGCN: true, Seed: 7,
+	}
+}
+
+func fullAdj(n int) [][]float64 {
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		for j := range a[i] {
+			a[i][j] = 1
+		}
+	}
+	return a
+}
+
+func TestDTGMLearnsSinusoid(t *testing.T) {
+	series := synthSeries(400, 3, 8)
+	cfg := testDTGMConfig(15)
+	d := NewDTGM(fullAdj(3), cfg)
+	mape, err := Evaluate(d, series, 300, 60, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	haMape, _ := Evaluate(NewHA(), series, 300, 60, 15)
+	if mape >= haMape {
+		t.Fatalf("DTGM (%v) should beat HA (%v)", mape, haMape)
+	}
+}
+
+func TestDTGMWithoutGCNStillWorks(t *testing.T) {
+	series := synthSeries(400, 3, 9)
+	cfg := testDTGMConfig(15)
+	cfg.UseGCN = false
+	d := NewDTGM(fullAdj(3), cfg)
+	if d.Name() != "DTGM w/o gcn" {
+		t.Fatalf("name: %s", d.Name())
+	}
+	mape, err := Evaluate(d, series, 300, 60, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(mape) || mape > 3 {
+		t.Fatalf("w/o gcn MAPE unreasonable: %v", mape)
+	}
+}
+
+func TestDTGMRejectsWrongTableCount(t *testing.T) {
+	d := NewDTGM(fullAdj(3), testDTGMConfig(5))
+	if err := d.Fit(synthSeries(100, 5, 10)); err == nil {
+		t.Fatal("mismatched table count accepted")
+	}
+}
+
+func TestDTGMPredictClampsHorizon(t *testing.T) {
+	series := synthSeries(120, 2, 11)
+	d := NewDTGM(fullAdj(2), testDTGMConfig(10))
+	if err := d.Fit(series[:100]); err != nil {
+		t.Fatal(err)
+	}
+	pred := d.Predict(series[40:100], 50)
+	if len(pred) != 10 {
+		t.Fatalf("clamped horizon = %d, want 10", len(pred))
+	}
+}
+
+func TestBusTrackerSeriesFeedsPredictors(t *testing.T) {
+	bt := workload.NewBusTracker()
+	series, ids := bt.RateSeries(200)
+	if len(ids) != 14 {
+		t.Fatalf("hot tables: %d, want 14", len(ids))
+	}
+	if len(series) != 200 || len(series[0]) != 14 {
+		t.Fatalf("series shape %dx%d", len(series), len(series[0]))
+	}
+	h := NewHA()
+	if _, err := Evaluate(h, series, 120, 60, 15); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveRidgeExact(t *testing.T) {
+	// y = 3a - 2b fitted exactly.
+	x := [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}}
+	y := []float64{3, -2, 1, 4}
+	beta := solveRidge(x, y, 0)
+	if beta == nil || math.Abs(beta[0]-3) > 1e-6 || math.Abs(beta[1]+2) > 1e-6 {
+		t.Fatalf("beta = %v", beta)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{{1, 1}, {1, 1}}
+	if solveLinear(a, []float64{1, 2}) != nil {
+		t.Fatal("singular system must return nil")
+	}
+}
+
+func TestEvaluateTooShort(t *testing.T) {
+	if _, err := Evaluate(NewHA(), synthSeries(50, 2, 12), 40, 60, 30); err == nil {
+		t.Fatal("short series accepted")
+	}
+}

@@ -1,0 +1,333 @@
+package predictor
+
+import (
+	"math"
+	"math/rand"
+
+	"aets/internal/nn"
+)
+
+// QB5000 is the forecasting baseline of Ma et al. (SIGMOD'18), as used in
+// paper §VI-G: it "generates forecasts by equally averaging the results of
+// LR, LSTM and KR". Each component is fitted per the original design —
+// linear autoregression, a shared single-layer LSTM, and Nadaraya–Watson
+// kernel regression over historical windows — and forecasts are produced
+// recursively one step at a time.
+type QB5000 struct {
+	Window int // input lag window
+	Hidden int // LSTM hidden size
+	Epochs int // LSTM training epochs
+
+	lr   *lrModel
+	krm  *krModel
+	lstm *lstmModel
+}
+
+// NewQB5000 returns the ensemble with the defaults used in the evaluation.
+func NewQB5000() *QB5000 {
+	return &QB5000{Window: 12, Hidden: 32, Epochs: 6}
+}
+
+// Name implements Predictor.
+func (q *QB5000) Name() string { return "QB5000" }
+
+// Fit implements Predictor.
+func (q *QB5000) Fit(history [][]float64) error {
+	q.lr = fitLR(history, q.Window)
+	q.krm = fitKR(history, q.Window, 400)
+	q.lstm = fitLSTM(history, q.Window, q.Hidden, q.Epochs)
+	return nil
+}
+
+// Predict implements Predictor.
+func (q *QB5000) Predict(recent [][]float64, horizon int) [][]float64 {
+	a := q.lr.predict(recent, horizon)
+	b := q.krm.predict(recent, horizon)
+	c := q.lstm.predict(recent, horizon)
+	out := make([][]float64, horizon)
+	for s := range out {
+		out[s] = make([]float64, len(a[s]))
+		for j := range out[s] {
+			v := (a[s][j] + b[s][j] + c[s][j]) / 3
+			if v < 0 {
+				v = 0
+			}
+			out[s][j] = v
+		}
+	}
+	return out
+}
+
+// --- LR component ---
+
+// lrModel is one shared linear autoregression: next = β·window. Fitting
+// pools windows from all tables on z-scored series, so a single model
+// serves every table (QB5000 clusters templates similarly).
+type lrModel struct {
+	window int
+	beta   []float64
+	mean   []float64
+	std    []float64
+}
+
+func fitLR(history [][]float64, window int) *lrModel {
+	m := &lrModel{window: window}
+	m.mean, m.std = columnStats(history)
+	var rows [][]float64
+	var ys []float64
+	cols := transpose(history)
+	for j, series := range cols {
+		for t := window; t < len(series); t++ {
+			row := make([]float64, window+1)
+			for i := 0; i < window; i++ {
+				row[i] = (series[t-window+i] - m.mean[j]) / m.std[j]
+			}
+			row[window] = 1 // intercept
+			rows = append(rows, row)
+			ys = append(ys, (series[t]-m.mean[j])/m.std[j])
+		}
+	}
+	m.beta = solveRidge(rows, ys, 1e-4)
+	if m.beta == nil {
+		m.beta = make([]float64, window+1)
+	}
+	return m
+}
+
+func (m *lrModel) predict(recent [][]float64, horizon int) [][]float64 {
+	return rollForecast(recent, horizon, m.window, func(j int, win []float64) float64 {
+		s := m.beta[m.window] // intercept
+		for i := 0; i < m.window; i++ {
+			s += m.beta[i] * (win[i] - m.mean[j]) / m.std[j]
+		}
+		return s*m.std[j] + m.mean[j]
+	})
+}
+
+// --- KR component ---
+
+// krModel is Nadaraya–Watson kernel regression over stored z-scored
+// training windows with a Gaussian kernel.
+type krModel struct {
+	window    int
+	samples   [][]float64 // z-scored windows
+	targets   []float64   // z-scored next values
+	bandwidth float64
+	mean, std []float64
+}
+
+func fitKR(history [][]float64, window, maxSamples int) *krModel {
+	m := &krModel{window: window}
+	m.mean, m.std = columnStats(history)
+	cols := transpose(history)
+	rng := rand.New(rand.NewSource(17))
+	var all [][]float64
+	var ys []float64
+	for j, series := range cols {
+		for t := window; t < len(series); t++ {
+			w := make([]float64, window)
+			for i := 0; i < window; i++ {
+				w[i] = (series[t-window+i] - m.mean[j]) / m.std[j]
+			}
+			all = append(all, w)
+			ys = append(ys, (series[t]-m.mean[j])/m.std[j])
+		}
+	}
+	// Reservoir-subsample to keep prediction cost bounded.
+	for len(all) > maxSamples {
+		i := rng.Intn(len(all))
+		all[i], all[len(all)-1] = all[len(all)-1], all[i]
+		ys[i], ys[len(ys)-1] = ys[len(ys)-1], ys[i]
+		all, ys = all[:len(all)-1], ys[:len(ys)-1]
+	}
+	m.samples, m.targets = all, ys
+	m.bandwidth = medianPairDistance(all, rng)
+	if m.bandwidth < 1e-6 {
+		m.bandwidth = 1
+	}
+	return m
+}
+
+func (m *krModel) predict(recent [][]float64, horizon int) [][]float64 {
+	inv := 1 / (2 * m.bandwidth * m.bandwidth)
+	return rollForecast(recent, horizon, m.window, func(j int, win []float64) float64 {
+		q := make([]float64, m.window)
+		for i := range q {
+			q[i] = (win[i] - m.mean[j]) / m.std[j]
+		}
+		var num, den float64
+		for s, samp := range m.samples {
+			d := 0.0
+			for i := range q {
+				diff := q[i] - samp[i]
+				d += diff * diff
+			}
+			k := math.Exp(-d * inv)
+			num += k * m.targets[s]
+			den += k
+		}
+		z := 0.0
+		if den > 1e-12 {
+			z = num / den
+		}
+		return z*m.std[j] + m.mean[j]
+	})
+}
+
+// --- LSTM component ---
+
+// lstmModel is a single-layer LSTM shared across tables, trained on
+// z-scored windows to predict the next value, applied recursively.
+type lstmModel struct {
+	window    int
+	cell      *nn.LSTMCell
+	head      *nn.Linear
+	mean, std []float64
+}
+
+func fitLSTM(history [][]float64, window, hidden, epochs int) *lstmModel {
+	rng := rand.New(rand.NewSource(23))
+	m := &lstmModel{
+		window: window,
+		cell:   nn.NewLSTMCell(rng, 1, hidden),
+		head:   nn.NewLinear(rng, hidden, 1),
+	}
+	m.mean, m.std = columnStats(history)
+
+	type sample struct {
+		win    []float64
+		target float64
+	}
+	var samples []sample
+	cols := transpose(history)
+	for j, series := range cols {
+		for t := window; t < len(series); t++ {
+			w := make([]float64, window)
+			for i := 0; i < window; i++ {
+				w[i] = (series[t-window+i] - m.mean[j]) / m.std[j]
+			}
+			samples = append(samples, sample{w, (series[t] - m.mean[j]) / m.std[j]})
+		}
+	}
+	if len(samples) == 0 {
+		return m
+	}
+
+	params := append(m.cell.Params(), m.head.Params()...)
+	opt := nn.NewAdam(params, 1e-2)
+	const batch = 64
+	for ep := 0; ep < epochs; ep++ {
+		rng.Shuffle(len(samples), func(i, j int) { samples[i], samples[j] = samples[j], samples[i] })
+		for off := 0; off+batch <= len(samples); off += batch {
+			b := samples[off : off+batch]
+			// Pack the batch: inputs per timestep [batch, 1].
+			h := nn.Zeros(len(b), hidden)
+			c := nn.Zeros(len(b), hidden)
+			for t := 0; t < window; t++ {
+				xs := make([]float64, len(b))
+				for r := range b {
+					xs[r] = b[r].win[t]
+				}
+				h, c = m.cell.Step(nn.NewTensor(xs, len(b), 1), h, c)
+			}
+			pred := m.head.Apply(h)
+			ys := make([]float64, len(b))
+			for r := range b {
+				ys[r] = b[r].target
+			}
+			loss := nn.MSE(pred, nn.NewTensor(ys, len(b), 1))
+			loss.Backward()
+			opt.Step()
+		}
+	}
+	return m
+}
+
+func (m *lstmModel) predict(recent [][]float64, horizon int) [][]float64 {
+	return rollForecast(recent, horizon, m.window, func(j int, win []float64) float64 {
+		h := nn.Zeros(1, m.cell.H)
+		c := nn.Zeros(1, m.cell.H)
+		for t := 0; t < m.window; t++ {
+			x := nn.NewTensor([]float64{(win[t] - m.mean[j]) / m.std[j]}, 1, 1)
+			h, c = m.cell.Step(x, h, c)
+		}
+		z := m.head.Apply(h).Data[0]
+		return z*m.std[j] + m.mean[j]
+	})
+}
+
+// --- shared helpers ---
+
+// rollForecast applies a one-step forecaster recursively for horizon
+// steps per table.
+func rollForecast(recent [][]float64, horizon, window int, step func(j int, win []float64) float64) [][]float64 {
+	tables := 0
+	if len(recent) > 0 {
+		tables = len(recent[0])
+	}
+	out := make([][]float64, horizon)
+	for s := range out {
+		out[s] = make([]float64, tables)
+	}
+	for j := 0; j < tables; j++ {
+		series := column(recent, j)
+		win := make([]float64, window)
+		if len(series) >= window {
+			copy(win, series[len(series)-window:])
+		} else {
+			copy(win[window-len(series):], series)
+		}
+		for s := 0; s < horizon; s++ {
+			v := step(j, win)
+			if v < 0 {
+				v = 0
+			}
+			out[s][j] = v
+			copy(win, win[1:])
+			win[window-1] = v
+		}
+	}
+	return out
+}
+
+// columnStats returns per-table means and standard deviations.
+func columnStats(history [][]float64) (means, stds []float64) {
+	cols := transpose(history)
+	means = make([]float64, len(cols))
+	stds = make([]float64, len(cols))
+	for j, series := range cols {
+		means[j], stds[j] = meanStd(series)
+	}
+	return means, stds
+}
+
+// medianPairDistance estimates the median Euclidean distance between
+// random sample pairs (the KR bandwidth heuristic).
+func medianPairDistance(samples [][]float64, rng *rand.Rand) float64 {
+	if len(samples) < 2 {
+		return 1
+	}
+	const probes = 200
+	ds := make([]float64, 0, probes)
+	for i := 0; i < probes; i++ {
+		a := samples[rng.Intn(len(samples))]
+		b := samples[rng.Intn(len(samples))]
+		d := 0.0
+		for k := range a {
+			diff := a[k] - b[k]
+			d += diff * diff
+		}
+		ds = append(ds, math.Sqrt(d))
+	}
+	// Median by partial selection.
+	for i := 0; i <= len(ds)/2; i++ {
+		min := i
+		for j := i + 1; j < len(ds); j++ {
+			if ds[j] < ds[min] {
+				min = j
+			}
+		}
+		ds[i], ds[min] = ds[min], ds[i]
+	}
+	return ds[len(ds)/2]
+}

@@ -1,0 +1,127 @@
+// Package query provides snapshot-consistent read operations over the
+// backup Memtable: the OLAP side of the system. A query fixes its snapshot
+// timestamp (the freshest primary commit it wants to observe), blocks per
+// Algorithm 3 until the replayer has made that snapshot visible for the
+// tables it touches, and then reads record versions with commit timestamps
+// at or below the snapshot — the visibility rule of paper §V-B.
+package query
+
+import (
+	"fmt"
+
+	"aets/internal/memtable"
+	"aets/internal/wal"
+)
+
+// Visibility is the part of a replayer a query needs: Algorithm 3.
+type Visibility interface {
+	WaitVisible(qts int64, tables []wal.TableID)
+	GlobalTS() int64
+}
+
+// Executor runs snapshot reads against a backup.
+type Executor struct {
+	mt  *memtable.Memtable
+	vis Visibility
+}
+
+// NewExecutor returns an Executor over the given Memtable and replayer.
+func NewExecutor(mt *memtable.Memtable, vis Visibility) *Executor {
+	return &Executor{mt: mt, vis: vis}
+}
+
+// Row is one materialised row of a snapshot scan.
+type Row struct {
+	Key      uint64
+	CommitTS int64 // commit timestamp of the newest visible version
+	Columns  map[uint32][]byte
+}
+
+// Snapshot is a read view at a fixed timestamp, already admitted by
+// Algorithm 3 for its table set.
+type Snapshot struct {
+	ex     *Executor
+	TS     int64
+	tables map[wal.TableID]bool
+}
+
+// Begin blocks until the snapshot at qts is visible for the given tables
+// (Algorithm 3) and returns the read view. qts ≤ 0 means "freshest
+// currently visible" (the replayer's global timestamp), which never
+// blocks.
+func (e *Executor) Begin(qts int64, tables ...wal.TableID) *Snapshot {
+	if qts <= 0 {
+		qts = e.vis.GlobalTS()
+	} else {
+		e.vis.WaitVisible(qts, tables)
+	}
+	s := &Snapshot{ex: e, TS: qts, tables: make(map[wal.TableID]bool, len(tables))}
+	for _, t := range tables {
+		s.tables[t] = true
+	}
+	return s
+}
+
+func (s *Snapshot) check(table wal.TableID) error {
+	if !s.tables[table] {
+		return fmt.Errorf("query: table %d not declared when the snapshot began (visibility was not established for it)", table)
+	}
+	return nil
+}
+
+// Get returns the row with the given key as of the snapshot, or ok=false
+// if it does not exist or is deleted at the snapshot.
+func (s *Snapshot) Get(table wal.TableID, key uint64) (Row, bool, error) {
+	if err := s.check(table); err != nil {
+		return Row{}, false, err
+	}
+	rec := s.ex.mt.Table(table).Get(key)
+	if rec == nil {
+		return Row{}, false, nil
+	}
+	v := rec.Visible(s.TS)
+	if v == nil || v.Deleted {
+		return Row{}, false, nil
+	}
+	return Row{Key: key, CommitTS: v.CommitTS, Columns: rec.ReadRow(s.TS)}, true, nil
+}
+
+// Scan visits all visible rows with from ≤ key ≤ to in key order. fn
+// returning false stops the scan early.
+func (s *Snapshot) Scan(table wal.TableID, from, to uint64, fn func(Row) bool) error {
+	if err := s.check(table); err != nil {
+		return err
+	}
+	s.ex.mt.Table(table).Scan(from, to, func(key uint64, rec *memtable.Record) bool {
+		v := rec.Visible(s.TS)
+		if v == nil || v.Deleted {
+			return true
+		}
+		return fn(Row{Key: key, CommitTS: v.CommitTS, Columns: rec.ReadRow(s.TS)})
+	})
+	return nil
+}
+
+// Count returns the number of rows visible in the table at the snapshot.
+func (s *Snapshot) Count(table wal.TableID) (int, error) {
+	n := 0
+	err := s.Scan(table, 0, ^uint64(0), func(Row) bool {
+		n++
+		return true
+	})
+	return n, err
+}
+
+// MaxCommitTS returns the newest commit timestamp visible in the table at
+// the snapshot — a freshness probe: how recent is the data this query can
+// actually see.
+func (s *Snapshot) MaxCommitTS(table wal.TableID) (int64, error) {
+	var max int64
+	err := s.Scan(table, 0, ^uint64(0), func(r Row) bool {
+		if r.CommitTS > max {
+			max = r.CommitTS
+		}
+		return true
+	})
+	return max, err
+}

@@ -1,0 +1,103 @@
+// Package reference provides a trivially correct serial log applier and
+// Memtable comparison helpers. The serial applier is the correctness oracle
+// for every parallel replayer: after a full drain, each replayer's Memtable
+// must be version-for-version equal to the serial result.
+package reference
+
+import (
+	"bytes"
+	"fmt"
+
+	"aets/internal/memtable"
+	"aets/internal/wal"
+)
+
+// Apply installs the transactions into mt strictly in order, one version
+// per DML entry.
+func Apply(mt *memtable.Memtable, txns []wal.Txn) {
+	for i := range txns {
+		t := &txns[i]
+		for j := range t.Entries {
+			e := &t.Entries[j]
+			rec := mt.Table(e.Table).GetOrCreate(e.RowKey)
+			rec.Append(&memtable.Version{
+				TxnID:    t.ID,
+				CommitTS: t.CommitTS,
+				Deleted:  e.Type == wal.TypeDelete,
+				Columns:  e.Columns,
+			})
+		}
+	}
+}
+
+// Equal compares the full version chains of every record in the given
+// tables across two Memtables. It returns nil when they are identical.
+func Equal(a, b *memtable.Memtable, tables []wal.TableID) error {
+	for _, tid := range tables {
+		ta, tb := a.Table(tid), b.Table(tid)
+		if ta.Len() != tb.Len() {
+			return fmt.Errorf("table %d: %d records vs %d", tid, ta.Len(), tb.Len())
+		}
+		var err error
+		ta.Scan(0, ^uint64(0), func(key uint64, ra *memtable.Record) bool {
+			rb := tb.Get(key)
+			if rb == nil {
+				err = fmt.Errorf("table %d key %d: missing in second memtable", tid, key)
+				return false
+			}
+			if err = equalChains(tid, key, ra, rb); err != nil {
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func equalChains(tid wal.TableID, key uint64, a, b *memtable.Record) error {
+	va, vb := a.Latest(), b.Latest()
+	depth := 0
+	for va != nil && vb != nil {
+		if va.TxnID != vb.TxnID || va.CommitTS != vb.CommitTS || va.Deleted != vb.Deleted {
+			return fmt.Errorf("table %d key %d depth %d: version mismatch (txn %d/%d ts %d/%d)",
+				tid, key, depth, va.TxnID, vb.TxnID, va.CommitTS, vb.CommitTS)
+		}
+		if len(va.Columns) != len(vb.Columns) {
+			return fmt.Errorf("table %d key %d depth %d: column count %d vs %d",
+				tid, key, depth, len(va.Columns), len(vb.Columns))
+		}
+		for i := range va.Columns {
+			if va.Columns[i].ID != vb.Columns[i].ID || !bytes.Equal(va.Columns[i].Value, vb.Columns[i].Value) {
+				return fmt.Errorf("table %d key %d depth %d col %d: value mismatch", tid, key, depth, i)
+			}
+		}
+		va, vb = va.Next, vb.Next
+		depth++
+	}
+	if va != nil || vb != nil {
+		return fmt.Errorf("table %d key %d: chain length differs at depth %d", tid, key, depth)
+	}
+	return nil
+}
+
+// CheckChains verifies that every record's version chain in the given
+// tables is strictly ordered newest-first; it returns the first violation.
+func CheckChains(mt *memtable.Memtable, tables []wal.TableID) error {
+	for _, tid := range tables {
+		var err error
+		mt.Table(tid).Scan(0, ^uint64(0), func(key uint64, r *memtable.Record) bool {
+			if !r.ChainOrdered() {
+				err = fmt.Errorf("table %d key %d: version chain out of order", tid, key)
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,291 @@
+// Package replay implements the AETS framework: epoch-ordered, two-stage
+// (hot then cold), table-group parallel log replay with the TPLR two-phase
+// algorithm, adaptive per-group worker allocation, and Algorithm 3
+// visibility for readers.
+package replay
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aets/internal/alloc"
+	"aets/internal/dispatch"
+	"aets/internal/epoch"
+	"aets/internal/grouping"
+	"aets/internal/memtable"
+	"aets/internal/metrics"
+)
+
+// Config parameterises an Engine.
+type Config struct {
+	// Workers is the total replay worker budget T shared by all groups of a
+	// stage. Defaults to GOMAXPROCS.
+	Workers int
+	// Urgency maps a group's access rate to its thread-allocation weight.
+	// Defaults to alloc.LogUrgency (the paper's λ = log r).
+	Urgency alloc.UrgencyFunc
+	// TwoStage enables the hot-groups-first staging. Disabling it yields
+	// plain grouped TPLR: all groups replay in a single stage.
+	TwoStage bool
+	// Breakdown, when non-nil, accumulates the Table II phase timing.
+	Breakdown *metrics.Breakdown
+	// FeedDepth is the epoch queue depth between Feed and the scheduler.
+	FeedDepth int
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Urgency == nil {
+		c.Urgency = alloc.LogUrgency
+	}
+	if c.FeedDepth <= 0 {
+		c.FeedDepth = 8
+	}
+}
+
+// visState snapshots the group plan together with its per-group commit
+// timestamps; it is swapped atomically when the plan changes at an epoch
+// boundary.
+type visState struct {
+	plan *grouping.Plan
+	tg   []atomic.Int64 // tg_cmt_ts per group
+}
+
+// Engine is the AETS backup-side replay engine. Create with New, then
+// Start; Feed epochs in order; readers call WaitVisible. The zero value is
+// not usable.
+type Engine struct {
+	name string
+	cfg  Config
+	mt   *memtable.Memtable
+
+	planMu   sync.Mutex
+	nextPlan *grouping.Plan
+
+	vis    atomic.Pointer[visState]
+	global atomic.Int64
+
+	visMu   sync.Mutex
+	visCond *sync.Cond
+	waiters atomic.Int64
+
+	feed     chan *epoch.Encoded
+	inflight sync.WaitGroup
+	loopDone chan struct{}
+	started  bool
+
+	errMu sync.Mutex
+	err   error
+
+	txns    atomic.Int64
+	entries atomic.Int64
+
+	hotStageNS  atomic.Int64
+	coldStageNS atomic.Int64
+}
+
+// New returns an engine named name over mt with the initial group plan.
+func New(name string, mt *memtable.Memtable, plan *grouping.Plan, cfg Config) *Engine {
+	cfg.fill()
+	e := &Engine{name: name, cfg: cfg, mt: mt}
+	e.visCond = sync.NewCond(&e.visMu)
+	e.installPlan(plan, 0)
+	return e
+}
+
+// Name returns the engine's display name.
+func (e *Engine) Name() string { return e.name }
+
+// Start launches the scheduler goroutine.
+func (e *Engine) Start() {
+	if e.started {
+		return
+	}
+	e.started = true
+	e.feed = make(chan *epoch.Encoded, e.cfg.FeedDepth)
+	e.loopDone = make(chan struct{})
+	go e.run()
+}
+
+// Feed enqueues one encoded epoch for replay. Epochs must be fed in
+// sequence order. Blocks when the feed queue is full (replication
+// back-pressure).
+func (e *Engine) Feed(enc *epoch.Encoded) {
+	e.inflight.Add(1)
+	e.feed <- enc
+}
+
+// Drain blocks until every epoch fed so far has been fully replayed and
+// committed.
+func (e *Engine) Drain() { e.inflight.Wait() }
+
+// Stop drains and terminates the scheduler. The engine cannot be restarted.
+func (e *Engine) Stop() {
+	if !e.started {
+		return
+	}
+	close(e.feed)
+	<-e.loopDone
+	e.started = false
+}
+
+// Err returns the first fatal replay error, if any.
+func (e *Engine) Err() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.err
+}
+
+// Stats returns totals replayed since Start.
+func (e *Engine) Stats() (txns, entries int64) {
+	return e.txns.Load(), e.entries.Load()
+}
+
+// StageTimes returns the cumulative wall time of the hot (first) and cold
+// (second) replay stages across all epochs — the per-class replay times of
+// the paper's Fig 8(b)/9(b). Without two-stage mode everything lands in
+// the first bucket.
+func (e *Engine) StageTimes() (hot, cold time.Duration) {
+	return time.Duration(e.hotStageNS.Load()), time.Duration(e.coldStageNS.Load())
+}
+
+// SetPlan schedules a new group plan; it takes effect at the next epoch
+// boundary, when all previously fed epochs' groups are fully committed.
+func (e *Engine) SetPlan(p *grouping.Plan) {
+	e.planMu.Lock()
+	e.nextPlan = p
+	e.planMu.Unlock()
+}
+
+// Plan returns the currently active plan.
+func (e *Engine) Plan() *grouping.Plan { return e.vis.Load().plan }
+
+func (e *Engine) installPlan(p *grouping.Plan, ts int64) {
+	vs := &visState{plan: p, tg: make([]atomic.Int64, len(p.Groups))}
+	for i := range vs.tg {
+		vs.tg[i].Store(ts)
+	}
+	e.vis.Store(vs)
+}
+
+func (e *Engine) run() {
+	defer close(e.loopDone)
+	for enc := range e.feed {
+		e.processEpoch(enc)
+		e.inflight.Done()
+	}
+}
+
+func (e *Engine) processEpoch(enc *epoch.Encoded) {
+	// Plan swaps happen only here: all prior epochs are fully committed, so
+	// every table is replayed up to the current global commit timestamp and
+	// the fresh groups inherit it.
+	e.planMu.Lock()
+	next := e.nextPlan
+	e.nextPlan = nil
+	e.planMu.Unlock()
+	if next != nil {
+		e.installPlan(next, e.global.Load())
+	}
+	vs := e.vis.Load()
+
+	if enc.TxnCount == 0 {
+		// Heartbeat epoch: a dummy log that bumps every group's publish
+		// time so idle groups cannot stall readers (paper §V-B).
+		e.publishAll(vs, enc.LastCommitTS)
+		return
+	}
+
+	t0 := time.Now()
+	res, err := dispatch.Dispatch(enc, vs.plan)
+	if e.cfg.Breakdown != nil {
+		e.cfg.Breakdown.AddDispatch(time.Since(t0))
+	}
+	if err != nil {
+		e.fail(fmt.Errorf("epoch %d: %w", enc.Seq, err))
+		return
+	}
+
+	// Groups untouched by this epoch contain all their data up to the
+	// epoch's last commit: publish them immediately.
+	for gi, gb := range res.PerGroup {
+		if gb == nil {
+			e.publishGroup(vs, gi, res.LastCommitTS)
+		}
+	}
+
+	var hot, cold []*dispatch.GroupBatch
+	for _, gb := range res.PerGroup {
+		if gb == nil {
+			continue
+		}
+		if vs.plan.Groups[gb.Group].Hot {
+			hot = append(hot, gb)
+		} else {
+			cold = append(cold, gb)
+		}
+	}
+
+	if e.cfg.TwoStage {
+		t1 := time.Now()
+		e.runStage(vs, hot, res.LastCommitTS)
+		e.hotStageNS.Add(int64(time.Since(t1)))
+		t2 := time.Now()
+		e.runStage(vs, cold, res.LastCommitTS)
+		e.coldStageNS.Add(int64(time.Since(t2)))
+	} else {
+		t1 := time.Now()
+		e.runStage(vs, append(hot, cold...), res.LastCommitTS)
+		e.hotStageNS.Add(int64(time.Since(t1)))
+	}
+
+	e.publishAll(vs, res.LastCommitTS)
+	e.txns.Add(int64(res.Txns))
+	e.entries.Add(int64(res.Entries))
+}
+
+// runStage replays a set of group batches concurrently, splitting the
+// worker budget across groups by λ·n weight. When a group's batch completes
+// it is published up to the epoch's last commit timestamp: the epoch
+// contains every transaction in its ID range, so a fully replayed group is
+// current up to the epoch end even if its own last write is older.
+func (e *Engine) runStage(vs *visState, batches []*dispatch.GroupBatch, epochEndTS int64) {
+	if len(batches) == 0 {
+		return
+	}
+	loads := make([]alloc.GroupLoad, len(batches))
+	for i, gb := range batches {
+		loads[i] = alloc.GroupLoad{Unreplayed: gb.Bytes, Rate: vs.plan.Groups[gb.Group].Rate}
+	}
+	threads := alloc.Allocate(e.cfg.Workers, loads, e.cfg.Urgency)
+
+	var wg sync.WaitGroup
+	for i, gb := range batches {
+		n := threads[i]
+		if n < 1 {
+			n = 1
+		}
+		wg.Add(1)
+		go func(gb *dispatch.GroupBatch, n int) {
+			defer wg.Done()
+			if err := e.replayGroup(vs, gb, n); err != nil {
+				e.fail(err)
+			}
+			e.publishGroup(vs, gb.Group, epochEndTS)
+		}(gb, n)
+	}
+	wg.Wait()
+}
+
+func (e *Engine) fail(err error) {
+	e.errMu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.errMu.Unlock()
+}

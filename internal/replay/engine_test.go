@@ -1,0 +1,316 @@
+package replay
+
+import (
+	"testing"
+	"time"
+
+	"aets/internal/alloc"
+	"aets/internal/epoch"
+	"aets/internal/grouping"
+	"aets/internal/memtable"
+	"aets/internal/metrics"
+	"aets/internal/primary"
+	"aets/internal/reference"
+	"aets/internal/wal"
+	"aets/internal/workload"
+)
+
+// buildTPCCPlan reproduces the paper's TPC-C grouping (§VI-A3): one hot
+// group {district, stock, customer, order} at rate r, one hot group
+// {order_line} at rate 2r, and singleton cold groups.
+func buildTPCCPlan(gen workload.Generator, r float64) *grouping.Plan {
+	rates := map[wal.TableID]float64{
+		workload.TPCCDistrict: r, workload.TPCCStock: r,
+		workload.TPCCCustomer: r, workload.TPCCOrder: r,
+		workload.TPCCOrderLine: 2 * r,
+	}
+	return grouping.Build(rates, workload.TableIDs(gen.Tables()),
+		grouping.Options{Eps: 0.05, MinPts: 2})
+}
+
+func runEngine(t *testing.T, cfg Config, plan *grouping.Plan, txns []wal.Txn, epochSize int) *memtable.Memtable {
+	t.Helper()
+	mt := memtable.New()
+	e := New("AETS", mt, plan, cfg)
+	e.Start()
+	defer e.Stop()
+	for _, enc := range epoch.EncodeAll(epoch.Split(txns, epochSize)) {
+		enc := enc
+		e.Feed(&enc)
+	}
+	e.Drain()
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return mt
+}
+
+func TestEngineMatchesSerialReference(t *testing.T) {
+	gen := workload.NewTPCC(4)
+	p := primary.New(gen, 1)
+	txns := p.GenerateTxns(3000)
+
+	ref := memtable.New()
+	reference.Apply(ref, txns)
+
+	plan := buildTPCCPlan(gen, 1000)
+	mt := runEngine(t, Config{Workers: 8, TwoStage: true}, plan, txns, 256)
+
+	tables := workload.TableIDs(gen.Tables())
+	if err := reference.Equal(ref, mt, tables); err != nil {
+		t.Fatal(err)
+	}
+	if err := reference.CheckChains(mt, tables); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineSingleGroupTPLR(t *testing.T) {
+	gen := workload.NewTPCC(2)
+	p := primary.New(gen, 2)
+	txns := p.GenerateTxns(1500)
+
+	ref := memtable.New()
+	reference.Apply(ref, txns)
+
+	plan := grouping.SingleGroup(workload.TableIDs(gen.Tables()))
+	mt := runEngine(t, Config{Workers: 8, TwoStage: false}, plan, txns, 128)
+	if err := reference.Equal(ref, mt, workload.TableIDs(gen.Tables())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineVariousWorkerCounts(t *testing.T) {
+	gen := workload.NewTPCC(1)
+	p := primary.New(gen, 3)
+	txns := p.GenerateTxns(600)
+	ref := memtable.New()
+	reference.Apply(ref, txns)
+	for _, workers := range []int{1, 2, 3, 16} {
+		plan := buildTPCCPlan(gen, 100)
+		mt := runEngine(t, Config{Workers: workers, TwoStage: true}, plan, txns, 100)
+		if err := reference.Equal(ref, mt, workload.TableIDs(gen.Tables())); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+func TestVisibilityAfterDrain(t *testing.T) {
+	gen := workload.NewTPCC(2)
+	p := primary.New(gen, 4)
+	txns := p.GenerateTxns(500)
+	lastTS := txns[len(txns)-1].CommitTS
+
+	plan := buildTPCCPlan(gen, 1000)
+	mt := memtable.New()
+	e := New("AETS", mt, plan, Config{Workers: 4, TwoStage: true})
+	e.Start()
+	defer e.Stop()
+	for _, enc := range epoch.EncodeAll(epoch.Split(txns, 128)) {
+		enc := enc
+		e.Feed(&enc)
+	}
+	e.Drain()
+
+	done := make(chan struct{})
+	go func() {
+		e.WaitVisible(lastTS, []wal.TableID{workload.TPCCOrderLine, workload.TPCCHistory})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitVisible did not return after Drain")
+	}
+	if e.GlobalTS() < lastTS {
+		t.Fatalf("global ts %d < last commit %d", e.GlobalTS(), lastTS)
+	}
+}
+
+func TestHotVisibleBeforeColdWithinEpoch(t *testing.T) {
+	// Construct an epoch where a huge cold-table transaction precedes a
+	// small hot-table transaction; the hot data must become visible without
+	// waiting for the cold replay (the Fig 1 motivating example).
+	hot, cold := wal.TableID(1), wal.TableID(2)
+	plan := grouping.Build(map[wal.TableID]float64{hot: 1000},
+		[]wal.TableID{hot, cold}, grouping.Options{PerTable: true})
+
+	var txns []wal.Txn
+	// One fat cold transaction (many entries), then a tiny hot one.
+	fat := wal.Txn{ID: 1, CommitTS: 10}
+	for k := uint64(1); k <= 20000; k++ {
+		fat.Entries = append(fat.Entries, wal.Entry{
+			Type: wal.TypeUpdate, TxnID: 1, Table: cold, RowKey: k,
+			Columns: []wal.Column{{ID: 1, Value: make([]byte, 64)}},
+		})
+	}
+	txns = append(txns, fat)
+	txns = append(txns, wal.Txn{ID: 2, CommitTS: 20, Entries: []wal.Entry{{
+		Type: wal.TypeUpdate, TxnID: 2, Table: hot, RowKey: 1,
+		Columns: []wal.Column{{ID: 1, Value: []byte("fresh")}},
+	}}})
+
+	mt := memtable.New()
+	e := New("AETS", mt, plan, Config{Workers: 2, TwoStage: true})
+	e.Start()
+	defer e.Stop()
+
+	start := time.Now()
+	for _, enc := range epoch.EncodeAll(epoch.Split(txns, 2)) {
+		enc := enc
+		e.Feed(&enc)
+	}
+	e.WaitVisible(20, []wal.TableID{hot})
+	hotDelay := time.Since(start)
+	e.WaitVisible(20, []wal.TableID{cold})
+	coldDelay := time.Since(start)
+	e.Drain()
+
+	if e.Err() != nil {
+		t.Fatal(e.Err())
+	}
+	if hotDelay >= coldDelay {
+		t.Fatalf("hot table not visible before cold: hot=%v cold=%v", hotDelay, coldDelay)
+	}
+	v := mt.Table(hot).Get(1).Visible(20)
+	if v == nil || string(v.Columns[0].Value) != "fresh" {
+		t.Fatalf("hot row wrong after visibility: %+v", v)
+	}
+}
+
+func TestHeartbeatUnblocksIdleGroups(t *testing.T) {
+	hot, cold := wal.TableID(1), wal.TableID(2)
+	plan := grouping.Build(map[wal.TableID]float64{hot: 10},
+		[]wal.TableID{hot, cold}, grouping.Options{PerTable: true})
+	mt := memtable.New()
+	e := New("AETS", mt, plan, Config{Workers: 2, TwoStage: true})
+	e.Start()
+	defer e.Stop()
+
+	// Heartbeat with no transactions must advance visibility everywhere.
+	e.Feed(&epoch.Encoded{Seq: 0, LastCommitTS: 500})
+	done := make(chan struct{})
+	go func() {
+		e.WaitVisible(500, []wal.TableID{hot, cold})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("heartbeat did not unblock waiters")
+	}
+}
+
+func TestPlanSwapAtEpochBoundary(t *testing.T) {
+	gen := workload.NewTPCC(1)
+	p := primary.New(gen, 6)
+	txns := p.GenerateTxns(1000)
+	ref := memtable.New()
+	reference.Apply(ref, txns)
+
+	mt := memtable.New()
+	plan1 := buildTPCCPlan(gen, 100)
+	e := New("AETS", mt, plan1, Config{Workers: 4, TwoStage: true})
+	e.Start()
+	defer e.Stop()
+
+	encs := epoch.EncodeAll(epoch.Split(txns, 100))
+	for i := range encs {
+		if i == len(encs)/2 {
+			// Swap to per-table singleton groups mid-stream.
+			e.SetPlan(grouping.Build(map[wal.TableID]float64{
+				workload.TPCCOrderLine: 500, workload.TPCCStock: 400,
+			}, workload.TableIDs(gen.Tables()), grouping.Options{PerTable: true}))
+		}
+		e.Feed(&encs[i])
+	}
+	e.Drain()
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := reference.Equal(ref, mt, workload.TableIDs(gen.Tables())); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Plan().Groups) != len(gen.Tables()) {
+		t.Fatalf("plan swap not applied: %d groups", len(e.Plan().Groups))
+	}
+}
+
+func TestBreakdownAccumulates(t *testing.T) {
+	gen := workload.NewTPCC(1)
+	p := primary.New(gen, 7)
+	txns := p.GenerateTxns(400)
+	var bd metrics.Breakdown
+	plan := buildTPCCPlan(gen, 100)
+	runEngine(t, Config{Workers: 2, TwoStage: true, Breakdown: &bd}, plan, txns, 100)
+	d, r, c := bd.Shares()
+	if d <= 0 || r <= 0 || c <= 0 {
+		t.Fatalf("breakdown shares: %v %v %v", d, r, c)
+	}
+	if diff := d + r + c; diff < 0.999 || diff > 1.001 {
+		t.Fatalf("shares sum to %v", diff)
+	}
+	// Replay dominates (Table II shows >98%).
+	if r < 0.5 {
+		t.Fatalf("replay share suspiciously low: %v", r)
+	}
+}
+
+func TestUrgencyConfigRespected(t *testing.T) {
+	gen := workload.NewTPCC(1)
+	p := primary.New(gen, 8)
+	txns := p.GenerateTxns(300)
+	ref := memtable.New()
+	reference.Apply(ref, txns)
+	for _, u := range []alloc.UrgencyFunc{alloc.LogUrgency, alloc.LinearUrgency, alloc.NoURgency} {
+		plan := buildTPCCPlan(gen, 5000)
+		mt := runEngine(t, Config{Workers: 4, TwoStage: true, Urgency: u}, plan, txns, 100)
+		if err := reference.Equal(ref, mt, workload.TableIDs(gen.Tables())); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGroupTSAdvancesMonotonically(t *testing.T) {
+	gen := workload.NewTPCC(1)
+	p := primary.New(gen, 9)
+	txns := p.GenerateTxns(800)
+	plan := buildTPCCPlan(gen, 100)
+	mt := memtable.New()
+	e := New("AETS", mt, plan, Config{Workers: 4, TwoStage: true})
+	e.Start()
+	defer e.Stop()
+
+	stop := make(chan struct{})
+	violation := make(chan int64, 1)
+	go func() {
+		var last int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				cur := e.GroupTS(workload.TPCCOrderLine)
+				if cur < last {
+					select {
+					case violation <- cur:
+					default:
+					}
+					return
+				}
+				last = cur
+			}
+		}
+	}()
+	for _, enc := range epoch.EncodeAll(epoch.Split(txns, 64)) {
+		enc := enc
+		e.Feed(&enc)
+	}
+	e.Drain()
+	close(stop)
+	select {
+	case ts := <-violation:
+		t.Fatalf("tg_cmt_ts moved backwards to %d", ts)
+	default:
+	}
+}

@@ -1,0 +1,102 @@
+package replay
+
+import (
+	"sync/atomic"
+
+	"aets/internal/wal"
+)
+
+// visibility.go implements Algorithm 3 (paper §V-B): a query arriving with
+// snapshot timestamp qts over a set of tables blocks until either the
+// minimum tg_cmt_ts of the groups it touches, or the global commit
+// timestamp, reaches qts. Writers publish progress through atomic
+// timestamps and wake waiters via a condition variable; the broadcast is
+// skipped entirely when no query is waiting.
+
+// publishGroup advances a group's tg_cmt_ts to at least ts and wakes
+// waiters. Concurrent publishers (the group committer and heartbeats) are
+// reconciled with a CAS max-loop so the timestamp is monotone.
+func (e *Engine) publishGroup(vs *visState, gi int, ts int64) {
+	advanceMax(&vs.tg[gi], ts)
+	e.wake()
+}
+
+// publishAll advances every group and the global commit timestamp to ts.
+// Called at epoch completion and on heartbeat epochs.
+func (e *Engine) publishAll(vs *visState, ts int64) {
+	for i := range vs.tg {
+		advanceMax(&vs.tg[i], ts)
+	}
+	advanceMax(&e.global, ts)
+	e.wake()
+}
+
+func (e *Engine) wake() {
+	if e.waiters.Load() == 0 {
+		return
+	}
+	// Lock/broadcast pairing guarantees a waiter that failed its check is
+	// either already parked in Wait (and gets this broadcast) or will
+	// re-check after acquiring the lock and observe the new timestamps.
+	e.visMu.Lock()
+	e.visCond.Broadcast()
+	e.visMu.Unlock()
+}
+
+// GlobalTS returns the global commit timestamp: the maximum commit
+// timestamp of fully replayed epochs (and heartbeats).
+func (e *Engine) GlobalTS() int64 { return e.global.Load() }
+
+// GroupTS returns the tg_cmt_ts of the group currently holding table t, or
+// the global timestamp if the table is unknown to the plan.
+func (e *Engine) GroupTS(t wal.TableID) int64 {
+	vs := e.vis.Load()
+	if gi, ok := vs.plan.GroupOf(t); ok {
+		return vs.tg[gi].Load()
+	}
+	return e.global.Load()
+}
+
+// visibleAt reports whether a query at qts over tables can proceed.
+func (e *Engine) visibleAt(qts int64, tables []wal.TableID) bool {
+	if e.global.Load() >= qts {
+		return true
+	}
+	vs := e.vis.Load()
+	for _, t := range tables {
+		gi, ok := vs.plan.GroupOf(t)
+		if !ok {
+			return false // unknown table: only the global timestamp admits it
+		}
+		if vs.tg[gi].Load() < qts {
+			return false
+		}
+	}
+	return true
+}
+
+// WaitVisible blocks until every record version with commit timestamp ≤ qts
+// in the given tables is visible (Algorithm 3, lines 4-10). After it
+// returns, reads at qts on those tables satisfy the primary's commit order.
+func (e *Engine) WaitVisible(qts int64, tables []wal.TableID) {
+	if e.visibleAt(qts, tables) {
+		return
+	}
+	e.waiters.Add(1)
+	defer e.waiters.Add(-1)
+	e.visMu.Lock()
+	defer e.visMu.Unlock()
+	for !e.visibleAt(qts, tables) {
+		e.visCond.Wait()
+	}
+}
+
+// advanceMax atomically raises a to at least v.
+func advanceMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if cur >= v || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

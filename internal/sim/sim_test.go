@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"testing"
+
+	"aets/internal/grouping"
+	"aets/internal/primary"
+	"aets/internal/wal"
+	"aets/internal/workload"
+)
+
+func tpccTrace(t *testing.T, txnCount int) *Trace {
+	t.Helper()
+	gen := workload.NewTPCC(4)
+	p := primary.New(gen, 31)
+	txns := p.GenerateTxns(txnCount)
+	rates := map[wal.TableID]float64{
+		workload.TPCCDistrict: 1000, workload.TPCCStock: 1000,
+		workload.TPCCCustomer: 1000, workload.TPCCOrder: 1000,
+		workload.TPCCOrderLine: 2000,
+	}
+	plan := grouping.Build(rates, workload.TableIDs(gen.Tables()), grouping.Options{Eps: 0.05, MinPts: 2})
+	return BuildTrace(txns, plan, 512)
+}
+
+func TestBuildTraceDependencies(t *testing.T) {
+	txns := []wal.Txn{
+		{ID: 1, Entries: []wal.Entry{{Type: wal.TypeUpdate, Table: 1, RowKey: 7, Columns: []wal.Column{{ID: 1}}}}},
+		{ID: 2, Entries: []wal.Entry{{Type: wal.TypeUpdate, Table: 1, RowKey: 7, Columns: []wal.Column{{ID: 1}}}}},
+		{ID: 3, Entries: []wal.Entry{{Type: wal.TypeUpdate, Table: 2, RowKey: 1, Columns: []wal.Column{{ID: 1}}}}},
+	}
+	plan := grouping.SingleGroup([]wal.TableID{1, 2})
+	tr := BuildTrace(txns, plan, 10)
+	if len(tr.Txns[0].Preds) != 0 {
+		t.Fatalf("txn 1 preds: %v", tr.Txns[0].Preds)
+	}
+	if len(tr.Txns[1].Preds) != 1 || tr.Txns[1].Preds[0] != 0 {
+		t.Fatalf("txn 2 must depend on txn 1: %v", tr.Txns[1].Preds)
+	}
+	if len(tr.Txns[2].Preds) != 0 {
+		t.Fatalf("txn 3 preds: %v", tr.Txns[2].Preds)
+	}
+}
+
+func TestSimulatorsCountWork(t *testing.T) {
+	tr := tpccTrace(t, 2000)
+	c := DefaultCosts()
+	for _, r := range []Result{
+		SimulateATR(tr, 8, c), SimulateC5(tr, 8, c),
+		SimulateAETS(tr, 8, c), SimulateTPLR(tr, 8, c),
+	} {
+		if r.Txns != 2000 || r.Entries <= 0 || r.Makespan <= 0 {
+			t.Fatalf("%s: %+v", r.Algorithm, r)
+		}
+		if r.TxnsPerSec() <= 0 {
+			t.Fatalf("%s throughput non-positive", r.Algorithm)
+		}
+	}
+}
+
+func TestMoreThreadsNeverSlowerAETS(t *testing.T) {
+	tr := tpccTrace(t, 2000)
+	c := DefaultCosts()
+	prev := 0.0
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		tp := SimulateAETS(tr, n, c).TxnsPerSec()
+		if tp < prev*0.98 { // allow tiny allocation-rounding wobble
+			t.Fatalf("AETS throughput regressed at %d threads: %v < %v", n, tp, prev)
+		}
+		prev = tp
+	}
+}
+
+func TestPaperShapeFig11(t *testing.T) {
+	tr := tpccTrace(t, 4000)
+	c := DefaultCosts()
+	at := func(n int) (aets, atr, c5, tplr float64) {
+		return SimulateAETS(tr, n, c).TxnsPerSec(),
+			SimulateATR(tr, n, c).TxnsPerSec(),
+			SimulateC5(tr, n, c).TxnsPerSec(),
+			SimulateTPLR(tr, n, c).TxnsPerSec()
+	}
+
+	// At 32 threads: AETS > TPLR > max(ATR, C5) (Fig 8/11 ordering).
+	aets32, atr32, c532, tplr32 := at(32)
+	if !(aets32 > tplr32) {
+		t.Errorf("AETS (%.0f) must beat TPLR (%.0f) at 32 threads", aets32, tplr32)
+	}
+	if !(tplr32 > atr32 && tplr32 > c532) {
+		t.Errorf("TPLR (%.0f) must beat ATR (%.0f) and C5 (%.0f) at 32 threads", tplr32, atr32, c532)
+	}
+
+	// ATR flattens relative to AETS: its 16→64 gain is bounded while
+	// AETS's committers and workers keep the lead.
+	aets16, atr16, _, _ := at(16)
+	aets64, atr64, c564, _ := at(64)
+	if atr64 > atr16*2.5 {
+		t.Errorf("ATR did not flatten: 16t=%.0f 64t=%.0f", atr16, atr64)
+	}
+	if !(aets64 > c564 && aets64 > atr64 && aets64 >= aets16) {
+		t.Errorf("AETS must lead at 64 threads: aets=%.0f c5=%.0f atr=%.0f", aets64, c564, atr64)
+	}
+	// C5 overtakes ATR at high thread counts (better scalability >32).
+	if !(c564 > atr64) {
+		t.Errorf("C5 (%.0f) should beat ATR (%.0f) at 64 threads", c564, atr64)
+	}
+	// At low thread counts C5 is at or below ATR (dispatch parse cost).
+	_, atr4, c54, _ := at(4)
+	if c54 > atr4*1.1 {
+		t.Errorf("C5 (%.0f) should not beat ATR (%.0f) at 4 threads", c54, atr4)
+	}
+}
+
+func TestCalibrateProducesSaneCosts(t *testing.T) {
+	c := Calibrate()
+	if c.ParseMeta <= 0 || c.ParseFull <= 0 || c.Lookup <= 0 || c.Install <= 0 {
+		t.Fatalf("calibrated costs: %+v", c)
+	}
+	if c.ParseFull <= c.ParseMeta {
+		t.Fatalf("full parse (%.0f) must cost more than header parse (%.0f)", c.ParseFull, c.ParseMeta)
+	}
+}

@@ -1,0 +1,267 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SegmentStore is an append-only, file-backed archive of the replication
+// log: fixed-size-capped segment files named aets-<firstLSN>.wal in one
+// directory. The primary (or a relay) appends entries in LSN order; a
+// recovering backup opens a reader positioned at the LSN after its last
+// checkpoint and re-replays the suffix.
+type SegmentStore struct {
+	dir      string
+	maxBytes int
+
+	cur     *os.File
+	curW    *Writer
+	curSize int
+	nextLSN uint64
+}
+
+const segPrefix = "aets-"
+const segSuffix = ".wal"
+
+// DefaultSegmentBytes caps a segment file at 16 MiB unless overridden.
+const DefaultSegmentBytes = 16 << 20
+
+// OpenStore opens (or creates) a segment store in dir. maxBytes ≤ 0 uses
+// DefaultSegmentBytes.
+func OpenStore(dir string, maxBytes int) (*SegmentStore, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &SegmentStore{dir: dir, maxBytes: maxBytes, nextLSN: 1}
+	segs, err := s.segments()
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) > 0 {
+		// Scan the last segment to find the next LSN.
+		last := segs[len(segs)-1]
+		f, err := os.Open(s.path(last))
+		if err != nil {
+			return nil, err
+		}
+		r := NewReader(f)
+		s.nextLSN = last
+		for {
+			e, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				f.Close()
+				return nil, fmt.Errorf("wal: recovering segment %d: %w", last, err)
+			}
+			s.nextLSN = e.LSN + 1
+		}
+		f.Close()
+	}
+	return s, nil
+}
+
+// NextLSN returns the LSN the next appended entry must carry.
+func (s *SegmentStore) NextLSN() uint64 { return s.nextLSN }
+
+// Append writes entries to the store. Entries must carry consecutive LSNs
+// starting at NextLSN (FlattenTxns produces exactly this).
+func (s *SegmentStore) Append(entries []Entry) error {
+	for i := range entries {
+		e := &entries[i]
+		if e.LSN != s.nextLSN {
+			return fmt.Errorf("wal: entry LSN %d, store expects %d", e.LSN, s.nextLSN)
+		}
+		if s.cur == nil || s.curSize >= s.maxBytes {
+			if err := s.rotate(); err != nil {
+				return err
+			}
+		}
+		before := len(s.curW.buf)
+		s.curW.Append(e)
+		// Approximate size accounting: Append may flush internally.
+		if grown := len(s.curW.buf) - before; grown > 0 {
+			s.curSize += grown
+		} else {
+			s.curSize += e.Size() + 16
+		}
+		s.nextLSN++
+	}
+	return s.curW.Flush()
+}
+
+// Sync flushes buffers and fsyncs the current segment.
+func (s *SegmentStore) Sync() error {
+	if s.cur == nil {
+		return nil
+	}
+	if err := s.curW.Flush(); err != nil {
+		return err
+	}
+	return s.cur.Sync()
+}
+
+// Close flushes and closes the store.
+func (s *SegmentStore) Close() error {
+	if s.cur == nil {
+		return nil
+	}
+	if err := s.Sync(); err != nil {
+		return err
+	}
+	err := s.cur.Close()
+	s.cur, s.curW = nil, nil
+	return err
+}
+
+func (s *SegmentStore) rotate() error {
+	if s.cur != nil {
+		if err := s.Close(); err != nil {
+			return err
+		}
+	}
+	f, err := os.OpenFile(s.path(s.nextLSN), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.cur = f
+	s.curW = NewWriter(f)
+	s.curSize = 0
+	return nil
+}
+
+func (s *SegmentStore) path(firstLSN uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%020d%s", segPrefix, firstLSN, segSuffix))
+}
+
+// segments returns the first LSNs of all segments, ascending.
+func (s *SegmentStore) segments() ([]uint64, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, de := range ents {
+		name := de.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// ErrLSNTruncated is returned when a requested LSN predates the store's
+// oldest retained segment.
+var ErrLSNTruncated = errors.New("wal: requested LSN no longer retained")
+
+// ReaderFrom returns an iterator over all stored entries with LSN ≥ from.
+func (s *SegmentStore) ReaderFrom(from uint64) (*StoreReader, error) {
+	if err := s.Sync(); err != nil {
+		return nil, err
+	}
+	segs, err := s.segments()
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		return &StoreReader{}, nil
+	}
+	if from > 0 && from < segs[0] {
+		return nil, fmt.Errorf("%w: want %d, oldest segment starts at %d", ErrLSNTruncated, from, segs[0])
+	}
+	// Start at the last segment whose first LSN ≤ from.
+	start := 0
+	for i, first := range segs {
+		if first <= from {
+			start = i
+		}
+	}
+	paths := make([]string, 0, len(segs)-start)
+	for _, first := range segs[start:] {
+		paths = append(paths, s.path(first))
+	}
+	return &StoreReader{paths: paths, from: from}, nil
+}
+
+// TruncateBefore removes whole segments that contain only entries with
+// LSN < keep (segment granularity: a segment is removed only when the NEXT
+// segment starts at or below keep). Returns the number of files removed.
+func (s *SegmentStore) TruncateBefore(keep uint64) (int, error) {
+	segs, err := s.segments()
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1] <= keep {
+			if err := os.Remove(s.path(segs[i])); err != nil {
+				return removed, err
+			}
+			removed++
+		}
+	}
+	return removed, nil
+}
+
+// StoreReader iterates entries across segment files.
+type StoreReader struct {
+	paths []string
+	from  uint64
+	f     *os.File
+	r     *Reader
+}
+
+// Next returns the next entry with LSN ≥ from, or io.EOF at the end.
+func (sr *StoreReader) Next() (Entry, error) {
+	for {
+		if sr.r == nil {
+			if len(sr.paths) == 0 {
+				return Entry{}, io.EOF
+			}
+			f, err := os.Open(sr.paths[0])
+			if err != nil {
+				return Entry{}, err
+			}
+			sr.paths = sr.paths[1:]
+			sr.f, sr.r = f, NewReader(f)
+		}
+		e, err := sr.r.Next()
+		if err == io.EOF {
+			sr.f.Close()
+			sr.f, sr.r = nil, nil
+			continue
+		}
+		if err != nil {
+			return Entry{}, err
+		}
+		if e.LSN >= sr.from {
+			return e, nil
+		}
+	}
+}
+
+// Close releases the open segment file, if any.
+func (sr *StoreReader) Close() error {
+	if sr.f != nil {
+		err := sr.f.Close()
+		sr.f, sr.r = nil, nil
+		return err
+	}
+	return nil
+}

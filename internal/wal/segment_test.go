@@ -1,0 +1,186 @@
+package wal
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func storeEntries(n int, firstLSN uint64) []Entry {
+	rng := rand.New(rand.NewSource(int64(firstLSN)))
+	out := make([]Entry, n)
+	lsn := firstLSN
+	for i := range out {
+		out[i] = Entry{
+			Type: TypeUpdate, LSN: lsn, TxnID: lsn/3 + 1, Timestamp: int64(lsn) * 10,
+			Table: TableID(rng.Intn(4) + 1), RowKey: rng.Uint64() % 500,
+			Columns: []Column{{ID: 1, Value: make([]byte, 32)}},
+		}
+		lsn++
+	}
+	return out
+}
+
+func TestSegmentStoreAppendRead(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 4<<10) // tiny segments to force rotation
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := storeEntries(500, 1)
+	if err := s.Append(entries); err != nil {
+		t.Fatal(err)
+	}
+	if s.NextLSN() != 501 {
+		t.Fatalf("next LSN %d, want 501", s.NextLSN())
+	}
+	segs, _ := s.segments()
+	if len(segs) < 2 {
+		t.Fatalf("expected rotation, got %d segments", len(segs))
+	}
+
+	r, err := s.ReaderFrom(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := range entries {
+		e, err := r.Next()
+		if err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+		if e.LSN != entries[i].LSN || e.RowKey != entries[i].RowKey {
+			t.Fatalf("entry %d mismatch: %+v", i, e)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentStoreReaderFromMidStream(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 2<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(storeEntries(300, 1)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.ReaderFrom(178)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	e, err := r.Next()
+	if err != nil || e.LSN != 178 {
+		t.Fatalf("first entry LSN %d err %v, want 178", e.LSN, err)
+	}
+	count := 1
+	for {
+		if _, err := r.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	if count != 300-178+1 {
+		t.Fatalf("read %d entries from 178, want %d", count, 300-178+1)
+	}
+	s.Close()
+}
+
+func TestSegmentStoreReopenResumes(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := OpenStore(dir, 2<<10)
+	if err := s.Append(storeEntries(100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := OpenStore(dir, 2<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.NextLSN() != 101 {
+		t.Fatalf("reopened next LSN %d, want 101", s2.NextLSN())
+	}
+	if err := s2.Append(storeEntries(50, 101)); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := s2.ReaderFrom(0)
+	defer r.Close()
+	n := 0
+	for {
+		if _, err := r.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 150 {
+		t.Fatalf("total entries %d, want 150", n)
+	}
+	s2.Close()
+}
+
+func TestSegmentStoreRejectsLSNGap(t *testing.T) {
+	s, _ := OpenStore(t.TempDir(), 0)
+	bad := storeEntries(1, 5) // store expects LSN 1
+	if err := s.Append(bad); err == nil {
+		t.Fatal("LSN gap accepted")
+	}
+	s.Close()
+}
+
+func TestSegmentStoreTruncate(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := OpenStore(dir, 2<<10)
+	if err := s.Append(storeEntries(400, 1)); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := s.segments()
+	if len(segs) < 3 {
+		t.Skipf("need ≥3 segments, got %d", len(segs))
+	}
+	keep := segs[len(segs)-1] // keep everything from the last segment on
+	removed, err := s.TruncateBefore(keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != len(segs)-1 {
+		t.Fatalf("removed %d segments, want %d", removed, len(segs)-1)
+	}
+	// Reads below the retained range must fail explicitly.
+	if _, err := s.ReaderFrom(1); !errors.Is(err, ErrLSNTruncated) {
+		t.Fatalf("want ErrLSNTruncated, got %v", err)
+	}
+	// Reads within the retained range still work.
+	r, err := s.ReaderFrom(keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, err := r.Next(); err != nil || e.LSN < keep {
+		t.Fatalf("retained read: %+v %v", e, err)
+	}
+	r.Close()
+	s.Close()
+}
+
+func TestSegmentStoreEmptyReader(t *testing.T) {
+	s, _ := OpenStore(t.TempDir(), 0)
+	r, err := s.ReaderFrom(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF on empty store, got %v", err)
+	}
+	s.Close()
+}

@@ -1,0 +1,140 @@
+package wal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genTxns builds a random valid transaction list with increasing IDs.
+func genTxns(r *rand.Rand, n int) []Txn {
+	txns := make([]Txn, n)
+	id := uint64(0)
+	ts := int64(0)
+	for i := range txns {
+		id += 1 + uint64(r.Intn(3))
+		ts += 1 + r.Int63n(100)
+		t := Txn{ID: id, CommitTS: ts}
+		for j := 0; j < r.Intn(5); j++ {
+			t.Entries = append(t.Entries, Entry{
+				Type:   TypeUpdate,
+				TxnID:  id,
+				Table:  TableID(r.Intn(8) + 1),
+				RowKey: r.Uint64(),
+				Columns: []Column{
+					{ID: uint32(j), Value: []byte{byte(j)}},
+				},
+			})
+		}
+		txns[i] = t
+	}
+	return txns
+}
+
+func TestFlattenAssembleRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		txns := genTxns(r, 1+r.Intn(20))
+		flat, next := FlattenTxns(txns, 1)
+		if int(next) != len(flat)+1 {
+			return false
+		}
+		// LSNs must be dense and sequential.
+		for i, e := range flat {
+			if e.LSN != uint64(i+1) {
+				return false
+			}
+		}
+		back, err := AssembleTxns(flat)
+		if err != nil || len(back) != len(txns) {
+			return false
+		}
+		for i := range txns {
+			if back[i].ID != txns[i].ID || back[i].CommitTS != txns[i].CommitTS ||
+				len(back[i].Entries) != len(txns[i].Entries) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssembleRejectsNestedBegin(t *testing.T) {
+	entries := []Entry{
+		{Type: TypeBegin, TxnID: 1},
+		{Type: TypeBegin, TxnID: 2},
+	}
+	if _, err := AssembleTxns(entries); err == nil {
+		t.Fatal("nested BEGIN accepted")
+	}
+}
+
+func TestAssembleRejectsUnmatchedCommit(t *testing.T) {
+	if _, err := AssembleTxns([]Entry{{Type: TypeCommit, TxnID: 1}}); err == nil {
+		t.Fatal("COMMIT without BEGIN accepted")
+	}
+}
+
+func TestAssembleRejectsDanglingTxn(t *testing.T) {
+	if _, err := AssembleTxns([]Entry{{Type: TypeBegin, TxnID: 1}}); err == nil {
+		t.Fatal("stream ending inside a txn accepted")
+	}
+}
+
+func TestAssembleRejectsForeignDML(t *testing.T) {
+	entries := []Entry{
+		{Type: TypeBegin, TxnID: 1},
+		{Type: TypeUpdate, TxnID: 2, Columns: []Column{{ID: 1}}},
+		{Type: TypeCommit, TxnID: 1},
+	}
+	if _, err := AssembleTxns(entries); err == nil {
+		t.Fatal("DML from a different txn accepted inside frame")
+	}
+}
+
+func TestTxnTablesDeduplicates(t *testing.T) {
+	txn := Txn{ID: 1, Entries: []Entry{
+		{Type: TypeUpdate, Table: 3, Columns: []Column{{}}},
+		{Type: TypeUpdate, Table: 3, Columns: []Column{{}}},
+		{Type: TypeUpdate, Table: 5, Columns: []Column{{}}},
+	}}
+	tables := txn.Tables()
+	if len(tables) != 2 || tables[0] != 3 || tables[1] != 5 {
+		t.Fatalf("Tables() = %v, want [3 5]", tables)
+	}
+}
+
+func TestTxnSizeSumsEntries(t *testing.T) {
+	txn := Txn{Entries: []Entry{
+		{Type: TypeUpdate, Columns: []Column{{ID: 1, Value: make([]byte, 10)}}},
+		{Type: TypeUpdate, Columns: []Column{{ID: 1, Value: make([]byte, 20)}}},
+	}}
+	want := txn.Entries[0].Size() + txn.Entries[1].Size()
+	if txn.Size() != want {
+		t.Fatalf("Size() = %d, want %d", txn.Size(), want)
+	}
+}
+
+func TestStreamEncodeDecode(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	txns := genTxns(r, 50)
+	flat, _ := FlattenTxns(txns, 1)
+	buf := EncodeStream(flat)
+
+	n, err := CountFrames(buf)
+	if err != nil || n != len(flat) {
+		t.Fatalf("CountFrames = %d, %v; want %d", n, err, len(flat))
+	}
+	back, err := DecodeStream(buf)
+	if err != nil || len(back) != len(flat) {
+		t.Fatalf("DecodeStream: %v, %d entries, want %d", err, len(back), len(flat))
+	}
+	for i := range flat {
+		if !entriesEqual(flat[i], back[i]) {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package workload
+
+import "aets/internal/wal"
+
+// Read-only CH-benCHmark reference tables (never written, so they never
+// appear in the replication log; they matter only for query footprints).
+const (
+	CHSupplier wal.TableID = iota + 100
+	CHNation
+	CHRegion
+)
+
+// CHBench is the CH-benCHmark workload: TPC-C's OLTP write mix combined
+// with the 22 TPC-H-derived analytical queries over the merged schema
+// (paper §VI-A3). Written tables accessed by any of the 22 queries are hot
+// (the TPC-C five plus new_order via Q3); warehouse and history stay cold.
+type CHBench struct {
+	TPCC
+}
+
+// NewCHBench returns a CH-benCHmark generator at the given scale factor.
+func NewCHBench(sf int) *CHBench {
+	g := &CHBench{TPCC: *NewTPCC(sf)}
+	g.chHot = true
+	return g
+}
+
+// Name implements Generator.
+func (c *CHBench) Name() string { return "CH-benCHmark" }
+
+// Queries implements Generator: the table footprints of the 22 CH queries.
+// Footprints follow the CH-benCHmark SQL (TPC-H queries rewritten over the
+// TPC-C schema plus supplier/nation/region).
+func (c *CHBench) Queries() []Query {
+	q := func(name string, ts ...wal.TableID) Query { return Query{Name: name, Tables: ts} }
+	return []Query{
+		q("Q1", TPCCOrderLine),
+		q("Q2", TPCCItem, CHSupplier, TPCCStock, CHNation, CHRegion),
+		q("Q3", TPCCCustomer, TPCCNewOrder, TPCCOrder, TPCCOrderLine),
+		q("Q4", TPCCOrder, TPCCOrderLine),
+		q("Q5", TPCCCustomer, TPCCOrder, TPCCOrderLine, TPCCStock, CHSupplier, CHNation, CHRegion),
+		q("Q6", TPCCOrderLine),
+		q("Q7", CHSupplier, TPCCStock, TPCCOrderLine, TPCCOrder, TPCCCustomer, CHNation),
+		q("Q8", TPCCItem, CHSupplier, TPCCStock, TPCCOrderLine, TPCCOrder, TPCCCustomer, CHNation, CHRegion),
+		q("Q9", TPCCItem, CHSupplier, TPCCStock, TPCCOrderLine, TPCCOrder, CHNation),
+		q("Q10", TPCCCustomer, TPCCOrder, TPCCOrderLine, CHNation),
+		q("Q11", CHSupplier, TPCCStock, CHNation),
+		q("Q12", TPCCOrder, TPCCOrderLine),
+		q("Q13", TPCCCustomer, TPCCOrder),
+		q("Q14", TPCCItem, TPCCOrderLine),
+		q("Q15", CHSupplier, TPCCOrderLine),
+		q("Q16", TPCCItem, CHSupplier, TPCCStock),
+		q("Q17", TPCCItem, TPCCOrderLine),
+		q("Q18", TPCCCustomer, TPCCOrder, TPCCOrderLine),
+		q("Q19", TPCCItem, TPCCOrderLine),
+		q("Q20", CHSupplier, CHNation, TPCCStock, TPCCItem, TPCCOrderLine),
+		q("Q21", CHSupplier, TPCCOrderLine, TPCCOrder, CHNation),
+		q("Q22", TPCCCustomer, TPCCOrder),
+	}
+}

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"math/rand"
+
+	"aets/internal/wal"
+)
+
+// SEATS table IDs (written tables only, plus the read-only reference
+// tables the analytical queries touch).
+const (
+	SeatsReservation wal.TableID = iota + 200
+	SeatsFlight
+	SeatsCustomer
+	SeatsFrequentFlyer
+	SeatsAirport // read-only
+	SeatsAirline // read-only
+	SeatsCountry // read-only
+	SeatsConfig  // read-only
+)
+
+// SEATS is a reduced model of the SEATS airline benchmark, used only for
+// the Table I workload characterisation: four written tables, analytical
+// queries over eight tables of which two (flight, customer) are written,
+// with roughly 38% of log entries landing in hot tables.
+type SEATS struct {
+	nextRes uint64
+}
+
+// NewSEATS returns a SEATS generator.
+func NewSEATS() *SEATS { return &SEATS{} }
+
+// Name implements Generator.
+func (s *SEATS) Name() string { return "SEATS" }
+
+// Tables implements Generator.
+func (s *SEATS) Tables() []TableMeta {
+	return []TableMeta{
+		{ID: SeatsReservation, Name: "reservation", Rows: 200000},
+		{ID: SeatsFlight, Name: "flight", Rows: 15000, Hot: true},
+		{ID: SeatsCustomer, Name: "customer", Rows: 100000, Hot: true},
+		{ID: SeatsFrequentFlyer, Name: "frequent_flyer", Rows: 100000},
+	}
+}
+
+// Queries implements Generator: the analytical footprint spans eight
+// tables, two of them written (flight, customer).
+func (s *SEATS) Queries() []Query {
+	return []Query{
+		{Name: "FlightLoadFactor", Tables: []wal.TableID{
+			SeatsFlight, SeatsAirport, SeatsAirline, SeatsConfig,
+		}},
+		{Name: "CustomerActivity", Tables: []wal.TableID{
+			SeatsCustomer, SeatsFlight, SeatsAirport, SeatsCountry,
+		}},
+	}
+}
+
+// NextTxn implements Generator. The mix models NewReservation (60%),
+// UpdateReservation/Customer (25%) and DeleteReservation (15%).
+func (s *SEATS) NextTxn(rng *rand.Rand, dst []Write) []Write {
+	switch x := rng.Intn(100); {
+	case x < 60: // NewReservation
+		s.nextRes++
+		dst = append(dst,
+			Write{Table: SeatsReservation, Key: s.nextRes, Op: wal.TypeInsert,
+				Cols: []wal.Column{valueCol(1, s.nextRes, 16), valueCol(2, s.nextRes, 8)}},
+			Write{Table: SeatsReservation, Key: s.nextRes, Op: wal.TypeUpdate,
+				Cols: []wal.Column{valueCol(3, s.nextRes, 8)}},
+			Write{Table: SeatsReservation, Key: s.nextRes, Op: wal.TypeUpdate,
+				Cols: []wal.Column{valueCol(6, s.nextRes, 8)}},
+			Write{Table: SeatsFlight, Key: uniform(rng, 15000), Op: wal.TypeUpdate,
+				Cols: []wal.Column{valueCol(4, s.nextRes, 8)}},
+			Write{Table: SeatsCustomer, Key: uniform(rng, 100000), Op: wal.TypeUpdate,
+				Cols: []wal.Column{valueCol(5, s.nextRes, 8)}},
+		)
+	case x < 85: // UpdateCustomer
+		dst = append(dst,
+			Write{Table: SeatsCustomer, Key: uniform(rng, 100000), Op: wal.TypeUpdate,
+				Cols: []wal.Column{valueCol(5, rng.Uint64(), 8)}},
+			Write{Table: SeatsFrequentFlyer, Key: uniform(rng, 100000), Op: wal.TypeUpdate,
+				Cols: []wal.Column{valueCol(2, rng.Uint64(), 8)}},
+			Write{Table: SeatsFrequentFlyer, Key: uniform(rng, 100000), Op: wal.TypeUpdate,
+				Cols: []wal.Column{valueCol(3, rng.Uint64(), 8)}},
+			Write{Table: SeatsFrequentFlyer, Key: uniform(rng, 100000), Op: wal.TypeUpdate,
+				Cols: []wal.Column{valueCol(4, rng.Uint64(), 8)}},
+		)
+	default: // DeleteReservation
+		dst = append(dst,
+			Write{Table: SeatsReservation, Key: uniform(rng, max64(s.nextRes, 1)), Op: wal.TypeDelete},
+			Write{Table: SeatsFlight, Key: uniform(rng, 15000), Op: wal.TypeUpdate,
+				Cols: []wal.Column{valueCol(4, rng.Uint64(), 8)}},
+			Write{Table: SeatsCustomer, Key: uniform(rng, 100000), Op: wal.TypeUpdate,
+				Cols: []wal.Column{valueCol(5, rng.Uint64(), 8)}},
+		)
+	}
+	return dst
+}

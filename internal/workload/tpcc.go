@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"math/rand"
+
+	"aets/internal/wal"
+)
+
+// TPC-C table IDs. Item is read-only under the standard mix and therefore
+// never appears in the log; the eight written tables match num(T)=8 of
+// Table I.
+const (
+	TPCCWarehouse wal.TableID = iota + 1
+	TPCCDistrict
+	TPCCCustomer
+	TPCCHistory
+	TPCCNewOrder
+	TPCCOrder
+	TPCCOrderLine
+	TPCCStock
+	TPCCItem
+)
+
+// TPCC generates the TPC-C read-write mix (Payment, NewOrder, Delivery in
+// the default proportions) as the OLTP side, with the read-only
+// OrderStatus and StockLevel transactions as the analytical side
+// (paper §VI-A3). Hot tables are the five read by the analytical side:
+// district, stock, customer, order and order_line.
+type TPCC struct {
+	// SF is the scale factor (number of warehouses); the paper uses 20.
+	SF int
+	// chHot switches the hot-table marking to the CH-benCHmark variant,
+	// where the 22 analytical queries also read new_order (Q3).
+	chHot bool
+
+	nextOrderID uint64
+	nextHistID  uint64
+}
+
+// NewTPCC returns a TPC-C generator at the given scale factor.
+func NewTPCC(sf int) *TPCC {
+	if sf <= 0 {
+		sf = 20
+	}
+	return &TPCC{SF: sf}
+}
+
+// Name implements Generator.
+func (t *TPCC) Name() string { return "TPC-C" }
+
+// Tables implements Generator. Cardinalities follow the TPC-C population
+// rules per warehouse (scaled down 10× on customer/stock keyspaces to keep
+// in-memory footprints laptop-sized without changing access skew).
+func (t *TPCC) Tables() []TableMeta {
+	w := uint64(t.SF)
+	hot := map[wal.TableID]bool{
+		TPCCDistrict: true, TPCCStock: true, TPCCCustomer: true,
+		TPCCOrder: true, TPCCOrderLine: true,
+	}
+	if t.chHot {
+		// CH-benCHmark: Q3 also reads new_order, so it joins the hot set;
+		// warehouse and history stay cold (no CH query needs their
+		// freshness), giving the ~94% hot-entry ratio of §VI-A3.
+		hot[TPCCNewOrder] = true
+	}
+	metas := []TableMeta{
+		{ID: TPCCWarehouse, Name: "warehouse", Rows: w},
+		{ID: TPCCDistrict, Name: "district", Rows: w * 10},
+		{ID: TPCCCustomer, Name: "customer", Rows: w * 3000},
+		{ID: TPCCHistory, Name: "history", Rows: w * 3000},
+		{ID: TPCCNewOrder, Name: "new_order", Rows: w * 900},
+		{ID: TPCCOrder, Name: "orders", Rows: w * 3000},
+		{ID: TPCCOrderLine, Name: "order_line", Rows: w * 30000},
+		{ID: TPCCStock, Name: "stock", Rows: w * 10000},
+	}
+	for i := range metas {
+		metas[i].Hot = hot[metas[i].ID]
+	}
+	return metas
+}
+
+// Queries implements Generator: the two read-only TPC-C transactions used
+// as logical analytical queries.
+func (t *TPCC) Queries() []Query {
+	return []Query{
+		{Name: "OrderStatus", Tables: []wal.TableID{TPCCCustomer, TPCCOrder, TPCCOrderLine}},
+		{Name: "StockLevel", Tables: []wal.TableID{TPCCDistrict, TPCCOrderLine, TPCCStock}},
+	}
+}
+
+// NextTxn implements Generator with the default read-write mix normalised
+// over the write transactions: NewOrder 45/92, Payment 43/92, Delivery 4/92.
+func (t *TPCC) NextTxn(rng *rand.Rand, dst []Write) []Write {
+	switch x := rng.Intn(92); {
+	case x < 45:
+		return t.newOrder(rng, dst)
+	case x < 88:
+		return t.payment(rng, dst)
+	default:
+		return t.delivery(rng, dst)
+	}
+}
+
+func (t *TPCC) newOrder(rng *rand.Rand, dst []Write) []Write {
+	w := uint64(t.SF)
+	dst = append(dst, Write{
+		Table: TPCCDistrict, Key: uniform(rng, w*10), Op: wal.TypeUpdate,
+		Cols: []wal.Column{valueCol(3, rng.Uint64(), 8)}, // d_next_o_id
+	})
+	t.nextOrderID++
+	oid := t.nextOrderID
+	dst = append(dst, Write{
+		Table: TPCCOrder, Key: oid, Op: wal.TypeInsert,
+		Cols: []wal.Column{valueCol(1, oid, 8), valueCol(2, oid, 8), valueCol(3, oid, 8)},
+	})
+	dst = append(dst, Write{
+		Table: TPCCNewOrder, Key: oid, Op: wal.TypeInsert,
+		Cols: []wal.Column{valueCol(1, oid, 8)},
+	})
+	lines := 5 + rng.Intn(11) // 5..15 order lines
+	for l := 0; l < lines; l++ {
+		item := uniform(rng, w*10000)
+		dst = append(dst, Write{
+			Table: TPCCStock, Key: item, Op: wal.TypeUpdate,
+			Cols: []wal.Column{valueCol(2, item, 8), valueCol(4, item, 8)}, // s_quantity, s_ytd
+		})
+		dst = append(dst, Write{
+			Table: TPCCOrderLine, Key: oid*16 + uint64(l), Op: wal.TypeInsert,
+			Cols: []wal.Column{valueCol(1, oid, 8), valueCol(2, item, 8), valueCol(3, oid, 16)},
+		})
+	}
+	return dst
+}
+
+func (t *TPCC) payment(rng *rand.Rand, dst []Write) []Write {
+	w := uint64(t.SF)
+	dst = append(dst, Write{
+		Table: TPCCWarehouse, Key: uniform(rng, w), Op: wal.TypeUpdate,
+		Cols: []wal.Column{valueCol(8, rng.Uint64(), 8)}, // w_ytd
+	})
+	dst = append(dst, Write{
+		Table: TPCCDistrict, Key: uniform(rng, w*10), Op: wal.TypeUpdate,
+		Cols: []wal.Column{valueCol(9, rng.Uint64(), 8)}, // d_ytd
+	})
+	dst = append(dst, Write{
+		Table: TPCCCustomer, Key: uniform(rng, w*3000), Op: wal.TypeUpdate,
+		Cols: []wal.Column{valueCol(16, rng.Uint64(), 8), valueCol(17, rng.Uint64(), 8)},
+	})
+	t.nextHistID++
+	dst = append(dst, Write{
+		Table: TPCCHistory, Key: t.nextHistID, Op: wal.TypeInsert,
+		Cols: []wal.Column{valueCol(1, t.nextHistID, 24)},
+	})
+	return dst
+}
+
+func (t *TPCC) delivery(rng *rand.Rand, dst []Write) []Write {
+	w := uint64(t.SF)
+	for d := 0; d < 10; d++ {
+		oid := uniform(rng, max64(t.nextOrderID, 1))
+		dst = append(dst, Write{Table: TPCCNewOrder, Key: oid, Op: wal.TypeDelete})
+		dst = append(dst, Write{
+			Table: TPCCOrder, Key: oid, Op: wal.TypeUpdate,
+			Cols: []wal.Column{valueCol(6, oid, 8)}, // o_carrier_id
+		})
+		lines := 5 + rng.Intn(11)
+		for l := 0; l < lines; l++ {
+			dst = append(dst, Write{
+				Table: TPCCOrderLine, Key: oid*16 + uint64(l), Op: wal.TypeUpdate,
+				Cols: []wal.Column{valueCol(7, oid, 8)}, // ol_delivery_d
+			})
+		}
+		dst = append(dst, Write{
+			Table: TPCCCustomer, Key: uniform(rng, w*3000), Op: wal.TypeUpdate,
+			Cols: []wal.Column{valueCol(16, oid, 8)}, // c_balance
+		})
+	}
+	return dst
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

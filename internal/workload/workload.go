@@ -1,0 +1,125 @@
+// Package workload implements the benchmark workload generators of the
+// paper's evaluation: TPC-C, CH-benCHmark, SEATS (Table I only) and the
+// synthetic BusTracker workload. Each generator produces the *write sets*
+// of OLTP transactions — the primary simulator turns them into value-log
+// transactions — plus the OLAP side: query table-footprints and per-table
+// access-rate curves over time.
+package workload
+
+import (
+	"math/rand"
+
+	"aets/internal/wal"
+)
+
+// TableMeta describes one table of a benchmark.
+type TableMeta struct {
+	ID   wal.TableID
+	Name string
+	// Rows is the size of the table's initial keyspace; generated row keys
+	// are drawn from [1, Rows] (inserts extend it).
+	Rows uint64
+	// Hot marks tables accessed by the benchmark's analytical queries —
+	// the A∩T membership of Table I.
+	Hot bool
+}
+
+// Write is one row modification of an OLTP transaction.
+type Write struct {
+	Table wal.TableID
+	Key   uint64
+	Op    wal.LogType // TypeInsert, TypeUpdate or TypeDelete
+	Cols  []wal.Column
+}
+
+// Query is the table footprint of one analytical query.
+type Query struct {
+	Name   string
+	Tables []wal.TableID
+}
+
+// Generator produces the OLTP write stream and describes the OLAP side of
+// one benchmark.
+type Generator interface {
+	// Name returns the benchmark name.
+	Name() string
+	// Tables returns the benchmark's table catalogue.
+	Tables() []TableMeta
+	// NextTxn appends the write set of one transaction to dst and returns
+	// the extended slice. Generators are not safe for concurrent use; use
+	// one per goroutine with separate rngs.
+	NextTxn(rng *rand.Rand, dst []Write) []Write
+	// Queries returns the analytical query mix (footprints).
+	Queries() []Query
+}
+
+// RatedGenerator is implemented by workloads whose OLAP access rates vary
+// over time (BusTracker): Rates returns the per-table access rate during
+// time slot `slot`.
+type RatedGenerator interface {
+	Generator
+	Rates(slot int) map[wal.TableID]float64
+}
+
+// TableIDs returns the IDs of all tables in the catalogue.
+func TableIDs(tables []TableMeta) []wal.TableID {
+	out := make([]wal.TableID, len(tables))
+	for i, t := range tables {
+		out[i] = t.ID
+	}
+	return out
+}
+
+// HotTables returns the IDs of tables marked Hot.
+func HotTables(tables []TableMeta) []wal.TableID {
+	var out []wal.TableID
+	for _, t := range tables {
+		if t.Hot {
+			out = append(out, t.ID)
+		}
+	}
+	return out
+}
+
+// HotEntryRatio generates n transactions and returns the fraction of log
+// entries that modify hot tables — the "ratio" column of Table I.
+func HotEntryRatio(g Generator, n int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	hot := make(map[wal.TableID]bool)
+	for _, t := range g.Tables() {
+		hot[t.ID] = t.Hot
+	}
+	var total, hotN int
+	var ws []Write
+	for i := 0; i < n; i++ {
+		ws = g.NextTxn(rng, ws[:0])
+		for _, w := range ws {
+			total++
+			if hot[w.Table] {
+				hotN++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hotN) / float64(total)
+}
+
+// valueCol builds a column payload of the given size with a deterministic
+// fill derived from the key, so tests can verify replayed contents.
+func valueCol(id uint32, key uint64, size int) wal.Column {
+	v := make([]byte, size)
+	for i := range v {
+		v[i] = byte(key>>(uint(i%8)*8) ^ uint64(id) ^ uint64(i))
+	}
+	return wal.Column{ID: id, Value: v}
+}
+
+// uniform returns a key in [1, n].
+func uniform(rng *rand.Rand, n uint64) uint64 {
+	if n == 0 {
+		return 1
+	}
+	return 1 + uint64(rng.Int63n(int64(n)))
+}

@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"aets/internal/wal"
+)
+
+func TestTPCCHotRatioMatchesPaper(t *testing.T) {
+	// Table I: TPC-C hot entries are 90.98% of the log.
+	ratio := HotEntryRatio(NewTPCC(20), 20000, 1)
+	if ratio < 0.86 || ratio > 0.95 {
+		t.Fatalf("TPC-C hot ratio %.4f, paper reports 0.9098", ratio)
+	}
+}
+
+func TestCHBenchHotRatioMatchesPaper(t *testing.T) {
+	// §VI-A3: 93.72% of CH-benCHmark entries are hot.
+	ratio := HotEntryRatio(NewCHBench(20), 20000, 2)
+	if ratio < 0.90 || ratio > 0.99 {
+		t.Fatalf("CH hot ratio %.4f, paper reports 0.9372", ratio)
+	}
+}
+
+func TestSEATSHotRatioMatchesPaper(t *testing.T) {
+	// Table I: SEATS hot entries are 38.08%.
+	ratio := HotEntryRatio(NewSEATS(), 20000, 3)
+	if ratio < 0.30 || ratio > 0.48 {
+		t.Fatalf("SEATS hot ratio %.4f, paper reports 0.3808", ratio)
+	}
+}
+
+func TestBusTrackerHotRatioMatchesPaper(t *testing.T) {
+	// Table I: BusTracker hot entries are 37.12%.
+	ratio := HotEntryRatio(NewBusTracker(), 20000, 4)
+	if ratio < 0.32 || ratio > 0.43 {
+		t.Fatalf("BusTracker hot ratio %.4f, paper reports 0.3712", ratio)
+	}
+}
+
+func TestTableCountsMatchTableI(t *testing.T) {
+	cases := []struct {
+		gen    Generator
+		tables int
+		hot    int
+	}{
+		{NewTPCC(1), 8, 5},
+		{NewSEATS(), 4, 2},
+		{NewCHBench(1), 8, 6},
+		{NewBusTracker(), 65, 14},
+	}
+	for _, c := range cases {
+		if got := len(c.gen.Tables()); got != c.tables {
+			t.Errorf("%s: %d tables, want %d", c.gen.Name(), got, c.tables)
+		}
+		if got := len(HotTables(c.gen.Tables())); got != c.hot {
+			t.Errorf("%s: %d hot tables, want %d", c.gen.Name(), got, c.hot)
+		}
+	}
+}
+
+func TestCHBenchHas22Queries(t *testing.T) {
+	qs := NewCHBench(1).Queries()
+	if len(qs) != 22 {
+		t.Fatalf("CH queries: %d, want 22", len(qs))
+	}
+	// Table I footprint sizes for Q1–Q6.
+	wantSizes := []int{1, 5, 4, 2, 7, 1}
+	for i, w := range wantSizes {
+		if len(qs[i].Tables) != w {
+			t.Errorf("%s touches %d tables, want %d", qs[i].Name, len(qs[i].Tables), w)
+		}
+	}
+	// Written-table intersections for Q1–Q6 (Table I: 1,1,4,2,4,1).
+	written := make(map[wal.TableID]bool)
+	for _, tb := range NewCHBench(1).Tables() {
+		written[tb.ID] = true
+	}
+	wantHits := []int{1, 1, 4, 2, 4, 1}
+	for i, w := range wantHits {
+		hits := 0
+		for _, tb := range qs[i].Tables {
+			if written[tb] {
+				hits++
+			}
+		}
+		if hits != w {
+			t.Errorf("%s: %d written tables, want %d", qs[i].Name, hits, w)
+		}
+	}
+}
+
+func TestGeneratorsProduceValidWrites(t *testing.T) {
+	for _, gen := range []Generator{NewTPCC(2), NewCHBench(2), NewSEATS(), NewBusTracker()} {
+		rng := rand.New(rand.NewSource(9))
+		known := make(map[wal.TableID]bool)
+		for _, tb := range gen.Tables() {
+			known[tb.ID] = true
+		}
+		var ws []Write
+		for i := 0; i < 500; i++ {
+			ws = gen.NextTxn(rng, ws[:0])
+			if len(ws) == 0 {
+				t.Fatalf("%s: empty transaction", gen.Name())
+			}
+			for _, w := range ws {
+				if !known[w.Table] {
+					t.Fatalf("%s: write to unknown table %d", gen.Name(), w.Table)
+				}
+				if !w.Op.IsDML() {
+					t.Fatalf("%s: non-DML op %v", gen.Name(), w.Op)
+				}
+				if w.Op != wal.TypeDelete && len(w.Cols) == 0 {
+					t.Fatalf("%s: %v without columns", gen.Name(), w.Op)
+				}
+				if w.Key == 0 {
+					t.Fatalf("%s: zero row key", gen.Name())
+				}
+			}
+		}
+	}
+}
+
+func TestBusTrackerRatesVaryOverTime(t *testing.T) {
+	bt := NewBusTracker()
+	r0 := bt.Rates(0)
+	r100 := bt.Rates(100)
+	if len(r0) != 14 {
+		t.Fatalf("rates cover %d tables, want 14", len(r0))
+	}
+	changed := 0
+	for id, v := range r0 {
+		if math.Abs(v-r100[id]) > 1e-6 {
+			changed++
+		}
+	}
+	if changed < 10 {
+		t.Fatalf("only %d/14 table rates changed between slots", changed)
+	}
+}
+
+func TestBusTrackerRegimeShifts(t *testing.T) {
+	bt := NewBusTracker()
+	series, _ := bt.RateSeries(1200)
+	// At least one table's mean level changes substantially between the
+	// first and last 200 slots (the shift that defeats HA).
+	shifted := false
+	for j := 0; j < len(series[0]); j++ {
+		var early, late float64
+		for s := 0; s < 200; s++ {
+			early += series[s][j]
+			late += series[len(series)-200+s][j]
+		}
+		if early > 0 && (late/early > 1.5 || late/early < 0.67) {
+			shifted = true
+			break
+		}
+	}
+	if !shifted {
+		t.Fatal("no regime shift found in any hot table")
+	}
+}
+
+func TestBusTrackerAccessGraph(t *testing.T) {
+	bt := NewBusTracker()
+	adj := bt.AccessGraph()
+	if len(adj) != 14 {
+		t.Fatalf("graph over %d nodes, want 14", len(adj))
+	}
+	for i := range adj {
+		if adj[i][i] != 1 {
+			t.Fatalf("missing self loop at %d", i)
+		}
+		for j := range adj[i] {
+			if adj[i][j] != adj[j][i] {
+				t.Fatalf("graph not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Tables co-occurring in a query must be connected: m.trip (0) and
+	// m.calendar (1) share TripEstimate.
+	if adj[0][1] != 1 {
+		t.Fatal("co-accessed tables not connected")
+	}
+}
+
+func TestHotEntryRatioEmptyGenerator(t *testing.T) {
+	if HotEntryRatio(NewTPCC(1), 0, 1) != 0 {
+		t.Fatal("zero transactions must give ratio 0")
+	}
+}
+
+func TestValueColDeterministic(t *testing.T) {
+	a := valueCol(3, 42, 16)
+	b := valueCol(3, 42, 16)
+	if string(a.Value) != string(b.Value) {
+		t.Fatal("valueCol not deterministic")
+	}
+	c := valueCol(3, 43, 16)
+	if string(a.Value) == string(c.Value) {
+		t.Fatal("valueCol ignores key")
+	}
+}
