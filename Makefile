@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build vet test race fuzz ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrency-heavy packages: the replication transport,
+# the replay engine, and the epoch batcher.
+race:
+	$(GO) test -race ./internal/ship/... ./internal/replay/... ./internal/epoch/...
+
+# Short fuzz smoke of the wire-format decoder.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzReadFrame -fuzztime=10s ./internal/ship/
+
+ci: build vet test race

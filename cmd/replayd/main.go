@@ -1,29 +1,31 @@
-// Command replayd demonstrates primary→backup log shipping over TCP: the
-// primary mode executes a benchmark workload, batches it into epochs and
-// streams them; the backup mode receives the stream, replays it with a
-// chosen algorithm, and periodically reports replay progress and
-// visibility.
+// Command replayd demonstrates primary→backup log shipping over TCP
+// using the internal/ship replication transport: the primary mode
+// executes a benchmark workload, batches it into epochs and streams
+// them with a bounded in-flight window, heartbeats and automatic
+// reconnect; the backup mode receives the stream, replays it with a
+// chosen algorithm, and periodically reports replay progress,
+// visibility and shipping metrics. A backup restarted with -resume
+// picks the stream up at its checkpoint's epoch cursor instead of
+// re-replaying from scratch.
 //
-//	replayd backup -listen :7070 -algo aets -workers 8
-//	replayd primary -connect localhost:7070 -workload tpcc -txns 50000
+//	replayd backup -listen :7070 -algo aets -workers 8 -checkpoint backup.ckpt
+//	replayd primary -connect localhost:7070 -workload tpcc -txns 50000 -window 32
+//	... crash ...
+//	replayd backup -listen :7070 -algo aets -resume backup.ckpt
 package main
 
 import (
-	"bufio"
-	"encoding/binary"
 	"flag"
 	"fmt"
-	"io"
 	"net"
 	"os"
 	"time"
 
-	"aets/internal/checkpoint"
-	"aets/internal/epoch"
 	"aets/internal/grouping"
 	"aets/internal/htap"
-	"aets/internal/memtable"
+	"aets/internal/metrics"
 	"aets/internal/primary"
+	"aets/internal/ship"
 	"aets/internal/workload"
 )
 
@@ -47,44 +49,29 @@ func main() {
 	}
 }
 
-// Wire format per epoch: seq u64 | txnCount u32 | lastTxnID u64 |
-// lastCommitTS i64 | entryCount u32 | bufLen u32 | buf. All little endian.
-
-func writeEpoch(w io.Writer, enc *epoch.Encoded) error {
-	var hdr [36]byte
-	binary.LittleEndian.PutUint64(hdr[0:], enc.Seq)
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(enc.TxnCount))
-	binary.LittleEndian.PutUint64(hdr[12:], enc.LastTxnID)
-	binary.LittleEndian.PutUint64(hdr[20:], uint64(enc.LastCommitTS))
-	binary.LittleEndian.PutUint32(hdr[28:], uint32(enc.EntryCount))
-	binary.LittleEndian.PutUint32(hdr[32:], uint32(len(enc.Buf)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+// workloadPlan builds the generator and grouping plan for a workload
+// name; both modes must agree on it (enforced by the schema hash in the
+// ship handshake).
+func workloadPlan(name string) (workload.Generator, *grouping.Plan, error) {
+	switch name {
+	case "tpcc":
+		gen := workload.NewTPCC(20)
+		return gen, grouping.Build(htap.TPCCRates(1000), workload.TableIDs(gen.Tables()),
+			grouping.Options{Eps: 0.05, MinPts: 2}), nil
+	case "chbench":
+		gen := workload.NewCHBench(20)
+		return gen, grouping.Build(htap.CHRates(gen), workload.TableIDs(gen.Tables()),
+			grouping.Options{PerTable: true}), nil
+	case "seats":
+		gen := workload.NewSEATS()
+		return gen, grouping.SingleGroup(workload.TableIDs(gen.Tables())), nil
+	case "bustracker":
+		bt := workload.NewBusTracker()
+		return bt, grouping.Build(bt.Rates(0), workload.TableIDs(bt.Tables()),
+			grouping.Options{Eps: 0.3, MinPts: 2}), nil
+	default:
+		return nil, nil, fmt.Errorf("unknown workload %q", name)
 	}
-	_, err := w.Write(enc.Buf)
-	return err
-}
-
-func readEpoch(r io.Reader) (*epoch.Encoded, error) {
-	var hdr [36]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	enc := &epoch.Encoded{
-		Seq:          binary.LittleEndian.Uint64(hdr[0:]),
-		TxnCount:     int(binary.LittleEndian.Uint32(hdr[8:])),
-		LastTxnID:    binary.LittleEndian.Uint64(hdr[12:]),
-		LastCommitTS: int64(binary.LittleEndian.Uint64(hdr[20:])),
-		EntryCount:   int(binary.LittleEndian.Uint32(hdr[28:])),
-	}
-	n := binary.LittleEndian.Uint32(hdr[32:])
-	if n > 0 {
-		enc.Buf = make([]byte, n)
-		if _, err := io.ReadFull(r, enc.Buf); err != nil {
-			return nil, err
-		}
-	}
-	return enc, nil
 }
 
 func runPrimary(args []string) error {
@@ -95,44 +82,57 @@ func runPrimary(args []string) error {
 	epochSize := fs.Int("epoch", 2048, "epoch size")
 	seed := fs.Int64("seed", 1, "seed")
 	rate := fs.Int("rate", 0, "epochs per second pacing (0 = as fast as possible)")
+	window := fs.Int("window", 32, "max in-flight (unacked) epochs before Send blocks")
+	hb := fs.Duration("hb", 500*time.Millisecond, "heartbeat interval (0 disables)")
+	retries := fs.Int("retries", 8, "consecutive reconnect attempts before giving up")
 	_ = fs.Parse(args)
 
-	var gen workload.Generator
-	switch *name {
-	case "tpcc":
-		gen = workload.NewTPCC(20)
-	case "chbench":
-		gen = workload.NewCHBench(20)
-	case "seats":
-		gen = workload.NewSEATS()
-	case "bustracker":
-		gen = workload.NewBusTracker()
-	default:
-		return fmt.Errorf("unknown workload %q", *name)
-	}
-
-	conn, err := net.Dial("tcp", *connect)
+	gen, _, err := workloadPlan(*name)
 	if err != nil {
 		return err
 	}
-	defer conn.Close()
-	w := bufio.NewWriterSize(conn, 1<<20)
 
 	p := primary.New(gen, *seed)
+	m := ship.NewMetrics(metrics.Default)
+	// No HeartbeatTS: the stream is pre-generated, so the primary's live
+	// commit clock runs ahead of what has been shipped; heartbeats fall
+	// back to the last enqueued epoch's timestamp, which is the honest
+	// "stream complete through here" value.
+	s := ship.NewSender(ship.SenderConfig{
+		Dial:           func() (net.Conn, error) { return net.Dial("tcp", *connect) },
+		Schema:         ship.SchemaHash(*name, workload.TableIDs(gen.Tables())),
+		Window:         *window,
+		HeartbeatEvery: *hb,
+		MaxAttempts:    *retries,
+		Metrics:        m,
+	})
+	if err := s.Connect(); err != nil {
+		return err
+	}
+
+	stopProgress := startProgress(func() {
+		st := s.Stats()
+		fmt.Printf("  sent %d  acked %d  inflight %d  lag %.2fs  reconnects %d\n",
+			st.Sent, st.Acked, st.Inflight, st.Lag.Seconds(), st.Reconnects)
+	})
+	defer stopProgress()
+
 	encs := p.GenerateEncoded(*txns, *epochSize)
 	start := time.Now()
 	for i := range encs {
-		if err := writeEpoch(w, &encs[i]); err != nil {
+		if err := s.Send(&encs[i]); err != nil {
 			return err
 		}
 		if *rate > 0 {
 			time.Sleep(time.Second / time.Duration(*rate))
 		}
 	}
-	if err := w.Flush(); err != nil {
+	if err := s.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("shipped %d epochs (%d txns) in %v\n", len(encs), *txns, time.Since(start).Round(time.Millisecond))
+	st := s.Stats()
+	fmt.Printf("shipped %d epochs (%d txns) in %v — acked %d, reconnects %d\n",
+		len(encs), *txns, time.Since(start).Round(time.Millisecond), st.Acked, st.Reconnects)
 	return nil
 }
 
@@ -142,132 +142,121 @@ func runBackup(args []string) error {
 	algo := fs.String("algo", "aets", "replay algorithm: aets, tplr, atr, c5")
 	workers := fs.Int("workers", 8, "replay workers")
 	name := fs.String("workload", "tpcc", "workload schema (for grouping): tpcc, chbench, seats, bustracker")
-	once := fs.Bool("once", true, "exit after the first primary disconnects")
+	once := fs.Bool("once", true, "exit after the first clean end-of-stream")
 	ckpt := fs.String("checkpoint", "", "write a checkpoint file after the stream drains")
+	resume := fs.String("resume", "", "restore from this checkpoint and resume the stream at its epoch cursor")
 	gcEvery := fs.Duration("gc-every", 0, "vacuum version chains at this interval (0 disables)")
 	_ = fs.Parse(args)
 
-	var gen workload.Generator
-	var plan *grouping.Plan
-	switch *name {
-	case "tpcc":
-		gen = workload.NewTPCC(20)
-		plan = grouping.Build(htap.TPCCRates(1000), workload.TableIDs(gen.Tables()),
-			grouping.Options{Eps: 0.05, MinPts: 2})
-	case "chbench":
-		gen = workload.NewCHBench(20)
-		plan = grouping.Build(htap.CHRates(gen), workload.TableIDs(gen.Tables()),
-			grouping.Options{PerTable: true})
-	case "seats":
-		gen = workload.NewSEATS()
-		plan = grouping.SingleGroup(workload.TableIDs(gen.Tables()))
-	case "bustracker":
-		bt := workload.NewBusTracker()
-		gen = bt
-		plan = grouping.Build(bt.Rates(0), workload.TableIDs(bt.Tables()),
-			grouping.Options{Eps: 0.3, MinPts: 2})
-	default:
-		return fmt.Errorf("unknown workload %q", *name)
+	gen, plan, err := workloadPlan(*name)
+	if err != nil {
+		return err
 	}
+
+	opts := htap.Options{Workers: *workers}
+	var node *htap.Node
+	if *resume != "" {
+		f, err := os.Open(*resume)
+		if err != nil {
+			return err
+		}
+		n, m, err := htap.RestoreNode(f, htap.Kind(*algo), plan, opts)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("resume from %s: %w", *resume, err)
+		}
+		node = n
+		fmt.Printf("resumed from %s: next epoch %d, visible ts %d\n",
+			*resume, m.LastEpochSeq+1, m.LastCommitTS)
+	} else {
+		node, err = htap.NewNode(htap.Kind(*algo), plan, opts)
+		if err != nil {
+			return err
+		}
+	}
+	defer node.Close()
+
+	if *gcEvery > 0 {
+		stop := node.StartVacuumLoop(*gcEvery, 0)
+		defer stop()
+	}
+
+	m := ship.NewMetrics(metrics.Default)
+	rcv := node.ShipReceiver(ship.ReceiverConfig{
+		Schema:  ship.SchemaHash(*name, workload.TableIDs(gen.Tables())),
+		Metrics: m,
+		Drain:   func() error { node.Drain(); return node.Err() },
+	})
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
-	fmt.Printf("backup (%s, %d workers) listening on %s\n", *algo, *workers, *listen)
+	fmt.Printf("backup (%s, %d workers) listening on %s, cursor %d\n",
+		*algo, *workers, *listen, rcv.Cursor())
 
+	stopProgress := startProgress(func() {
+		st := rcv.Stats()
+		fmt.Printf("  %8d txns received, cursor %d, visible ts %d | %s\n",
+			st.Txns, st.Cursor, node.VisibleTS(), metrics.Default.Line("ship_"))
+	})
+	defer stopProgress()
+
+	start := time.Now()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return err
 		}
-		if err := serveStream(conn, htap.Kind(*algo), plan, *workers, *ckpt, *gcEvery); err != nil {
+		done, err := rcv.Serve(conn)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "stream:", err)
 		}
-		if *once {
-			return nil
-		}
-	}
-}
-
-func serveStream(conn net.Conn, kind htap.Kind, plan *grouping.Plan, workers int, ckptPath string, gcEvery time.Duration) error {
-	defer conn.Close()
-	mt := memtable.New()
-	r, err := htap.NewReplayer(kind, mt, plan, htap.Options{Workers: workers})
-	if err != nil {
-		return err
-	}
-	r.Start()
-	defer r.Stop()
-
-	// Optional background vacuum: prune versions older than a trailing
-	// retention window behind the visible timestamp. Readers are served at
-	// or after the visible timestamp, so the watermark is safe.
-	stopGC := make(chan struct{})
-	defer close(stopGC)
-	if gcEvery > 0 {
-		go func() {
-			t := time.NewTicker(gcEvery)
-			defer t.Stop()
-			for {
-				select {
-				case <-stopGC:
-					return
-				case <-t.C:
-					if ts := r.GlobalTS(); ts > 0 {
-						removed := mt.Vacuum(ts)
-						if removed > 0 {
-							fmt.Printf("  gc: pruned %d versions below ts %d\n", removed, ts)
-						}
-					}
-				}
-			}
-		}()
-	}
-
-	br := bufio.NewReaderSize(conn, 1<<20)
-	start := time.Now()
-	var txns, entries int
-	var lastSeq uint64
-	lastReport := start
-	for {
-		enc, err := readEpoch(br)
-		if err == io.EOF {
+		if done && *once {
 			break
 		}
-		if err != nil {
-			return err
-		}
-		txns += enc.TxnCount
-		entries += enc.EntryCount
-		lastSeq = enc.Seq
-		r.Feed(enc)
-		if time.Since(lastReport) > time.Second {
-			fmt.Printf("  %8d txns received, visible ts %d\n", txns, r.GlobalTS())
-			lastReport = time.Now()
-		}
 	}
-	r.Drain()
-	if err := r.Err(); err != nil {
+	node.Drain()
+	if err := node.Err(); err != nil {
 		return err
 	}
+	st := rcv.Stats()
 	elapsed := time.Since(start)
-	fmt.Printf("replayed %d txns (%d entries) in %v — %.0f txns/s, final visible ts %d\n",
-		txns, entries, elapsed.Round(time.Millisecond),
-		float64(txns)/elapsed.Seconds(), r.GlobalTS())
+	fmt.Printf("replayed %d txns (%d entries, %d duplicates dropped) in %v — %.0f txns/s, final visible ts %d\n",
+		st.Txns, st.Entries, st.Duplicates, elapsed.Round(time.Millisecond),
+		float64(st.Txns)/elapsed.Seconds(), node.VisibleTS())
 
-	if ckptPath != "" {
-		f, err := os.Create(ckptPath)
+	if *ckpt != "" {
+		f, err := os.Create(*ckpt)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		meta := checkpoint.Meta{LastEpochSeq: lastSeq, LastCommitTS: r.GlobalTS()}
-		if err := checkpoint.Write(f, mt, meta); err != nil {
+		meta, err := node.Checkpoint(f)
+		if err != nil {
 			return err
 		}
-		fmt.Printf("checkpoint written to %s (epoch %d, ts %d)\n", ckptPath, meta.LastEpochSeq, meta.LastCommitTS)
+		fmt.Printf("checkpoint written to %s (epoch %d, ts %d)\n", *ckpt, meta.LastEpochSeq, meta.LastCommitTS)
 	}
 	return nil
+}
+
+// startProgress runs fn once a second until the returned stop function
+// is called.
+func startProgress(fn func()) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				fn()
+			}
+		}
+	}()
+	return func() { close(done) }
 }

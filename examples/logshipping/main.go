@@ -1,25 +1,24 @@
-// Log shipping: a primary and a backup in one process connected by a real
-// TCP socket, exercising the same wire protocol as cmd/replayd. The
-// primary executes TPC-C and streams epochs; the backup replays them with
-// AETS while a reader polls visibility.
+// Log shipping: a primary and a backup in one process connected by a
+// real TCP socket, using the internal/ship replication transport — the
+// same protocol as cmd/replayd. The primary executes TPC-C and streams
+// epochs through a fault-injected connection that is severed mid-epoch;
+// the sender reconnects, the handshake resumes from the backup's
+// cursor, and the backup replays everything exactly once with AETS.
 //
 // Run with: go run ./examples/logshipping
 package main
 
 import (
-	"bufio"
-	"encoding/binary"
 	"fmt"
-	"io"
 	"log"
 	"net"
 	"time"
 
-	"aets/internal/epoch"
 	"aets/internal/grouping"
 	"aets/internal/htap"
-	"aets/internal/memtable"
+	"aets/internal/metrics"
 	"aets/internal/primary"
+	"aets/internal/ship"
 	"aets/internal/workload"
 )
 
@@ -36,113 +35,96 @@ func main() {
 	done := make(chan error, 1)
 	go func() { done <- backup(ln) }()
 
-	if err := ship(addr); err != nil {
+	if err := shipEpochs(addr); err != nil {
 		log.Fatal(err)
 	}
 	if err := <-done; err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("shipping metrics: %s\n", metrics.Default.Line("ship_"))
 }
 
-// ship is the primary: generate, encode, stream.
-func ship(addr string) error {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	w := bufio.NewWriterSize(conn, 1<<20)
+func schema() uint64 {
+	gen := workload.NewTPCC(8)
+	return ship.SchemaHash("tpcc", workload.TableIDs(gen.Tables()))
+}
+
+// shipEpochs is the primary: generate, encode, stream — through a
+// connection that is deliberately cut 300 KB into the stream to show
+// reconnect and cursor-based resume.
+func shipEpochs(addr string) error {
+	dial := ship.FaultDialer(
+		func() (net.Conn, error) { return net.Dial("tcp", addr) },
+		func(i int) ship.FaultOpts {
+			if i == 0 {
+				return ship.FaultOpts{CutWriteAfter: 300_000} // sever mid-epoch
+			}
+			return ship.FaultOpts{}
+		})
+	s := ship.NewSender(ship.SenderConfig{
+		Dial:      dial,
+		Schema:    schema(),
+		Window:    8,
+		RetryBase: 5 * time.Millisecond,
+		Metrics:   ship.NewMetrics(metrics.Default),
+	})
 
 	p := primary.New(workload.NewTPCC(8), 1)
 	encs := p.GenerateEncoded(txns, 2048)
 	for i := range encs {
-		if err := writeEpoch(w, &encs[i]); err != nil {
+		if err := s.Send(&encs[i]); err != nil {
 			return err
 		}
 	}
-	fmt.Printf("primary: shipped %d epochs (%d txns)\n", len(encs), txns)
-	return w.Flush()
-}
-
-// backup receives the stream and replays it with AETS.
-func backup(ln net.Listener) error {
-	conn, err := ln.Accept()
-	if err != nil {
+	if err := s.Close(); err != nil {
 		return err
 	}
-	defer conn.Close()
-
-	gen := workload.NewTPCC(8)
-	plan := grouping.Build(htap.TPCCRates(1000), workload.TableIDs(gen.Tables()),
-		grouping.Options{Eps: 0.05, MinPts: 2})
-	mt := memtable.New()
-	r, err := htap.NewReplayer(htap.KindAETS, mt, plan, htap.Options{Workers: 4})
-	if err != nil {
-		return err
-	}
-	r.Start()
-	defer r.Stop()
-
-	br := bufio.NewReaderSize(conn, 1<<20)
-	start := time.Now()
-	var got int
-	for {
-		enc, err := readEpoch(br)
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return err
-		}
-		got += enc.TxnCount
-		r.Feed(enc)
-	}
-	r.Drain()
-	if err := r.Err(); err != nil {
-		return err
-	}
-	elapsed := time.Since(start)
-	fmt.Printf("backup: replayed %d txns in %v (%.0f txns/s), visible ts %d, order_line rows %d\n",
-		got, elapsed.Round(time.Millisecond), float64(got)/elapsed.Seconds(),
-		r.GlobalTS(), mt.Table(workload.TPCCOrderLine).Len())
+	st := s.Stats()
+	fmt.Printf("primary: shipped %d epochs (%d txns), %d acked, survived %d reconnect(s)\n",
+		len(encs), txns, st.Acked, st.Reconnects)
 	return nil
 }
 
-// The replayd wire format: header + epoch payload, little endian.
-
-func writeEpoch(w io.Writer, enc *epoch.Encoded) error {
-	var hdr [36]byte
-	binary.LittleEndian.PutUint64(hdr[0:], enc.Seq)
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(enc.TxnCount))
-	binary.LittleEndian.PutUint64(hdr[12:], enc.LastTxnID)
-	binary.LittleEndian.PutUint64(hdr[20:], uint64(enc.LastCommitTS))
-	binary.LittleEndian.PutUint32(hdr[28:], uint32(enc.EntryCount))
-	binary.LittleEndian.PutUint32(hdr[32:], uint32(len(enc.Buf)))
-	if _, err := w.Write(hdr[:]); err != nil {
+// backup receives the stream and replays it with AETS, accepting
+// connections until the sender signals a clean end of stream.
+func backup(ln net.Listener) error {
+	gen := workload.NewTPCC(8)
+	plan := grouping.Build(htap.TPCCRates(1000), workload.TableIDs(gen.Tables()),
+		grouping.Options{Eps: 0.05, MinPts: 2})
+	node, err := htap.NewNode(htap.KindAETS, plan, htap.Options{Workers: 4})
+	if err != nil {
 		return err
 	}
-	_, err := w.Write(enc.Buf)
-	return err
-}
+	defer node.Close()
 
-func readEpoch(r io.Reader) (*epoch.Encoded, error) {
-	var hdr [36]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	enc := &epoch.Encoded{
-		Seq:          binary.LittleEndian.Uint64(hdr[0:]),
-		TxnCount:     int(binary.LittleEndian.Uint32(hdr[8:])),
-		LastTxnID:    binary.LittleEndian.Uint64(hdr[12:]),
-		LastCommitTS: int64(binary.LittleEndian.Uint64(hdr[20:])),
-		EntryCount:   int(binary.LittleEndian.Uint32(hdr[28:])),
-	}
-	n := binary.LittleEndian.Uint32(hdr[32:])
-	if n > 0 {
-		enc.Buf = make([]byte, n)
-		if _, err := io.ReadFull(r, enc.Buf); err != nil {
-			return nil, err
+	rcv := node.ShipReceiver(ship.ReceiverConfig{
+		Schema: schema(),
+		Drain:  func() error { node.Drain(); return node.Err() },
+	})
+
+	start := time.Now()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		done, err := rcv.Serve(conn)
+		if err != nil {
+			fmt.Printf("backup: stream interrupted (%v), waiting for reconnect at cursor %d\n",
+				err, rcv.Cursor())
+		}
+		if done {
+			break
 		}
 	}
-	return enc, nil
+	node.Drain()
+	if err := node.Err(); err != nil {
+		return err
+	}
+	st := rcv.Stats()
+	elapsed := time.Since(start)
+	fmt.Printf("backup: replayed %d txns in %v (%.0f txns/s), %d duplicate epoch(s) dropped, visible ts %d, order_line rows %d\n",
+		st.Txns, elapsed.Round(time.Millisecond), float64(st.Txns)/elapsed.Seconds(),
+		st.Duplicates, node.VisibleTS(), node.Memtable().Table(workload.TPCCOrderLine).Len())
+	return nil
 }

@@ -25,6 +25,7 @@ type Node struct {
 
 	mu      sync.Mutex
 	lastSeq uint64
+	fed     bool
 }
 
 // NewNode builds a backup node with the given replay algorithm and plan.
@@ -45,6 +46,7 @@ func RestoreNode(src io.Reader, kind Kind, plan *grouping.Plan, opts Options) (*
 		return nil, meta, err
 	}
 	n.lastSeq = meta.LastEpochSeq
+	n.fed = true
 	// Make the restored state immediately visible: everything up to the
 	// checkpoint watermark is present.
 	hb := epoch.Encoded{Seq: meta.LastEpochSeq, LastCommitTS: meta.LastCommitTS}
@@ -67,8 +69,32 @@ func newNodeWith(mt *memtable.Memtable, kind Kind, plan *grouping.Plan, opts Opt
 func (n *Node) Feed(enc *epoch.Encoded) {
 	n.mu.Lock()
 	n.lastSeq = enc.Seq
+	n.fed = true
 	n.mu.Unlock()
 	n.r.Feed(enc)
+}
+
+// Heartbeat feeds a dummy epoch carrying only the primary's current
+// commit timestamp, advancing visibility on an idle stream (paper
+// §V-B) without consuming an epoch sequence number — the replication
+// resume cursor is untouched.
+func (n *Node) Heartbeat(ts int64) {
+	n.mu.Lock()
+	seq := n.lastSeq
+	n.mu.Unlock()
+	n.r.Feed(&epoch.Encoded{Seq: seq, LastCommitTS: ts})
+}
+
+// NextSeq returns the next epoch sequence number the node expects: 0 on
+// a fresh node, last fed seq + 1 otherwise. This is the replication
+// resume cursor a reconnecting primary is told in the handshake.
+func (n *Node) NextSeq() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.fed {
+		return 0
+	}
+	return n.lastSeq + 1
 }
 
 // Drain blocks until all fed epochs are replayed.

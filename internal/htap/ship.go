@@ -1,0 +1,19 @@
+package htap
+
+import "aets/internal/ship"
+
+// A Node is fed directly by the replication receiver.
+var _ ship.Applier = (*Node)(nil)
+
+// ShipReceiver returns a replication receiver feeding this node. The
+// config's Applier is bound to the node and, unless set, the resume
+// cursor starts at the node's next expected epoch (nonzero after
+// RestoreNode — that is what lets a restarted backup resume the stream
+// instead of re-replaying it).
+func (n *Node) ShipReceiver(cfg ship.ReceiverConfig) *ship.Receiver {
+	cfg.Applier = n
+	if cfg.Resume == 0 {
+		cfg.Resume = n.NextSeq()
+	}
+	return ship.NewReceiver(cfg)
+}

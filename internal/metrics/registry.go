@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing operational metric (events,
+// epochs, reconnects). Safe for concurrent use; the zero value is ready.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is a point-in-time operational metric (in-flight window size,
+// replication lag). Safe for concurrent use; the zero value is ready.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Registry names counters and gauges so subsystems can register their
+// operational metrics once and reporting loops can snapshot them all.
+// Lookups are get-or-create, so independent components naming the same
+// metric share one instance.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+	}
+}
+
+// Default is the process-wide registry used when callers do not supply
+// their own (cmd/replayd reports from it).
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it if absent.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if absent.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Snapshot returns every registered metric's current value by name.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.counters)+len(r.gauges))
+	for name, c := range r.counters {
+		out[name] = float64(c.Load())
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Load()
+	}
+	return out
+}
+
+// Line renders the metrics whose names start with prefix as one
+// "name=value" log line, sorted by name.
+func (r *Registry) Line(prefix string) string {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, name := range names {
+		v := snap[name]
+		if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+			parts[i] = fmt.Sprintf("%s=%d", name, int64(v))
+		} else {
+			parts[i] = fmt.Sprintf("%s=%.3f", name, v)
+		}
+	}
+	return strings.Join(parts, " ")
+}

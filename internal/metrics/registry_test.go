@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ship_epochs_sent")
+	c.Add(3)
+	if got := r.Counter("ship_epochs_sent").Load(); got != 3 {
+		t.Fatalf("counter not shared: got %d, want 3", got)
+	}
+	g := r.Gauge("ship_lag_seconds")
+	g.Set(0.25)
+	if got := r.Gauge("ship_lag_seconds").Load(); got != 0.25 {
+		t.Fatalf("gauge not shared: got %v, want 0.25", got)
+	}
+
+	snap := r.Snapshot()
+	if snap["ship_epochs_sent"] != 3 || snap["ship_lag_seconds"] != 0.25 {
+		t.Fatalf("bad snapshot: %v", snap)
+	}
+}
+
+func TestRegistryLine(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ship_inflight_b").Add(2)
+	r.Counter("ship_inflight_a").Add(1)
+	r.Gauge("other_metric").Set(9)
+	line := r.Line("ship_")
+	if line != "ship_inflight_a=1 ship_inflight_b=2" {
+		t.Fatalf("bad line: %q", line)
+	}
+	if strings.Contains(r.Line(""), "other_metric=9") == false {
+		t.Fatalf("unfiltered line misses gauge: %q", r.Line(""))
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Set(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Load(); got != 8000 {
+		t.Fatalf("lost increments: got %d, want 8000", got)
+	}
+}

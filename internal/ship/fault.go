@@ -1,0 +1,140 @@
+package ship
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error surfaced by a FaultConn when it cuts the
+// connection. Tests match on it to distinguish injected faults from
+// real ones.
+var ErrInjected = errors.New("ship: injected fault")
+
+// FaultOpts scripts the faults a FaultConn injects. The zero value is a
+// transparent wrapper. All faults are deterministic (byte and call
+// counts, no randomness), so tests replay identically.
+type FaultOpts struct {
+	// Latency is added before every Read and Write.
+	Latency time.Duration
+	// CutWriteAfter cuts the wire after this many bytes have been
+	// written — typically mid-frame, so the peer sees a truncated epoch.
+	// Subsequent writes fail with ErrInjected. 0 disables.
+	CutWriteAfter int64
+	// Chunk caps the bytes per underlying Write, splitting frames across
+	// many small writes (partial-write delivery). 0 disables.
+	Chunk int
+	// DuplicateEvery transmits every Nth Write call's bytes twice. When
+	// the writer emits one frame per call (WriteFrame does), this is
+	// frame-aligned duplicate delivery. 0 disables.
+	DuplicateEvery int
+}
+
+// FaultConn wraps a net.Conn with deterministic fault injection:
+// latency, partial writes, a mid-stream cut, and duplicate delivery.
+type FaultConn struct {
+	net.Conn
+	opts FaultOpts
+
+	mu      sync.Mutex
+	written int64
+	calls   int
+	cut     bool
+}
+
+// NewFaultConn wraps c with the scripted faults.
+func NewFaultConn(c net.Conn, opts FaultOpts) *FaultConn {
+	return &FaultConn{Conn: c, opts: opts}
+}
+
+// FaultDialer wraps dial so the i-th connection (0-based) is faulted
+// with opts(i). Use it to cut a sender's first connection and let its
+// reconnect proceed cleanly.
+func FaultDialer(dial func() (net.Conn, error), opts func(i int) FaultOpts) func() (net.Conn, error) {
+	var mu sync.Mutex
+	i := 0
+	return func() (net.Conn, error) {
+		mu.Lock()
+		n := i
+		i++
+		mu.Unlock()
+		c, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		return NewFaultConn(c, opts(n)), nil
+	}
+}
+
+// Read applies latency and reads from the wrapped conn.
+func (f *FaultConn) Read(p []byte) (int, error) {
+	if f.opts.Latency > 0 {
+		time.Sleep(f.opts.Latency)
+	}
+	return f.Conn.Read(p)
+}
+
+// Write applies the scripted faults and writes to the wrapped conn.
+func (f *FaultConn) Write(p []byte) (int, error) {
+	if f.opts.Latency > 0 {
+		time.Sleep(f.opts.Latency)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cut {
+		return 0, ErrInjected
+	}
+	f.calls++
+	n, err := f.writeLocked(p)
+	if err == nil && f.opts.DuplicateEvery > 0 && f.calls%f.opts.DuplicateEvery == 0 {
+		// Duplicate delivery: the peer sees the same bytes again. The
+		// caller's contract is satisfied by the first copy, so a cut during
+		// the duplicate still reports success for the original.
+		if _, derr := f.writeLocked(p); derr != nil {
+			return n, nil
+		}
+	}
+	return n, err
+}
+
+func (f *FaultConn) writeLocked(p []byte) (int, error) {
+	var n int
+	for len(p) > 0 {
+		c := len(p)
+		if f.opts.Chunk > 0 && c > f.opts.Chunk {
+			c = f.opts.Chunk
+		}
+		if f.opts.CutWriteAfter > 0 {
+			remain := f.opts.CutWriteAfter - f.written
+			if remain <= 0 {
+				f.cutLocked()
+				return n, ErrInjected
+			}
+			if int64(c) > remain {
+				c = int(remain)
+			}
+		}
+		m, err := f.Conn.Write(p[:c])
+		n += m
+		f.written += int64(m)
+		if err != nil {
+			return n, err
+		}
+		p = p[c:]
+		if f.opts.CutWriteAfter > 0 && f.written >= f.opts.CutWriteAfter {
+			f.cutLocked()
+			if len(p) > 0 {
+				return n, ErrInjected
+			}
+		}
+	}
+	return n, nil
+}
+
+func (f *FaultConn) cutLocked() {
+	if !f.cut {
+		f.cut = true
+		f.Conn.Close()
+	}
+}

@@ -1,0 +1,162 @@
+package ship
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"aets/internal/epoch"
+	"aets/internal/wal"
+)
+
+func testEpoch(rng *rand.Rand, seq uint64) *epoch.Encoded {
+	buf := make([]byte, 10+rng.Intn(200))
+	rng.Read(buf)
+	return &epoch.Encoded{
+		Seq:          seq,
+		Buf:          buf,
+		TxnCount:     1 + rng.Intn(100),
+		EntryCount:   1 + rng.Intn(1000),
+		FirstTxnID:   uint64(rng.Int63()),
+		LastTxnID:    uint64(rng.Int63()),
+		LastCommitTS: rng.Int63(),
+	}
+}
+
+func TestFrameRoundtrip(t *testing.T) {
+	var b bytes.Buffer
+	payloads := map[byte][]byte{
+		KindHello:     appendHello(nil, 0xfeed),
+		KindWelcome:   appendWelcome(nil, 0xfeed, 42),
+		KindAck:       appendCursor(nil, 7),
+		KindHeartbeat: appendHeartbeat(nil, -1),
+		KindEOS:       appendCursor(nil, 99),
+	}
+	for kind, p := range payloads {
+		if err := WriteFrame(&b, kind, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[byte]bool{}
+	for i := 0; i < len(payloads); i++ {
+		kind, p, err := ReadFrame(&b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(p, payloads[kind]) {
+			t.Fatalf("kind %d payload mismatch", kind)
+		}
+		seen[kind] = true
+	}
+	if len(seen) != len(payloads) {
+		t.Fatalf("saw %d kinds, want %d", len(seen), len(payloads))
+	}
+	if _, _, err := ReadFrame(&b); err != io.EOF {
+		t.Fatalf("want io.EOF at end, got %v", err)
+	}
+}
+
+func TestHandshakePayloadParsers(t *testing.T) {
+	schema, err := parseHello(appendHello(nil, 123))
+	if err != nil || schema != 123 {
+		t.Fatalf("hello: %d, %v", schema, err)
+	}
+	s2, cur, err := parseWelcome(appendWelcome(nil, 5, 6))
+	if err != nil || s2 != 5 || cur != 6 {
+		t.Fatalf("welcome: %d %d %v", s2, cur, err)
+	}
+	ts, err := parseHeartbeat(appendHeartbeat(nil, -77))
+	if err != nil || ts != -77 {
+		t.Fatalf("heartbeat: %d %v", ts, err)
+	}
+	for _, bad := range [][]byte{nil, {1}, make([]byte, 7), make([]byte, 9), make([]byte, 17)} {
+		if _, err := parseHello(bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("hello accepted %d bytes", len(bad))
+		}
+		if _, _, err := parseWelcome(bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("welcome accepted %d bytes", len(bad))
+		}
+	}
+}
+
+func TestEpochPayloadRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		want := testEpoch(rng, uint64(i))
+		got, err := DecodeEpoch(EncodeEpoch(want))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Seq != want.Seq || got.TxnCount != want.TxnCount ||
+			got.EntryCount != want.EntryCount || got.LastTxnID != want.LastTxnID ||
+			got.LastCommitTS != want.LastCommitTS || !bytes.Equal(got.Buf, want.Buf) {
+			t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+func TestReadFrameRejectsDamage(t *testing.T) {
+	valid := AppendFrame(nil, KindEpoch, EncodeEpoch(testEpoch(rand.New(rand.NewSource(2)), 3)))
+
+	for cut := 1; cut < len(valid); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(valid[:cut]))
+		if !errors.Is(err, ErrShortFrame) {
+			t.Fatalf("truncation at %d: got %v, want ErrShortFrame", cut, err)
+		}
+	}
+
+	bad := append([]byte(nil), valid...)
+	bad[0] = 0x00 // magic
+	if _, _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: %v", err)
+	}
+
+	bad = append([]byte(nil), valid...)
+	bad[1] = Version + 1
+	if _, _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrVersion) {
+		t.Fatalf("bad version: %v", err)
+	}
+
+	bad = append([]byte(nil), valid...)
+	bad[len(bad)/2] ^= 0x40 // flip a payload bit: CRC must catch it
+	if _, _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("payload corruption: %v", err)
+	}
+
+	// An absurd length must be rejected before allocation.
+	huge := AppendFrame(nil, KindAck, appendCursor(nil, 1))
+	huge[4], huge[5], huge[6], huge[7] = 0xff, 0xff, 0xff, 0xff
+	if _, _, err := ReadFrame(bytes.NewReader(huge)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("huge length: %v", err)
+	}
+}
+
+func TestDecodeEpochRejectsDamage(t *testing.T) {
+	if _, err := DecodeEpoch(nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("nil payload: %v", err)
+	}
+	p := EncodeEpoch(testEpoch(rand.New(rand.NewSource(3)), 0))
+	if _, err := DecodeEpoch(p[:20]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short payload: %v", err)
+	}
+	// Declared buf length disagreeing with the payload size.
+	p[32] ^= 0xff
+	if _, err := DecodeEpoch(p); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bufLen mismatch: %v", err)
+	}
+}
+
+func TestSchemaHashSensitivity(t *testing.T) {
+	a := SchemaHash("tpcc", []wal.TableID{1, 2, 3})
+	if a != SchemaHash("tpcc", []wal.TableID{1, 2, 3}) {
+		t.Fatal("hash not deterministic")
+	}
+	if a == SchemaHash("tpcc", []wal.TableID{1, 2}) {
+		t.Fatal("hash ignores tables")
+	}
+	if a == SchemaHash("chbench", []wal.TableID{1, 2, 3}) {
+		t.Fatal("hash ignores name")
+	}
+}

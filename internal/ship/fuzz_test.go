@@ -1,0 +1,92 @@
+package ship
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// fuzzSeeds are valid frames of every kind plus pathological inputs.
+func fuzzSeeds() [][]byte {
+	rng := rand.New(rand.NewSource(11))
+	enc := testEpoch(rng, 5)
+	seeds := [][]byte{
+		nil,
+		{frameMagic},
+		AppendFrame(nil, KindHello, appendHello(nil, 0xabc)),
+		AppendFrame(nil, KindWelcome, appendWelcome(nil, 0xabc, 17)),
+		AppendFrame(nil, KindEpoch, EncodeEpoch(enc)),
+		AppendFrame(nil, KindAck, appendCursor(nil, 9)),
+		AppendFrame(nil, KindHeartbeat, appendHeartbeat(nil, 123)),
+		AppendFrame(nil, KindEOS, appendCursor(nil, 8)),
+	}
+	// A truncated and a bit-flipped epoch frame.
+	full := AppendFrame(nil, KindEpoch, EncodeEpoch(enc))
+	seeds = append(seeds, full[:len(full)/2])
+	flipped := append([]byte(nil), full...)
+	flipped[len(flipped)/3] ^= 0x10
+	return append(seeds, flipped)
+}
+
+// checkReadFrame asserts the decoder's closed error contract: every
+// input either yields a frame or one of the typed errors — no panics,
+// no foreign errors.
+func checkReadFrame(t *testing.T, data []byte) {
+	t.Helper()
+	kind, payload, err := ReadFrame(bytes.NewReader(data))
+	switch {
+	case err == nil:
+		if kind == KindEpoch {
+			if enc, derr := DecodeEpoch(payload); derr == nil && enc == nil {
+				t.Fatal("DecodeEpoch returned nil, nil")
+			}
+		}
+	case errors.Is(err, io.EOF), errors.Is(err, ErrShortFrame),
+		errors.Is(err, ErrCorrupt), errors.Is(err, ErrVersion):
+	default:
+		t.Fatalf("ReadFrame returned untyped error %v for %d bytes", err, len(data))
+	}
+}
+
+// FuzzReadFrame throws arbitrary bytes at the frame decoder: a
+// malformed or truncated frame must never panic the receiver — it
+// returns a typed ErrCorrupt/ErrShortFrame/ErrVersion (mirrors
+// internal/wal's codec fuzz).
+func FuzzReadFrame(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		checkReadFrame(t, data)
+	})
+}
+
+// TestReadFrameNeverPanicsOnMutation runs the same property over
+// deterministic mutations in a plain `go test` run (no fuzz engine).
+func TestReadFrameNeverPanicsOnMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 3000; trial++ {
+		buf := AppendFrame(nil, KindEpoch, EncodeEpoch(testEpoch(rng, uint64(trial))))
+		for m := 0; m < 1+rng.Intn(4); m++ {
+			buf[rng.Intn(len(buf))] ^= byte(1 + rng.Intn(255))
+		}
+		if rng.Intn(3) == 0 {
+			buf = buf[:rng.Intn(len(buf))]
+		}
+		checkReadFrame(t, buf)
+	}
+}
+
+// TestReadFrameNeverPanicsOnRandomBytes throws raw noise at the
+// decoders.
+func TestReadFrameNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 3000; trial++ {
+		buf := make([]byte, rng.Intn(300))
+		rng.Read(buf)
+		checkReadFrame(t, buf)
+		_, _ = DecodeEpoch(buf)
+	}
+}

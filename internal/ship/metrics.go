@@ -1,0 +1,42 @@
+package ship
+
+import "aets/internal/metrics"
+
+// Metrics holds the shipping gauges and counters. Both ends of a link
+// can share one instance (single-process demos) or keep their own.
+type Metrics struct {
+	// EpochsSent counts epoch frames written by the sender, including
+	// retransmissions after a reconnect.
+	EpochsSent *metrics.Counter
+	// EpochsAcked counts epochs the sender has retired: cumulatively
+	// acknowledged by the backup, or trimmed by a resume handshake.
+	EpochsAcked *metrics.Counter
+	// Inflight is the sender's current sent-but-unacked window occupancy.
+	Inflight *metrics.Gauge
+	// Reconnects counts re-established connections (the first connect is
+	// not a reconnect).
+	Reconnects *metrics.Counter
+	// LagSeconds is the age of the oldest unacknowledged epoch (0 when
+	// the window is empty): how far the backup's replay trails the
+	// primary's send point.
+	LagSeconds *metrics.Gauge
+	// Duplicates counts epochs the receiver dropped as already applied
+	// (redelivered after a mid-window reconnect).
+	Duplicates *metrics.Counter
+}
+
+// NewMetrics registers the shipping metrics in r (metrics.Default when
+// nil) under their canonical names and returns the handle.
+func NewMetrics(r *metrics.Registry) *Metrics {
+	if r == nil {
+		r = metrics.Default
+	}
+	return &Metrics{
+		EpochsSent:  r.Counter("ship_epochs_sent"),
+		EpochsAcked: r.Counter("ship_epochs_acked"),
+		Inflight:    r.Gauge("ship_inflight"),
+		Reconnects:  r.Counter("ship_reconnects_total"),
+		LagSeconds:  r.Gauge("ship_lag_seconds"),
+		Duplicates:  r.Counter("ship_duplicates_total"),
+	}
+}

@@ -1,0 +1,235 @@
+package ship
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"aets/internal/epoch"
+)
+
+// Applier consumes the replicated stream on the backup. *htap.Node
+// satisfies it.
+type Applier interface {
+	// Feed applies one epoch; the receiver guarantees strictly
+	// sequential, gap-free, duplicate-free delivery.
+	Feed(*epoch.Encoded)
+	// Heartbeat advances visibility on an idle stream (the paper's
+	// dummy-log epoch) without consuming an epoch sequence number.
+	Heartbeat(ts int64)
+}
+
+// ReceiverConfig configures the backup side of a replication link.
+type ReceiverConfig struct {
+	// Schema is the workload schema hash the sender must present.
+	Schema uint64
+	// Resume is the initial cursor: the next epoch sequence expected.
+	// A backup restored from a checkpoint passes meta.LastEpochSeq+1
+	// (htap.Node.NextSeq does this); a fresh backup passes 0.
+	Resume uint64
+	// Applier receives the ordered epochs. Required.
+	Applier Applier
+	// AckEvery batches cumulative acks: one every N applied epochs. The
+	// receiver additionally acks whenever its input buffer drains, so a
+	// blocked sender is never starved of the ack it waits for.
+	// Default 1.
+	AckEvery int
+	// Drain, when set, is called before the final ack of a clean
+	// end-of-stream — the hook where the backup quiesces replay and cuts
+	// its checkpoint, making the resume cursor durable.
+	Drain func() error
+	// Metrics receives the duplicate counter; nil registers the default
+	// names in metrics.Default.
+	Metrics *Metrics
+}
+
+// ReceiverStats is a point-in-time view of a receiver's progress.
+type ReceiverStats struct {
+	Cursor     uint64 // next epoch sequence expected
+	Txns       int64  // transactions applied
+	Entries    int64  // DML entries applied
+	Duplicates int64  // epochs dropped as already applied
+}
+
+// Receiver is the backup side of a replication link: it answers the
+// resume handshake with its cursor, validates and orders incoming
+// epochs (dropping redelivered ones, rejecting gaps), feeds them to the
+// Applier and returns cumulative acknowledgements. One Receiver serves
+// any number of consecutive sender connections; the cursor carries
+// across them.
+type Receiver struct {
+	cfg ReceiverConfig
+	m   *Metrics
+
+	serveMu sync.Mutex // one active connection at a time
+
+	mu      sync.Mutex
+	cursor  uint64
+	txns    int64
+	entries int64
+	dups    int64
+}
+
+// NewReceiver returns a Receiver starting at cfg.Resume.
+func NewReceiver(cfg ReceiverConfig) *Receiver {
+	if cfg.Applier == nil {
+		panic("ship: ReceiverConfig.Applier is required")
+	}
+	if cfg.AckEvery <= 0 {
+		cfg.AckEvery = 1
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewMetrics(nil)
+	}
+	return &Receiver{cfg: cfg, m: cfg.Metrics, cursor: cfg.Resume}
+}
+
+// Cursor returns the next epoch sequence the receiver expects.
+func (r *Receiver) Cursor() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cursor
+}
+
+// Stats returns a snapshot of the receiver's progress.
+func (r *Receiver) Stats() ReceiverStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ReceiverStats{Cursor: r.cursor, Txns: r.txns, Entries: r.entries, Duplicates: r.dups}
+}
+
+// Serve handles one sender connection until it ends. done is true on a
+// clean end-of-stream (EOS); false with a nil error means the
+// connection dropped at a frame boundary and the sender may reconnect.
+// Overlapping connections serialize: a second Serve blocks until the
+// first returns.
+func (r *Receiver) Serve(conn net.Conn) (done bool, err error) {
+	r.serveMu.Lock()
+	defer r.serveMu.Unlock()
+	defer conn.Close()
+
+	br := bufio.NewReaderSize(conn, 1<<20)
+	bw := bufio.NewWriterSize(conn, 1<<12)
+
+	kind, payload, err := ReadFrame(br)
+	if err != nil {
+		return false, fmt.Errorf("ship: handshake: %w", err)
+	}
+	if kind != KindHello {
+		return false, fmt.Errorf("%w: expected HELLO, got kind %d", ErrCorrupt, kind)
+	}
+	schema, err := parseHello(payload)
+	if err != nil {
+		return false, err
+	}
+	// Always answer with our schema and cursor; on a mismatch the sender
+	// reads the WELCOME, sees the foreign schema, and aborts permanently
+	// instead of retrying a doomed link.
+	if err := r.welcome(bw); err != nil {
+		return false, err
+	}
+	if schema != r.cfg.Schema {
+		return false, fmt.Errorf("%w: sender %016x, receiver %016x", ErrSchemaMismatch, schema, r.cfg.Schema)
+	}
+
+	// A failed ack write means the sender is gone or going — but frames
+	// already received (possibly including EOS) are still worth applying:
+	// they are durable here, and anything the sender never saw acked is
+	// redelivered after reconnect and deduped. Park the first ack error
+	// and keep draining the read side.
+	var ackErr error
+	ack := func() {
+		if ackErr == nil {
+			ackErr = r.sendAck(bw)
+		}
+	}
+
+	sinceAck := 0
+	for {
+		kind, payload, err := ReadFrame(br)
+		if err == io.EOF {
+			// Dropped between frames; the sender may resume. Surface a
+			// parked ack failure so the caller logs why the link died.
+			return false, ackErr
+		}
+		if err != nil {
+			return false, err
+		}
+		switch kind {
+		case KindEpoch:
+			enc, err := DecodeEpoch(payload)
+			if err != nil {
+				return false, err
+			}
+			r.mu.Lock()
+			switch {
+			case enc.Seq < r.cursor:
+				// Redelivered after a mid-window reconnect: drop, but ack so
+				// the sender retires it.
+				r.dups++
+				r.m.Duplicates.Inc()
+				r.mu.Unlock()
+				ack()
+				continue
+			case enc.Seq > r.cursor:
+				want := r.cursor
+				r.mu.Unlock()
+				return false, fmt.Errorf("%w: got epoch %d, want %d", ErrGap, enc.Seq, want)
+			}
+			r.cursor = enc.Seq + 1
+			r.txns += int64(enc.TxnCount)
+			r.entries += int64(enc.EntryCount)
+			r.mu.Unlock()
+			r.cfg.Applier.Feed(enc)
+			sinceAck++
+			if sinceAck >= r.cfg.AckEvery || br.Buffered() == 0 {
+				ack()
+				sinceAck = 0
+			}
+		case KindHeartbeat:
+			ts, err := parseHeartbeat(payload)
+			if err != nil {
+				return false, err
+			}
+			r.cfg.Applier.Heartbeat(ts)
+			// Keep the sender's ack cursor and lag gauge fresh while idle.
+			ack()
+			sinceAck = 0
+		case KindEOS:
+			if r.cfg.Drain != nil {
+				if err := r.cfg.Drain(); err != nil {
+					return false, err
+				}
+			}
+			// Best-effort final ack: the stream is complete and durable
+			// locally whether or not the sender is still there to read it.
+			_ = r.sendAck(bw)
+			return true, nil
+		default:
+			return false, fmt.Errorf("%w: unexpected frame kind %d", ErrCorrupt, kind)
+		}
+	}
+}
+
+func (r *Receiver) sendAck(bw *bufio.Writer) error {
+	r.mu.Lock()
+	cur := r.cursor
+	r.mu.Unlock()
+	if err := WriteFrame(bw, KindAck, appendCursor(nil, cur)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// welcome writes the WELCOME frame carrying schema and cursor.
+func (r *Receiver) welcome(bw *bufio.Writer) error {
+	r.mu.Lock()
+	cur := r.cursor
+	r.mu.Unlock()
+	if err := WriteFrame(bw, KindWelcome, appendWelcome(nil, r.cfg.Schema, cur)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,506 @@
+// End-to-end tests of the replication transport: a real TCP listener, a
+// Sender shipping TPC-C epochs and an htap.Node applying them, compared
+// record-for-record against a directly fed node.
+package ship_test
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aets/internal/epoch"
+	"aets/internal/grouping"
+	"aets/internal/htap"
+	"aets/internal/metrics"
+	"aets/internal/primary"
+	"aets/internal/reference"
+	"aets/internal/ship"
+	"aets/internal/workload"
+)
+
+const testWarehouses = 4
+
+func tpccEncoded(txns, epochSize int) []epoch.Encoded {
+	p := primary.New(workload.NewTPCC(testWarehouses), 1)
+	return p.GenerateEncoded(txns, epochSize)
+}
+
+func tpccPlan() *grouping.Plan {
+	gen := workload.NewTPCC(testWarehouses)
+	return grouping.Build(htap.TPCCRates(1000), workload.TableIDs(gen.Tables()),
+		grouping.Options{Eps: 0.05, MinPts: 2})
+}
+
+func tpccSchema() uint64 {
+	return ship.SchemaHash("tpcc", workload.TableIDs(workload.NewTPCC(testWarehouses).Tables()))
+}
+
+func newNode(t *testing.T) *htap.Node {
+	t.Helper()
+	n, err := htap.NewNode(htap.KindAETS, tpccPlan(), htap.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// directNode replays the stream without any transport: the ground truth.
+func directNode(t *testing.T, encs []epoch.Encoded) *htap.Node {
+	t.Helper()
+	n := newNode(t)
+	for i := range encs {
+		n.Feed(&encs[i])
+	}
+	n.Drain()
+	if err := n.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func assertSameState(t *testing.T, got, want *htap.Node) {
+	t.Helper()
+	got.Drain()
+	want.Drain()
+	tables := workload.TableIDs(workload.NewTPCC(testWarehouses).Tables())
+	if err := reference.Equal(want.Memtable(), got.Memtable(), tables); err != nil {
+		t.Fatalf("backup state diverged: %v", err)
+	}
+}
+
+// serveLoop accepts and serves connections until a clean end-of-stream,
+// collecting per-connection errors (expected when faults cut the wire).
+func serveLoop(ln net.Listener, rcv *ship.Receiver) (<-chan struct{}, *connErrs) {
+	done := make(chan struct{})
+	errs := &connErrs{}
+	go func() {
+		defer close(done)
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				errs.add(err)
+				return
+			}
+			finished, err := rcv.Serve(conn)
+			if err != nil {
+				errs.add(err)
+			}
+			if finished {
+				return
+			}
+		}
+	}()
+	return done, errs
+}
+
+type connErrs struct {
+	mu   sync.Mutex
+	list []error
+}
+
+func (c *connErrs) add(err error) {
+	c.mu.Lock()
+	c.list = append(c.list, err)
+	c.mu.Unlock()
+}
+
+func (c *connErrs) all() []error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]error(nil), c.list...)
+}
+
+func waitDone(t *testing.T, done <-chan struct{}, what string) {
+	t.Helper()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("%s: timeout", what)
+	}
+}
+
+func listen(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln
+}
+
+func dialer(addr string) func() (net.Conn, error) {
+	return func() (net.Conn, error) { return net.Dial("tcp", addr) }
+}
+
+func TestShipEndToEnd(t *testing.T) {
+	encs := tpccEncoded(4096, 256)
+	want := directNode(t, encs)
+	defer want.Close()
+
+	ln := listen(t)
+	defer ln.Close()
+	node := newNode(t)
+	defer node.Close()
+	reg := metrics.NewRegistry()
+	rcv := node.ShipReceiver(ship.ReceiverConfig{
+		Schema:  tpccSchema(),
+		Metrics: ship.NewMetrics(reg),
+		Drain:   func() error { node.Drain(); return node.Err() },
+	})
+	done, errs := serveLoop(ln, rcv)
+
+	s := ship.NewSender(ship.SenderConfig{
+		Dial:    dialer(ln.Addr().String()),
+		Schema:  tpccSchema(),
+		Window:  4,
+		Metrics: ship.NewMetrics(reg),
+	})
+	for i := range encs {
+		if err := s.Send(&encs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, done, "serve loop")
+	for _, err := range errs.all() {
+		t.Fatalf("unexpected connection error: %v", err)
+	}
+
+	assertSameState(t, node, want)
+
+	st := s.Stats()
+	if st.Sent != int64(len(encs)) || st.Acked != int64(len(encs)) {
+		t.Fatalf("sent %d acked %d, want %d each", st.Sent, st.Acked, len(encs))
+	}
+	if st.Inflight != 0 || st.AckCursor != uint64(len(encs)) {
+		t.Fatalf("inflight %d cursor %d after close", st.Inflight, st.AckCursor)
+	}
+	if got := rcv.Stats(); got.Txns != 4096 || got.Duplicates != 0 {
+		t.Fatalf("receiver stats %+v", got)
+	}
+	if snap := reg.Snapshot(); snap["ship_epochs_sent"] != float64(len(encs)) ||
+		snap["ship_epochs_acked"] != float64(len(encs)) {
+		t.Fatalf("registry snapshot %v", snap)
+	}
+}
+
+func TestBackpressureBoundsInflightWindow(t *testing.T) {
+	encs := tpccEncoded(2048, 128) // 16 epochs
+	release := make(chan struct{})
+	app := &blockingApplier{release: release}
+	rcv := ship.NewReceiver(ship.ReceiverConfig{
+		Applier: app,
+		Metrics: ship.NewMetrics(metrics.NewRegistry()),
+	})
+	ln := listen(t)
+	defer ln.Close()
+	done, errs := serveLoop(ln, rcv)
+
+	const window = 2
+	s := ship.NewSender(ship.SenderConfig{
+		Dial:    dialer(ln.Addr().String()),
+		Schema:  0,
+		Window:  window,
+		Metrics: ship.NewMetrics(metrics.NewRegistry()),
+	})
+	var completed atomic.Int64
+	sendDone := make(chan error, 1)
+	go func() {
+		for i := range encs {
+			if err := s.Send(&encs[i]); err != nil {
+				sendDone <- err
+				return
+			}
+			completed.Add(1)
+		}
+		sendDone <- s.Close()
+	}()
+
+	// The applier blocks on the first epoch, so no acks flow: the sender
+	// must stall with exactly `window` epochs outstanding rather than
+	// buffering the whole stream.
+	deadline := time.Now().Add(5 * time.Second)
+	for completed.Load() < window && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond) // give a runaway sender time to overshoot
+	if got := completed.Load(); got != window {
+		t.Fatalf("sender completed %d sends while acks were blocked, want %d", got, window)
+	}
+	if st := s.Stats(); st.Inflight != window {
+		t.Fatalf("inflight %d while blocked, want %d", st.Inflight, window)
+	}
+
+	close(release)
+	if err := <-sendDone; err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, done, "serve loop")
+	for _, err := range errs.all() {
+		t.Fatalf("unexpected connection error: %v", err)
+	}
+	if st := s.Stats(); st.Acked != int64(len(encs)) {
+		t.Fatalf("acked %d, want %d", st.Acked, len(encs))
+	}
+	if got := app.fed.Load(); got != int64(len(encs)) {
+		t.Fatalf("applier saw %d epochs, want %d", got, len(encs))
+	}
+}
+
+type blockingApplier struct {
+	release chan struct{}
+	fed     atomic.Int64
+}
+
+func (a *blockingApplier) Feed(*epoch.Encoded) {
+	a.fed.Add(1)
+	<-a.release
+}
+
+func (a *blockingApplier) Heartbeat(int64) {}
+
+func TestHeartbeatAdvancesIdleVisibility(t *testing.T) {
+	ln := listen(t)
+	defer ln.Close()
+	node := newNode(t)
+	defer node.Close()
+	rcv := node.ShipReceiver(ship.ReceiverConfig{
+		Schema:  tpccSchema(),
+		Metrics: ship.NewMetrics(metrics.NewRegistry()),
+	})
+	done, errs := serveLoop(ln, rcv)
+
+	var ts atomic.Int64
+	s := ship.NewSender(ship.SenderConfig{
+		Dial:           dialer(ln.Addr().String()),
+		Schema:         tpccSchema(),
+		HeartbeatEvery: 5 * time.Millisecond,
+		HeartbeatTS:    func() int64 { return ts.Add(1000) },
+		Metrics:        ship.NewMetrics(metrics.NewRegistry()),
+	})
+	if err := s.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	// No epochs at all: heartbeats alone must advance global_cmt_ts (the
+	// paper's dummy-log mechanism for idle streams).
+	deadline := time.Now().Add(10 * time.Second)
+	for node.VisibleTS() < 3000 {
+		if time.Now().After(deadline) {
+			t.Fatalf("visible ts stuck at %d without epochs", node.VisibleTS())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, done, "serve loop")
+	for _, err := range errs.all() {
+		t.Fatalf("unexpected connection error: %v", err)
+	}
+	if node.NextSeq() != 0 {
+		t.Fatalf("heartbeats must not advance the resume cursor, got %d", node.NextSeq())
+	}
+}
+
+func TestResumeFromCheckpointDedupes(t *testing.T) {
+	encs := tpccEncoded(4096, 256) // 16 epochs
+	want := directNode(t, encs)
+	defer want.Close()
+
+	// Phase 1: ship the first 9 epochs, checkpoint, discard the node.
+	var ckpt bytes.Buffer
+	{
+		ln := listen(t)
+		node := newNode(t)
+		rcv := node.ShipReceiver(ship.ReceiverConfig{
+			Schema:  tpccSchema(),
+			Metrics: ship.NewMetrics(metrics.NewRegistry()),
+			Drain:   func() error { node.Drain(); return node.Err() },
+		})
+		done, errs := serveLoop(ln, rcv)
+		s := ship.NewSender(ship.SenderConfig{
+			Dial:    dialer(ln.Addr().String()),
+			Schema:  tpccSchema(),
+			Metrics: ship.NewMetrics(metrics.NewRegistry()),
+		})
+		for i := 0; i < 9; i++ {
+			if err := s.Send(&encs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, done, "phase-1 serve loop")
+		for _, err := range errs.all() {
+			t.Fatalf("phase 1: %v", err)
+		}
+		if _, err := node.Checkpoint(&ckpt); err != nil {
+			t.Fatal(err)
+		}
+		node.Close()
+		ln.Close()
+	}
+
+	// Phase 2: restore, and let a sender that knows nothing about the
+	// checkpoint replay the whole stream. The WELCOME cursor tells the
+	// sender epochs 0–8 are already durable, so they are retired at Send
+	// without touching the wire; only 9–15 are transmitted and applied.
+	node, meta, err := htap.RestoreNode(&ckpt, htap.KindAETS, tpccPlan(), htap.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if meta.LastEpochSeq != 8 || node.NextSeq() != 9 {
+		t.Fatalf("restored cursor: meta %d, next %d", meta.LastEpochSeq, node.NextSeq())
+	}
+	ln := listen(t)
+	defer ln.Close()
+	reg := metrics.NewRegistry()
+	rcv := node.ShipReceiver(ship.ReceiverConfig{
+		Schema:  tpccSchema(),
+		Metrics: ship.NewMetrics(reg),
+		Drain:   func() error { node.Drain(); return node.Err() },
+	})
+	done, errs := serveLoop(ln, rcv)
+	s := ship.NewSender(ship.SenderConfig{
+		Dial:    dialer(ln.Addr().String()),
+		Schema:  tpccSchema(),
+		Window:  4,
+		Metrics: ship.NewMetrics(reg),
+	})
+	for i := range encs {
+		if err := s.Send(&encs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, done, "phase-2 serve loop")
+	for _, err := range errs.all() {
+		t.Fatalf("phase 2: %v", err)
+	}
+
+	assertSameState(t, node, want)
+	if st := rcv.Stats(); st.Duplicates != 0 || st.Cursor != uint64(len(encs)) {
+		t.Fatalf("receiver stats %+v, want 0 duplicates, cursor %d", st, len(encs))
+	}
+	if st := s.Stats(); st.AckCursor != uint64(len(encs)) || st.Acked != int64(len(encs)) {
+		t.Fatalf("sender stats %+v, want everything acked at cursor %d", st, len(encs))
+	}
+	if st := s.Stats(); st.Sent != int64(len(encs)-9) {
+		t.Fatalf("sent %d epochs, want %d (0–8 trimmed by the resume handshake)", st.Sent, len(encs)-9)
+	}
+}
+
+func TestSchemaMismatchIsPermanent(t *testing.T) {
+	ln := listen(t)
+	defer ln.Close()
+	node := newNode(t)
+	defer node.Close()
+	rcv := node.ShipReceiver(ship.ReceiverConfig{
+		Schema:  tpccSchema(),
+		Metrics: ship.NewMetrics(metrics.NewRegistry()),
+	})
+	errCh := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			errCh <- err
+			return
+		}
+		_, err = rcv.Serve(conn)
+		errCh <- err
+	}()
+
+	s := ship.NewSender(ship.SenderConfig{
+		Dial:        dialer(ln.Addr().String()),
+		Schema:      tpccSchema() + 1,
+		RetryBase:   time.Millisecond,
+		MaxAttempts: 5,
+		Metrics:     ship.NewMetrics(metrics.NewRegistry()),
+	})
+	if err := s.Connect(); !errors.Is(err, ship.ErrSchemaMismatch) {
+		t.Fatalf("sender: got %v, want ErrSchemaMismatch", err)
+	}
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ship.ErrSchemaMismatch) {
+			t.Fatalf("receiver: got %v, want ErrSchemaMismatch", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("receiver never finished")
+	}
+	s.Close()
+}
+
+func TestSenderGivesUpAfterMaxAttempts(t *testing.T) {
+	ln := listen(t)
+	addr := ln.Addr().String()
+	ln.Close() // nothing listens here any more
+
+	s := ship.NewSender(ship.SenderConfig{
+		Dial:        dialer(addr),
+		RetryBase:   time.Millisecond,
+		RetryMax:    2 * time.Millisecond,
+		MaxAttempts: 3,
+		Metrics:     ship.NewMetrics(metrics.NewRegistry()),
+	})
+	err := s.Connect()
+	if err == nil || !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("got %v, want failure after 3 attempts", err)
+	}
+	s.Close()
+	encs := tpccEncoded(16, 16)
+	if err := s.Send(&encs[0]); !errors.Is(err, ship.ErrClosed) {
+		t.Fatalf("send after close: %v", err)
+	}
+}
+
+func TestGapIsRejected(t *testing.T) {
+	encs := tpccEncoded(1024, 128)
+	ln := listen(t)
+	defer ln.Close()
+	node := newNode(t)
+	defer node.Close()
+	rcv := node.ShipReceiver(ship.ReceiverConfig{
+		Schema:  tpccSchema(),
+		Metrics: ship.NewMetrics(metrics.NewRegistry()),
+	})
+	errCh := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			errCh <- err
+			return
+		}
+		_, err = rcv.Serve(conn)
+		errCh <- err
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	client := newRawClient(t, conn, tpccSchema())
+	// Epoch 5 while the receiver expects 0: the stream has a hole and
+	// must be refused, not silently applied.
+	client.writeEpoch(&encs[5])
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ship.ErrGap) {
+			t.Fatalf("got %v, want ErrGap", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("receiver never rejected the gap")
+	}
+}
