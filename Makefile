@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz ci
+.PHONY: all build vet test race fuzz ci bench-json
 
 all: ci
 
@@ -21,5 +21,10 @@ race:
 # Short fuzz smoke of the wire-format decoder.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadFrame -fuzztime=10s ./internal/ship/
+
+# Serial-vs-pipelined replay throughput, archived as JSON for diffing.
+bench-json:
+	$(GO) test -run='^$$' -bench=BenchmarkReplayPipeline -benchmem ./internal/replay/ \
+		| $(GO) run ./tools/benchjson > BENCH_replay.json
 
 ci: build vet test race

@@ -141,6 +141,7 @@ func runBackup(args []string) error {
 	listen := fs.String("listen", ":7070", "listen address")
 	algo := fs.String("algo", "aets", "replay algorithm: aets, tplr, atr, c5")
 	workers := fs.Int("workers", 8, "replay workers")
+	pipeline := fs.Int("pipeline", 2, "replay pipeline depth: epochs in flight (0 = serial; aets/tplr only)")
 	name := fs.String("workload", "tpcc", "workload schema (for grouping): tpcc, chbench, seats, bustracker")
 	once := fs.Bool("once", true, "exit after the first clean end-of-stream")
 	ckpt := fs.String("checkpoint", "", "write a checkpoint file after the stream drains")
@@ -153,7 +154,7 @@ func runBackup(args []string) error {
 		return err
 	}
 
-	opts := htap.Options{Workers: *workers}
+	opts := htap.Options{Workers: *workers, Pipeline: *pipeline}
 	var node *htap.Node
 	if *resume != "" {
 		f, err := os.Open(*resume)
@@ -193,13 +194,14 @@ func runBackup(args []string) error {
 		return err
 	}
 	defer ln.Close()
-	fmt.Printf("backup (%s, %d workers) listening on %s, cursor %d\n",
-		*algo, *workers, *listen, rcv.Cursor())
+	fmt.Printf("backup (%s, %d workers, pipeline %d) listening on %s, cursor %d\n",
+		*algo, *workers, *pipeline, *listen, rcv.Cursor())
 
 	stopProgress := startProgress(func() {
 		st := rcv.Stats()
-		fmt.Printf("  %8d txns received, cursor %d, visible ts %d | %s\n",
-			st.Txns, st.Cursor, node.VisibleTS(), metrics.Default.Line("ship_"))
+		fmt.Printf("  %8d txns received, cursor %d, visible ts %d | %s | %s\n",
+			st.Txns, st.Cursor, node.VisibleTS(), metrics.Default.Line("ship_"),
+			metrics.Default.Line("replay_"))
 	})
 	defer stopProgress()
 

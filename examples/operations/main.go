@@ -32,7 +32,9 @@ func main() {
 	}
 	half := len(encs) / 2
 	for i := 0; i < half; i++ {
-		nodeA.Feed(&encs[i])
+		if err := nodeA.Feed(&encs[i]); err != nil {
+			log.Fatal(err)
+		}
 	}
 	nodeA.Drain()
 
@@ -73,7 +75,9 @@ func main() {
 	defer stop()
 
 	for i := half; i < len(encs); i++ {
-		nodeB.Feed(&encs[i])
+		if err := nodeB.Feed(&encs[i]); err != nil {
+			log.Fatal(err)
+		}
 	}
 	nodeB.Drain()
 

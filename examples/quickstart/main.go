@@ -52,7 +52,9 @@ func main() {
 
 	start := time.Now()
 	for i := range epochs {
-		engine.Feed(&epochs[i])
+		if err := engine.Feed(&epochs[i]); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	// --- A real-time analytical query -------------------------------------

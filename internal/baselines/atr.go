@@ -38,7 +38,7 @@ type ATR struct {
 	feed     chan *epoch.Encoded
 	inflight sync.WaitGroup
 	wg       sync.WaitGroup
-	started  bool
+	life     lifeState
 
 	errMu sync.Mutex
 	err   error
@@ -76,41 +76,41 @@ func (a *ATR) Name() string { return "ATR" }
 func (a *ATR) Memtable() *memtable.Memtable { return a.mt }
 
 // Start launches the dispatcher, worker and visibility goroutines.
+// Idempotent; a stopped replayer cannot be restarted.
 func (a *ATR) Start() {
-	if a.started {
-		return
-	}
-	a.started = true
-	a.feed = make(chan *epoch.Encoded, 8)
-	a.visQ = make(chan *atrTxn, 4096)
-	a.queues = make([]chan *atrTxn, a.workers)
-	for i := range a.queues {
-		a.queues[i] = make(chan *atrTxn, 1024)
-		a.wg.Add(1)
-		go a.worker(a.queues[i])
-	}
-	a.wg.Add(2)
-	go a.dispatcher()
-	go a.visibility()
+	a.life.startOnce(func() {
+		a.feed = make(chan *epoch.Encoded, 8)
+		a.visQ = make(chan *atrTxn, 4096)
+		a.queues = make([]chan *atrTxn, a.workers)
+		for i := range a.queues {
+			a.queues[i] = make(chan *atrTxn, 1024)
+			a.wg.Add(1)
+			go a.worker(a.queues[i])
+		}
+		a.wg.Add(2)
+		go a.dispatcher()
+		go a.visibility()
+	})
 }
 
-// Feed enqueues one encoded epoch.
-func (a *ATR) Feed(enc *epoch.Encoded) {
-	a.inflight.Add(1)
-	a.feed <- enc
+// Feed enqueues one encoded epoch. It returns a lifecycle error before
+// Start or after Stop instead of hanging on a nil or closed channel.
+func (a *ATR) Feed(enc *epoch.Encoded) error {
+	return a.life.feed(func() {
+		a.inflight.Add(1)
+		a.feed <- enc
+	})
 }
 
 // Drain blocks until every fed epoch is fully visible.
 func (a *ATR) Drain() { a.inflight.Wait() }
 
-// Stop drains and shuts down all goroutines.
+// Stop drains and shuts down all goroutines. The replayer cannot be
+// restarted; Feed after Stop returns an error.
 func (a *ATR) Stop() {
-	if !a.started {
-		return
+	if a.life.stopOnce(func() { close(a.feed) }) {
+		a.wg.Wait()
 	}
-	close(a.feed)
-	a.wg.Wait()
-	a.started = false
 }
 
 // Err returns the first fatal replay error.

@@ -16,7 +16,7 @@ import (
 type replayerUnderTest interface {
 	Name() string
 	Start()
-	Feed(*epoch.Encoded)
+	Feed(*epoch.Encoded) error
 	Drain()
 	Stop()
 	WaitVisible(int64, []wal.TableID)
@@ -31,7 +31,9 @@ func runBaseline(t *testing.T, r replayerUnderTest, txns []wal.Txn, epochSize in
 	defer r.Stop()
 	for _, enc := range epoch.EncodeAll(epoch.Split(txns, epochSize)) {
 		enc := enc
-		r.Feed(&enc)
+		if err := r.Feed(&enc); err != nil {
+			t.Fatal(err)
+		}
 	}
 	r.Drain()
 	if err := r.Err(); err != nil {
@@ -227,5 +229,38 @@ func TestHeartbeatAdvancesBaselines(t *testing.T) {
 			t.Fatalf("%s: heartbeat did not advance snapshot", name)
 		}
 		r.Stop()
+	}
+}
+
+func TestBaselineLifecycleErrors(t *testing.T) {
+	for name, mk := range map[string]func(mt *memtable.Memtable) replayerUnderTest{
+		"ATR": func(mt *memtable.Memtable) replayerUnderTest { return NewATR(mt, 2) },
+		"C5":  func(mt *memtable.Memtable) replayerUnderTest { return NewC5(mt, 2, time.Millisecond) },
+	} {
+		enc := &epoch.Encoded{Seq: 0, LastCommitTS: 1}
+
+		// Feed before Start fails fast instead of deadlocking on the
+		// not-yet-consumed feed channel.
+		r := mk(memtable.New())
+		if err := r.Feed(enc); err != errNotStarted {
+			t.Fatalf("%s: Feed before Start: got %v, want errNotStarted", name, err)
+		}
+		r.Start()
+		r.Start() // idempotent
+		if err := r.Feed(enc); err != nil {
+			t.Fatalf("%s: Feed on started replayer: %v", name, err)
+		}
+		r.Stop()
+		r.Stop() // idempotent
+		if err := r.Feed(enc); err != errStopped {
+			t.Fatalf("%s: Feed after Stop: got %v, want errStopped", name, err)
+		}
+
+		// Stop without Start must not hang and must poison Feed.
+		r2 := mk(memtable.New())
+		r2.Stop()
+		if err := r2.Feed(enc); err != errStopped {
+			t.Fatalf("%s: Feed after Stop-without-Start: got %v, want errStopped", name, err)
+		}
 	}
 }

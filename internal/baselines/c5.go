@@ -39,7 +39,7 @@ type C5 struct {
 	inflight sync.WaitGroup
 	wg       sync.WaitGroup
 	tickStop chan struct{}
-	started  bool
+	life     lifeState
 
 	errMu sync.Mutex
 	err   error
@@ -91,44 +91,44 @@ func (c *C5) Name() string { return "C5" }
 // Memtable returns the replayer's storage engine.
 func (c *C5) Memtable() *memtable.Memtable { return c.mt }
 
-// Start launches the dispatcher, workers and snapshot ticker.
+// Start launches the dispatcher, workers and snapshot ticker. Idempotent;
+// a stopped replayer cannot be restarted.
 func (c *C5) Start() {
-	if c.started {
-		return
-	}
-	c.started = true
-	c.feed = make(chan *epoch.Encoded, 8)
-	c.tickStop = make(chan struct{})
-	c.queues = make([]chan c5Item, c.workers)
-	c.applied = make([]paddedTS, c.workers)
-	c.backlog = make([]paddedCount, c.workers)
-	for i := range c.queues {
-		c.queues[i] = make(chan c5Item, 4096)
-		c.wg.Add(1)
-		go c.worker(i)
-	}
-	c.wg.Add(2)
-	go c.dispatcher()
-	go c.ticker()
+	c.life.startOnce(func() {
+		c.feed = make(chan *epoch.Encoded, 8)
+		c.tickStop = make(chan struct{})
+		c.queues = make([]chan c5Item, c.workers)
+		c.applied = make([]paddedTS, c.workers)
+		c.backlog = make([]paddedCount, c.workers)
+		for i := range c.queues {
+			c.queues[i] = make(chan c5Item, 4096)
+			c.wg.Add(1)
+			go c.worker(i)
+		}
+		c.wg.Add(2)
+		go c.dispatcher()
+		go c.ticker()
+	})
 }
 
-// Feed enqueues one encoded epoch.
-func (c *C5) Feed(enc *epoch.Encoded) {
-	c.inflight.Add(1)
-	c.feed <- enc
+// Feed enqueues one encoded epoch. It returns a lifecycle error before
+// Start or after Stop instead of hanging on a nil or closed channel.
+func (c *C5) Feed(enc *epoch.Encoded) error {
+	return c.life.feed(func() {
+		c.inflight.Add(1)
+		c.feed <- enc
+	})
 }
 
 // Drain blocks until every fed epoch is fully applied and visible.
 func (c *C5) Drain() { c.inflight.Wait() }
 
-// Stop drains and shuts down all goroutines.
+// Stop drains and shuts down all goroutines. The replayer cannot be
+// restarted; Feed after Stop returns an error.
 func (c *C5) Stop() {
-	if !c.started {
-		return
+	if c.life.stopOnce(func() { close(c.feed) }) {
+		c.wg.Wait()
 	}
-	close(c.feed)
-	c.wg.Wait()
-	c.started = false
 }
 
 // Err returns the first fatal replay error.

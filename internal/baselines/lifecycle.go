@@ -1,0 +1,64 @@
+package baselines
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Lifecycle errors returned by the baseline replayers' Feed.
+var (
+	errNotStarted = errors.New("baselines: replayer not started")
+	errStopped    = errors.New("baselines: replayer stopped")
+)
+
+// lifeState is the started/stopped machine shared by the baseline
+// replayers: it makes Start idempotent, serialises Feed against Stop's
+// channel close, and turns Feed on a never-started or stopped replayer
+// into a clear error instead of a nil-channel deadlock.
+type lifeState struct {
+	mu    sync.RWMutex
+	state atomic.Int32 // 0 new, 1 started, 2 stopped
+}
+
+// startOnce runs init and transitions to started; it returns false (and
+// skips init) if the replayer already started or stopped.
+func (l *lifeState) startOnce(init func()) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.state.Load() != 0 {
+		return false
+	}
+	init()
+	l.state.Store(1)
+	return true
+}
+
+// feed runs send while holding the state read lock, so a concurrent Stop
+// cannot close the channel mid-send.
+func (l *lifeState) feed(send func()) error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	switch l.state.Load() {
+	case 0:
+		return errNotStarted
+	case 2:
+		return errStopped
+	}
+	send()
+	return nil
+}
+
+// stopOnce transitions started → stopped and runs closeFeed under the
+// write lock; it returns false if the replayer never started (still
+// marking it stopped) or already stopped.
+func (l *lifeState) stopOnce(closeFeed func()) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.state.CompareAndSwap(1, 2) {
+		l.state.CompareAndSwap(0, 2)
+		return false
+	}
+	closeFeed()
+	return true
+}

@@ -91,7 +91,7 @@ func Write(w io.Writer, mt *memtable.Memtable, meta Meta) error {
 			putUvarint(key)
 			// Collect newest-first chain, emit oldest-first.
 			var versions []*memtable.Version
-			for v := rec.Latest(); v != nil; v = v.Next {
+			for v := rec.Latest(); v != nil; v = v.Next() {
 				versions = append(versions, v)
 			}
 			putUvarint(uint64(len(versions)))

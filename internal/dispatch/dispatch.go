@@ -26,7 +26,10 @@ type Piece struct {
 }
 
 // GroupBatch collects all pieces of one epoch routed to one group, plus the
-// group's commit_order_queue for the epoch.
+// group's commit_order_queue for the epoch. Pieces[i] is the piece of
+// CommitOrder[i]: dispatch appends both on the same COMMIT, so the pieces
+// are stored in primary commit order and a committer can address "the next
+// transaction to commit" by slot index.
 type GroupBatch struct {
 	Group       int
 	Pieces      []Piece
@@ -44,14 +47,88 @@ type Result struct {
 	LastCommitTS int64
 }
 
-// Dispatch routes one encoded epoch according to plan. It decodes only
-// entry headers; frame payloads are passed through untouched.
-func Dispatch(enc *epoch.Encoded, plan *grouping.Plan) (*Result, error) {
-	res := &Result{
-		PerGroup:     make([]*GroupBatch, len(plan.Groups)),
-		LastTxnID:    enc.LastTxnID,
-		LastCommitTS: enc.LastCommitTS,
+// Buffers recycles a dispatcher's output structures — the Result, the
+// per-group batches with their Pieces/CommitOrder backing arrays, and the
+// per-piece Frames arrays — across epochs, so a steady-state dispatch
+// allocates nothing. One Buffers serves one epoch at a time; the pipelined
+// replay engine keeps a pool of them, one per in-flight epoch, and returns
+// each to the pool when its epoch is fully committed. The Result and
+// batches returned by Dispatch alias the Buffers and die with the next
+// Dispatch call on it.
+type Buffers struct {
+	res       Result
+	batches   []GroupBatch
+	pending   []Piece
+	touched   []int
+	frameFree [][][]byte // harvested Frames backing arrays
+}
+
+// NewBuffers returns an empty recyclable dispatch buffer set.
+func NewBuffers() *Buffers { return &Buffers{} }
+
+// reset prepares the buffers for one epoch over ngroups groups, harvesting
+// every previous batch's Frames arrays for reuse.
+func (b *Buffers) reset(ngroups int) {
+	for gi := range b.batches {
+		gb := &b.batches[gi]
+		for i := range gb.Pieces {
+			if f := gb.Pieces[i].Frames; f != nil {
+				b.frameFree = append(b.frameFree, f[:0])
+				gb.Pieces[i].Frames = nil
+			}
+		}
+		gb.Pieces = gb.Pieces[:0]
+		gb.CommitOrder = gb.CommitOrder[:0]
+		gb.Bytes, gb.Entries = 0, 0
 	}
+	if cap(b.batches) < ngroups {
+		b.batches = make([]GroupBatch, ngroups)
+		b.pending = make([]Piece, ngroups)
+		b.res.PerGroup = make([]*GroupBatch, ngroups)
+	}
+	b.batches = b.batches[:ngroups]
+	b.pending = b.pending[:ngroups]
+	for gi := range b.pending {
+		// A pending piece's Frames array was either handed to a batch (nil,
+		// harvested above) or abandoned by an error path; a nil Frames marks
+		// the piece untouched, so stale TxnIDs cannot collide with a new
+		// epoch's transactions.
+		b.pending[gi].TxnID = 0
+		b.pending[gi].Bytes = 0
+		if f := b.pending[gi].Frames; f != nil {
+			b.frameFree = append(b.frameFree, f[:0])
+			b.pending[gi].Frames = nil
+		}
+	}
+	b.touched = b.touched[:0]
+	b.res.PerGroup = b.res.PerGroup[:ngroups]
+	for gi := range b.res.PerGroup {
+		b.res.PerGroup[gi] = nil
+	}
+	b.res.Txns, b.res.Entries = 0, 0
+}
+
+// takeFrames pops a recycled frames array, or returns nil (append will
+// then allocate a fresh one).
+func (b *Buffers) takeFrames() [][]byte {
+	n := len(b.frameFree)
+	if n == 0 {
+		return nil
+	}
+	f := b.frameFree[n-1]
+	b.frameFree[n-1] = nil
+	b.frameFree = b.frameFree[:n-1]
+	return f
+}
+
+// Dispatch routes one encoded epoch according to plan, reusing b's backing
+// arrays. It decodes only entry headers; frame payloads are passed through
+// untouched. The Result is valid until the next Dispatch on b.
+func (b *Buffers) Dispatch(enc *epoch.Encoded, plan *grouping.Plan) (*Result, error) {
+	b.reset(len(plan.Groups))
+	res := &b.res
+	res.LastTxnID = enc.LastTxnID
+	res.LastCommitTS = enc.LastCommitTS
 
 	buf := enc.Buf
 	// pending is indexed by group ID and reused across transactions; a
@@ -59,10 +136,8 @@ func Dispatch(enc *epoch.Encoded, plan *grouping.Plan) (*Result, error) {
 	// per-transaction clearing or map allocation is needed on this hot
 	// path (dispatch must stay ≈1% of total replay work, Table II).
 	var (
-		inTxn   bool
-		curID   uint64
-		touched []int // group IDs touched by the current txn
-		pending = make([]Piece, len(plan.Groups))
+		inTxn bool
+		curID uint64
 	)
 	for len(buf) > 0 {
 		h, sz, err := wal.DecodeHeader(buf)
@@ -78,18 +153,19 @@ func Dispatch(enc *epoch.Encoded, plan *grouping.Plan) (*Result, error) {
 				return nil, fmt.Errorf("dispatch: BEGIN %d inside open txn %d", h.TxnID, curID)
 			}
 			inTxn, curID = true, h.TxnID
-			touched = touched[:0]
+			b.touched = b.touched[:0]
 
 		case wal.TypeCommit:
 			if !inTxn || h.TxnID != curID {
 				return nil, fmt.Errorf("dispatch: COMMIT %d without matching BEGIN", h.TxnID)
 			}
-			for _, gi := range touched {
-				p := &pending[gi]
+			for _, gi := range b.touched {
+				p := &b.pending[gi]
 				p.CommitTS = h.Timestamp
 				gb := res.PerGroup[gi]
 				if gb == nil {
-					gb = &GroupBatch{Group: gi}
+					gb = &b.batches[gi]
+					gb.Group = gi
 					res.PerGroup[gi] = gb
 				}
 				gb.Pieces = append(gb.Pieces, *p)
@@ -116,12 +192,15 @@ func Dispatch(enc *epoch.Encoded, plan *grouping.Plan) (*Result, error) {
 			if !ok {
 				return nil, fmt.Errorf("dispatch: table %d not covered by the group plan", h.Table)
 			}
-			p := &pending[gi]
+			p := &b.pending[gi]
 			if p.TxnID != curID || p.Frames == nil {
 				p.TxnID = curID
+				if p.Frames == nil {
+					p.Frames = b.takeFrames()
+				}
 				p.Frames = p.Frames[:0]
 				p.Bytes = 0
-				touched = append(touched, gi)
+				b.touched = append(b.touched, gi)
 			}
 			p.Frames = append(p.Frames, frame)
 			p.Bytes += sz
@@ -135,4 +214,11 @@ func Dispatch(enc *epoch.Encoded, plan *grouping.Plan) (*Result, error) {
 		return nil, fmt.Errorf("dispatch: epoch %d ends inside open txn %d", enc.Seq, curID)
 	}
 	return res, nil
+}
+
+// Dispatch routes one encoded epoch according to plan with fresh,
+// single-use buffers. Steady-state callers should hold a Buffers and use
+// its Dispatch method instead.
+func Dispatch(enc *epoch.Encoded, plan *grouping.Plan) (*Result, error) {
+	return NewBuffers().Dispatch(enc, plan)
 }

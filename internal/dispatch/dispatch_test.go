@@ -207,3 +207,90 @@ func entryWithTxnID(table wal.TableID, txn uint64) wal.Entry {
 	e.TxnID = txn
 	return e
 }
+
+// TestBuffersReuseMatchesFresh replays several distinct epochs through one
+// recycled Buffers and checks every result matches a fresh single-use
+// dispatch, including after a plan change resizes the group count.
+func TestBuffersReuseMatchesFresh(t *testing.T) {
+	plan := twoGroupPlan()
+	single := grouping.SingleGroup([]wal.TableID{1, 2, 3})
+	rng := rand.New(rand.NewSource(42))
+	b := NewBuffers()
+	for ep := 0; ep < 20; ep++ {
+		p := plan
+		if ep%5 == 4 {
+			p = single // exercise reset across group-count changes
+		}
+		var txns []wal.Txn
+		base := uint64(ep*100 + 1)
+		for i := 0; i < 10+rng.Intn(10); i++ {
+			id := base + uint64(i)
+			txn := wal.Txn{ID: id, CommitTS: int64(id) * 10}
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				txn.Entries = append(txn.Entries, entry(wal.TableID(1+rng.Intn(3)), rng.Uint64()%1000))
+			}
+			txns = append(txns, txn)
+		}
+		enc := makeEncoded(t, txns)
+
+		got, err := b.Dispatch(enc, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Dispatch(enc, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Txns != want.Txns || got.Entries != want.Entries ||
+			got.LastTxnID != want.LastTxnID || got.LastCommitTS != want.LastCommitTS {
+			t.Fatalf("epoch %d: summary mismatch: %+v vs %+v", ep, got, want)
+		}
+		for gi := range want.PerGroup {
+			wb, gb := want.PerGroup[gi], got.PerGroup[gi]
+			if (wb == nil) != (gb == nil) {
+				t.Fatalf("epoch %d group %d: touched mismatch", ep, gi)
+			}
+			if wb == nil {
+				continue
+			}
+			if gb.Bytes != wb.Bytes || gb.Entries != wb.Entries ||
+				len(gb.Pieces) != len(wb.Pieces) || len(gb.CommitOrder) != len(wb.CommitOrder) {
+				t.Fatalf("epoch %d group %d: batch mismatch: %+v vs %+v", ep, gi, gb, wb)
+			}
+			for i := range wb.Pieces {
+				if gb.CommitOrder[i] != wb.CommitOrder[i] {
+					t.Fatalf("epoch %d group %d: commit order diverges at %d", ep, gi, i)
+				}
+				gp, wp := &gb.Pieces[i], &wb.Pieces[i]
+				if gp.TxnID != wp.TxnID || gp.CommitTS != wp.CommitTS ||
+					gp.Bytes != wp.Bytes || len(gp.Frames) != len(wp.Frames) {
+					t.Fatalf("epoch %d group %d piece %d: %+v vs %+v", ep, gi, i, gp, wp)
+				}
+			}
+		}
+	}
+}
+
+// TestBuffersSteadyStateAllocs checks a warmed Buffers dispatches without
+// allocating.
+func TestBuffersSteadyStateAllocs(t *testing.T) {
+	plan := twoGroupPlan()
+	var txns []wal.Txn
+	for i := 1; i <= 50; i++ {
+		txns = append(txns, wal.Txn{ID: uint64(i), CommitTS: int64(i) * 10,
+			Entries: []wal.Entry{entry(1, uint64(i)), entry(2, uint64(i)), entry(3, uint64(i))}})
+	}
+	enc := makeEncoded(t, txns)
+	b := NewBuffers()
+	if _, err := b.Dispatch(enc, plan); err != nil { // warm the backing arrays
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := b.Dispatch(enc, plan); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state dispatch allocates %.1f objects/epoch, want 0", allocs)
+	}
+}

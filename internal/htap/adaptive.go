@@ -188,7 +188,9 @@ func RunAdaptive(strategy Strategy, cfg AdaptiveConfig) (*AdaptiveResult, error)
 		for i := range encs {
 			encs[i].Seq = seq
 			seq++
-			engine.Feed(&encs[i])
+			if err := engine.Feed(&encs[i]); err != nil {
+				return nil, err
+			}
 			shipped.Store(encs[i].LastCommitTS)
 		}
 

@@ -204,7 +204,12 @@ func Run(kind Kind, exp Experiment) (*RunResult, error) {
 				time.Sleep(next.Sub(now))
 			}
 		}
-		r.Feed(&encs[i])
+		if err := r.Feed(&encs[i]); err != nil {
+			close(stopQueries)
+			queryWG.Wait()
+			r.Stop()
+			return nil, err
+		}
 		shipped.Store(encs[i].LastCommitTS)
 	}
 	r.Drain()

@@ -50,7 +50,9 @@ func RestoreNode(src io.Reader, kind Kind, plan *grouping.Plan, opts Options) (*
 	// Make the restored state immediately visible: everything up to the
 	// checkpoint watermark is present.
 	hb := epoch.Encoded{Seq: meta.LastEpochSeq, LastCommitTS: meta.LastCommitTS}
-	n.r.Feed(&hb)
+	if err := n.r.Feed(&hb); err != nil {
+		return nil, meta, err
+	}
 	n.r.Drain()
 	return n, meta, nil
 }
@@ -65,24 +67,25 @@ func newNodeWith(mt *memtable.Memtable, kind Kind, plan *grouping.Plan, opts Opt
 	return n, nil
 }
 
-// Feed enqueues one encoded epoch for replay.
-func (n *Node) Feed(enc *epoch.Encoded) {
+// Feed enqueues one encoded epoch for replay. It fails only if the node
+// was already closed.
+func (n *Node) Feed(enc *epoch.Encoded) error {
 	n.mu.Lock()
 	n.lastSeq = enc.Seq
 	n.fed = true
 	n.mu.Unlock()
-	n.r.Feed(enc)
+	return n.r.Feed(enc)
 }
 
 // Heartbeat feeds a dummy epoch carrying only the primary's current
 // commit timestamp, advancing visibility on an idle stream (paper
 // §V-B) without consuming an epoch sequence number — the replication
 // resume cursor is untouched.
-func (n *Node) Heartbeat(ts int64) {
+func (n *Node) Heartbeat(ts int64) error {
 	n.mu.Lock()
 	seq := n.lastSeq
 	n.mu.Unlock()
-	n.r.Feed(&epoch.Encoded{Seq: seq, LastCommitTS: ts})
+	return n.r.Feed(&epoch.Encoded{Seq: seq, LastCommitTS: ts})
 }
 
 // NextSeq returns the next epoch sequence number the node expects: 0 on

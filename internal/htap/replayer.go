@@ -25,8 +25,10 @@ type Replayer interface {
 	Name() string
 	// Start launches the replayer's goroutines.
 	Start()
-	// Feed enqueues one encoded epoch; epochs must arrive in order.
-	Feed(*epoch.Encoded)
+	// Feed enqueues one encoded epoch; epochs must arrive in order. It
+	// returns an error if the replayer was never started or already
+	// stopped.
+	Feed(*epoch.Encoded) error
 	// Drain blocks until all fed epochs are replayed.
 	Drain()
 	// Stop drains and terminates the replayer.
@@ -65,6 +67,9 @@ type Options struct {
 	Urgency alloc.UrgencyFunc
 	// SnapshotPeriod is C5's snapshot advance period (default 5 ms).
 	SnapshotPeriod time.Duration
+	// Pipeline is the replay pipeline depth for AETS/TPLR: how many epochs
+	// may be in flight at once (0 = serial, one epoch at a time).
+	Pipeline int
 	// Breakdown, when non-nil, records the Table II phase timing
 	// (AETS/TPLR only).
 	Breakdown *metrics.Breakdown
@@ -82,6 +87,7 @@ func NewReplayer(kind Kind, mt *memtable.Memtable, plan *grouping.Plan, opts Opt
 		e := replay.New("TPLR", mt, single, replay.Config{
 			Workers: opts.Workers, Urgency: opts.Urgency,
 			TwoStage: false, Breakdown: opts.Breakdown,
+			Pipeline: opts.Pipeline,
 		})
 		return engineReplayer{e, mt}, nil
 	case KindATR:
@@ -99,6 +105,7 @@ func NewAETS(mt *memtable.Memtable, plan *grouping.Plan, opts Options) *AETSEngi
 	e := replay.New("AETS", mt, plan, replay.Config{
 		Workers: opts.Workers, Urgency: opts.Urgency,
 		TwoStage: true, Breakdown: opts.Breakdown,
+		Pipeline: opts.Pipeline,
 	})
 	return &AETSEngine{Engine: e, mt: mt}
 }

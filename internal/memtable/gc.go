@@ -19,7 +19,9 @@ package memtable
 // snapshot timestamp of active queries (or now−retention) as the
 // watermark. A reader that already holds a pointer into the pruned suffix
 // keeps a consistent view: the suffix stays intact off-chain until Go's
-// collector reclaims it.
+// collector reclaims it. The chain link itself is atomic, so a reader
+// racing the truncation point observes either the old suffix or the cut —
+// never a torn pointer.
 func (r *Record) Vacuum(watermark int64) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -27,16 +29,16 @@ func (r *Record) Vacuum(watermark int64) int {
 	// Find the newest version at or below the watermark; everything after
 	// it (older) is unreachable for watermark-respecting readers.
 	for v != nil && v.CommitTS > watermark {
-		v = v.Next
+		v = v.Next()
 	}
 	if v == nil {
 		return 0
 	}
 	removed := 0
-	for w := v.Next; w != nil; w = w.Next {
+	for w := v.Next(); w != nil; w = w.Next() {
 		removed++
 	}
-	v.Next = nil
+	v.next.Store(nil)
 	return removed
 }
 

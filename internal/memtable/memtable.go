@@ -12,14 +12,19 @@ import (
 
 // Version is one committed after-image of a record. Versions form a
 // newest-first singly linked chain; the chain is strictly decreasing in
-// CommitTS, which equals the primary's commit order.
+// CommitTS, which equals the primary's commit order. The chain link is
+// atomic because readers traverse lock-free while Vacuum truncates
+// chains concurrently.
 type Version struct {
 	TxnID    uint64
 	CommitTS int64
 	Deleted  bool
 	Columns  []wal.Column
-	Next     *Version // next-older version
+	next     atomic.Pointer[Version] // next-older version
 }
+
+// Next returns the next-older version, or nil at the end of the chain.
+func (v *Version) Next() *Version { return v.next.Load() }
 
 // Record is one row of a table. The head of its version chain is an atomic
 // pointer so that readers never block: Algorithm 1's short exclusive lock is
@@ -37,7 +42,7 @@ type Record struct {
 // Append installs v as the newest version (Algorithm 1, lines 10-13).
 func (r *Record) Append(v *Version) {
 	r.mu.Lock()
-	v.Next = r.head.Load()
+	v.next.Store(r.head.Load())
 	r.head.Store(v)
 	r.mu.Unlock()
 	r.writes.Add(1)
@@ -55,7 +60,7 @@ func (r *Record) Latest() *Version {
 // Visible returns the newest version with CommitTS ≤ qts (Algorithm 3,
 // line 11), or nil if no such version exists.
 func (r *Record) Visible(qts int64) *Version {
-	for v := r.head.Load(); v != nil; v = v.Next {
+	for v := r.head.Load(); v != nil; v = v.Next() {
 		if v.CommitTS <= qts {
 			return v
 		}
@@ -73,7 +78,7 @@ func (r *Record) ReadRow(qts int64) map[uint32][]byte {
 		return nil
 	}
 	row := make(map[uint32][]byte, len(v.Columns))
-	for ; v != nil; v = v.Next {
+	for ; v != nil; v = v.Next() {
 		if v.Deleted {
 			break // versions older than a delete belong to a prior row
 		}
@@ -89,23 +94,27 @@ func (r *Record) ReadRow(qts int64) map[uint32][]byte {
 // ChainLen returns the number of versions in the chain. Test helper.
 func (r *Record) ChainLen() int {
 	n := 0
-	for v := r.head.Load(); v != nil; v = v.Next {
+	for v := r.head.Load(); v != nil; v = v.Next() {
 		n++
 	}
 	return n
 }
 
 // ChainOrdered reports whether the version chain is newest-first ordered by
-// (CommitTS, TxnID). Equal IDs are permitted for adjacent versions because
-// one transaction may modify the same row more than once; its versions then
-// appear in entry order. Test helper for the core MVCC invariant.
+// (CommitTS, TxnID) compared lexicographically: TxnID only breaks CommitTS
+// ties. A chain whose CommitTS strictly decreases is ordered regardless of
+// how the TxnIDs relate. Equal pairs are permitted for adjacent versions
+// because one transaction may modify the same row more than once; its
+// versions then appear in entry order. Test helper for the core MVCC
+// invariant.
 func (r *Record) ChainOrdered() bool {
 	v := r.head.Load()
-	for v != nil && v.Next != nil {
-		if v.CommitTS < v.Next.CommitTS || v.TxnID < v.Next.TxnID {
+	for v != nil && v.Next() != nil {
+		n := v.Next()
+		if v.CommitTS < n.CommitTS || (v.CommitTS == n.CommitTS && v.TxnID < n.TxnID) {
 			return false
 		}
-		v = v.Next
+		v = n
 	}
 	return true
 }

@@ -268,3 +268,49 @@ func TestConcurrentAppendAndRead(t *testing.T) {
 		}
 	}
 }
+
+// TestChainOrderedLexicographic pins the (CommitTS, TxnID) comparison:
+// TxnID breaks ties only when CommitTS is equal. A chain whose CommitTS
+// strictly decreases while TxnID increases (commit timestamps are not
+// assigned in transaction-ID order under concurrency) is valid.
+func TestChainOrderedLexicographic(t *testing.T) {
+	chain := func(vs ...*Version) *Record {
+		rec := &Record{Key: 1}
+		for _, v := range vs {
+			rec.Append(v)
+		}
+		return rec
+	}
+	// Appended oldest-first; the head ends up newest.
+	cases := []struct {
+		name string
+		rec  *Record
+		want bool
+	}{
+		{"strictly decreasing ts, increasing txn", chain(
+			&Version{TxnID: 7, CommitTS: 3},
+			&Version{TxnID: 1, CommitTS: 5},
+		), true},
+		{"equal ts, txn breaks tie", chain(
+			&Version{TxnID: 1, CommitTS: 5},
+			&Version{TxnID: 2, CommitTS: 5},
+		), true},
+		{"equal ts, equal txn (same txn twice)", chain(
+			&Version{TxnID: 2, CommitTS: 5},
+			&Version{TxnID: 2, CommitTS: 5},
+		), true},
+		{"commit ts regression", chain(
+			&Version{TxnID: 1, CommitTS: 5},
+			&Version{TxnID: 2, CommitTS: 3},
+		), false},
+		{"equal ts, txn regression", chain(
+			&Version{TxnID: 2, CommitTS: 5},
+			&Version{TxnID: 1, CommitTS: 5},
+		), false},
+	}
+	for _, c := range cases {
+		if got := c.rec.ChainOrdered(); got != c.want {
+			t.Errorf("%s: ChainOrdered = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

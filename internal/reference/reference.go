@@ -74,7 +74,7 @@ func equalChains(tid wal.TableID, key uint64, a, b *memtable.Record) error {
 				return fmt.Errorf("table %d key %d depth %d col %d: value mismatch", tid, key, depth, i)
 			}
 		}
-		va, vb = va.Next, vb.Next
+		va, vb = va.Next(), vb.Next()
 		depth++
 	}
 	if va != nil || vb != nil {

@@ -1,0 +1,96 @@
+package replay
+
+import (
+	"fmt"
+	"testing"
+
+	"aets/internal/epoch"
+	"aets/internal/grouping"
+	"aets/internal/memtable"
+	"aets/internal/primary"
+	"aets/internal/wal"
+	"aets/internal/workload"
+)
+
+// BenchmarkReplayPipeline compares the serial scheduler (depth=0) against
+// pipelined depths on the two shapes that bracket the design space: the
+// paper's grouped TPC-C plan (many groups, two stages) and a single-group
+// plan (ungrouped TPLR, where epoch pipelining is the only available
+// overlap). Each op replays the full pre-encoded stream into a fresh
+// memtable; txns/s is the end-to-end replay throughput. allocs/op includes
+// the unavoidable version-slab and memtable allocations — the recycled
+// hand-off itself is pinned to zero by TestHandoffSteadyStateAllocs and
+// TestBuffersSteadyStateAllocs.
+func BenchmarkReplayPipeline(b *testing.B) {
+	gen := workload.NewTPCC(4)
+	p := primary.New(gen, 1)
+	txns := p.GenerateTxns(4000)
+	encs := epoch.EncodeAll(epoch.Split(txns, 256))
+
+	shapes := []struct {
+		name     string
+		plan     *grouping.Plan
+		twoStage bool
+	}{
+		{"tpcc", buildTPCCPlan(gen, 1000), true},
+		{"single-group", grouping.SingleGroup(workload.TableIDs(gen.Tables())), false},
+	}
+	for _, sh := range shapes {
+		for _, depth := range []int{0, 2, 4} {
+			b.Run(fmt.Sprintf("%s/depth=%d", sh.name, depth), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					mt := memtable.New()
+					e := New("AETS", mt, sh.plan, Config{
+						Workers: 4, TwoStage: sh.twoStage, Pipeline: depth,
+					})
+					e.Start()
+					for j := range encs {
+						if err := e.Feed(&encs[j]); err != nil {
+							b.Fatal(err)
+						}
+					}
+					e.Drain()
+					e.Stop()
+					if err := e.Err(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(len(txns))*float64(b.N)/b.Elapsed().Seconds(), "txns/s")
+			})
+		}
+	}
+}
+
+// TestHandoffSteadyStateAllocs pins the zero-allocation claim for the TPLR
+// phase-1→phase-2 hand-off: once the engine's pool is warm, a full
+// acquire → deliver → take → release cycle of the slot ring allocates
+// nothing.
+func TestHandoffSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector randomises sync.Pool caching; alloc counts are meaningless")
+	}
+	e := New("AETS", memtable.New(), grouping.SingleGroup([]wal.TableID{1}),
+		Config{Workers: 2})
+	const npieces, nentries = 64, 256
+	e.releaseBatch(e.acquireBatch(npieces, nentries)) // warm the pool
+
+	n := testing.AllocsPerRun(100, func() {
+		bs := e.acquireBatch(npieces, nentries)
+		for i := 0; i < npieces; i++ {
+			d := &bs.deliveries[i]
+			d.commitTS = int64(i + 1)
+			d.cells = bs.cells[i*4 : i*4+4]
+			bs.deliver(i, d)
+		}
+		for i := 0; i < npieces; i++ {
+			if _, err := bs.take(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.releaseBatch(bs)
+	})
+	if n != 0 {
+		t.Fatalf("hand-off cycle allocates %.1f objects/op, want 0", n)
+	}
+}

@@ -1,6 +1,7 @@
 package replay
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -30,19 +31,33 @@ func buildTPCCPlan(gen workload.Generator, r float64) *grouping.Plan {
 
 func runEngine(t *testing.T, cfg Config, plan *grouping.Plan, txns []wal.Txn, epochSize int) *memtable.Memtable {
 	t.Helper()
+	// The pipelined scheduler is the default under test; serial-path
+	// coverage opts out with Pipeline < 0 (normalised to 0 below).
+	if cfg.Pipeline == 0 {
+		cfg.Pipeline = 2
+	} else if cfg.Pipeline < 0 {
+		cfg.Pipeline = 0
+	}
 	mt := memtable.New()
 	e := New("AETS", mt, plan, cfg)
 	e.Start()
 	defer e.Stop()
 	for _, enc := range epoch.EncodeAll(epoch.Split(txns, epochSize)) {
 		enc := enc
-		e.Feed(&enc)
+		feed(t, e, &enc)
 	}
 	e.Drain()
 	if err := e.Err(); err != nil {
 		t.Fatal(err)
 	}
 	return mt
+}
+
+func feed(t *testing.T, e *Engine, enc *epoch.Encoded) {
+	t.Helper()
+	if err := e.Feed(enc); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestEngineMatchesSerialReference(t *testing.T) {
@@ -103,12 +118,12 @@ func TestVisibilityAfterDrain(t *testing.T) {
 
 	plan := buildTPCCPlan(gen, 1000)
 	mt := memtable.New()
-	e := New("AETS", mt, plan, Config{Workers: 4, TwoStage: true})
+	e := New("AETS", mt, plan, Config{Workers: 4, TwoStage: true, Pipeline: 2})
 	e.Start()
 	defer e.Stop()
 	for _, enc := range epoch.EncodeAll(epoch.Split(txns, 128)) {
 		enc := enc
-		e.Feed(&enc)
+		feed(t, e, &enc)
 	}
 	e.Drain()
 
@@ -151,14 +166,14 @@ func TestHotVisibleBeforeColdWithinEpoch(t *testing.T) {
 	}}})
 
 	mt := memtable.New()
-	e := New("AETS", mt, plan, Config{Workers: 2, TwoStage: true})
+	e := New("AETS", mt, plan, Config{Workers: 2, TwoStage: true, Pipeline: 2})
 	e.Start()
 	defer e.Stop()
 
 	start := time.Now()
 	for _, enc := range epoch.EncodeAll(epoch.Split(txns, 2)) {
 		enc := enc
-		e.Feed(&enc)
+		feed(t, e, &enc)
 	}
 	e.WaitVisible(20, []wal.TableID{hot})
 	hotDelay := time.Since(start)
@@ -183,12 +198,12 @@ func TestHeartbeatUnblocksIdleGroups(t *testing.T) {
 	plan := grouping.Build(map[wal.TableID]float64{hot: 10},
 		[]wal.TableID{hot, cold}, grouping.Options{PerTable: true})
 	mt := memtable.New()
-	e := New("AETS", mt, plan, Config{Workers: 2, TwoStage: true})
+	e := New("AETS", mt, plan, Config{Workers: 2, TwoStage: true, Pipeline: 2})
 	e.Start()
 	defer e.Stop()
 
 	// Heartbeat with no transactions must advance visibility everywhere.
-	e.Feed(&epoch.Encoded{Seq: 0, LastCommitTS: 500})
+	feed(t, e, &epoch.Encoded{Seq: 0, LastCommitTS: 500})
 	done := make(chan struct{})
 	go func() {
 		e.WaitVisible(500, []wal.TableID{hot, cold})
@@ -210,7 +225,7 @@ func TestPlanSwapAtEpochBoundary(t *testing.T) {
 
 	mt := memtable.New()
 	plan1 := buildTPCCPlan(gen, 100)
-	e := New("AETS", mt, plan1, Config{Workers: 4, TwoStage: true})
+	e := New("AETS", mt, plan1, Config{Workers: 4, TwoStage: true, Pipeline: 2})
 	e.Start()
 	defer e.Stop()
 
@@ -222,7 +237,7 @@ func TestPlanSwapAtEpochBoundary(t *testing.T) {
 				workload.TPCCOrderLine: 500, workload.TPCCStock: 400,
 			}, workload.TableIDs(gen.Tables()), grouping.Options{PerTable: true}))
 		}
-		e.Feed(&encs[i])
+		feed(t, e, &encs[i])
 	}
 	e.Drain()
 	if err := e.Err(); err != nil {
@@ -277,7 +292,7 @@ func TestGroupTSAdvancesMonotonically(t *testing.T) {
 	txns := p.GenerateTxns(800)
 	plan := buildTPCCPlan(gen, 100)
 	mt := memtable.New()
-	e := New("AETS", mt, plan, Config{Workers: 4, TwoStage: true})
+	e := New("AETS", mt, plan, Config{Workers: 4, TwoStage: true, Pipeline: 2})
 	e.Start()
 	defer e.Stop()
 
@@ -304,7 +319,7 @@ func TestGroupTSAdvancesMonotonically(t *testing.T) {
 	}()
 	for _, enc := range epoch.EncodeAll(epoch.Split(txns, 64)) {
 		enc := enc
-		e.Feed(&enc)
+		feed(t, e, &enc)
 	}
 	e.Drain()
 	close(stop)
@@ -312,5 +327,66 @@ func TestGroupTSAdvancesMonotonically(t *testing.T) {
 	case ts := <-violation:
 		t.Fatalf("tg_cmt_ts moved backwards to %d", ts)
 	default:
+	}
+}
+
+func TestEngineLifecycleErrors(t *testing.T) {
+	plan := grouping.SingleGroup([]wal.TableID{1})
+	enc := &epoch.Encoded{Seq: 0, LastCommitTS: 1}
+
+	// Feed before Start must fail fast, not block on the scheduler-less
+	// feed queue forever.
+	e := New("AETS", memtable.New(), plan, Config{Workers: 1, Pipeline: 2})
+	if err := e.Feed(enc); err != ErrNotStarted {
+		t.Fatalf("Feed before Start: got %v, want ErrNotStarted", err)
+	}
+
+	e.Start()
+	e.Start() // idempotent
+	if err := e.Feed(enc); err != nil {
+		t.Fatalf("Feed on started engine: %v", err)
+	}
+	e.Stop()
+	e.Stop() // idempotent
+	if err := e.Feed(enc); err != ErrStopped {
+		t.Fatalf("Feed after Stop: got %v, want ErrStopped", err)
+	}
+
+	// Stop on a never-started engine must not hang, and must leave Feed
+	// failing with ErrStopped.
+	e2 := New("AETS", memtable.New(), plan, Config{Workers: 1})
+	e2.Stop()
+	if err := e2.Feed(enc); err != ErrStopped {
+		t.Fatalf("Feed after Stop-without-Start: got %v, want ErrStopped", err)
+	}
+}
+
+func TestEngineConcurrentFeedStop(t *testing.T) {
+	// Feeders racing Stop must each either enqueue successfully or get
+	// ErrStopped — never panic on a closed channel or deadlock.
+	plan := grouping.SingleGroup([]wal.TableID{1})
+	for round := 0; round < 20; round++ {
+		e := New("AETS", memtable.New(), plan, Config{Workers: 1, Pipeline: 2})
+		e.Start()
+		var wg sync.WaitGroup
+		for f := 0; f < 4; f++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					if err := e.Feed(&epoch.Encoded{Seq: uint64(i), LastCommitTS: int64(i + 1)}); err != nil {
+						if err != ErrStopped {
+							t.Errorf("Feed: %v", err)
+						}
+						return
+					}
+				}
+			}()
+		}
+		e.Stop()
+		wg.Wait()
+		if err := e.Err(); err != nil {
+			t.Fatal(err)
+		}
 	}
 }

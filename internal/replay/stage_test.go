@@ -41,6 +41,10 @@ func TestStageTimesTrackEntryShares(t *testing.T) {
 	plan := grouping.Build(map[wal.TableID]float64{1: 1000},
 		[]wal.TableID{1, 2}, grouping.Options{PerTable: true})
 
+	// Serial scheduler: the Fig 8(b)/9(b) shares are defined over exclusive
+	// stage wall time. Pipelined mode overlaps stages of adjacent epochs, so
+	// a group's wall time also contains contention with the other epoch's
+	// groups and the shares blur.
 	run := func(hotPerTxn, coldPerTxn int) float64 {
 		mt := memtable.New()
 		e := New("AETS", mt, plan, Config{Workers: 2, TwoStage: true})
@@ -48,7 +52,7 @@ func TestStageTimesTrackEntryShares(t *testing.T) {
 		defer e.Stop()
 		for _, enc := range epoch.EncodeAll(epoch.Split(buildSkewedTxns(2000, hotPerTxn, coldPerTxn), 256)) {
 			enc := enc
-			e.Feed(&enc)
+			feed(t, e, &enc)
 		}
 		e.Drain()
 		if err := e.Err(); err != nil {
@@ -80,12 +84,12 @@ func TestStageTimesTrackEntryShares(t *testing.T) {
 func TestSingleStageCollapsesToHotBucket(t *testing.T) {
 	plan := grouping.SingleGroup([]wal.TableID{1, 2})
 	mt := memtable.New()
-	e := New("TPLR", mt, plan, Config{Workers: 2, TwoStage: false})
+	e := New("TPLR", mt, plan, Config{Workers: 2, TwoStage: false, Pipeline: 2})
 	e.Start()
 	defer e.Stop()
 	for _, enc := range epoch.EncodeAll(epoch.Split(buildSkewedTxns(500, 2, 2), 128)) {
 		enc := enc
-		e.Feed(&enc)
+		feed(t, e, &enc)
 	}
 	e.Drain()
 	hot, cold := e.StageTimes()
@@ -102,12 +106,12 @@ func TestSerialFastPathEquivalence(t *testing.T) {
 
 	run := func(workers int) *memtable.Memtable {
 		mt := memtable.New()
-		e := New("AETS", mt, plan, Config{Workers: workers, TwoStage: true})
+		e := New("AETS", mt, plan, Config{Workers: workers, TwoStage: true, Pipeline: 2})
 		e.Start()
 		defer e.Stop()
 		for _, enc := range epoch.EncodeAll(epoch.Split(txns, 200)) {
 			enc := enc
-			e.Feed(&enc)
+			feed(t, e, &enc)
 		}
 		e.Drain()
 		if err := e.Err(); err != nil {

@@ -2,6 +2,7 @@ package replay
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,16 +22,27 @@ import (
 // waiting_commit_list.
 //
 // Phase 2 (commit): a single commit goroutine per group walks the group's
-// commit_order_queue; for each transaction ID it waits until that
-// transaction's cells are in the waiting list, appends them to their
-// records' version chains (the only locked step, and the lock hold time is
-// one pointer swap), and advances the group's tg_cmt_ts.
+// commit_order_queue; for each slot it waits until that transaction's cells
+// are in the waiting list, appends them to their records' version chains
+// (the only locked step, and the lock hold time is one pointer swap), and
+// advances the group's tg_cmt_ts.
+//
+// The waiting_commit_list is a slot-indexed ring rather than a keyed map:
+// dispatch stores pieces in primary commit order, so piece i IS the i-th
+// transaction the committer needs, and phase-1 workers deliver into a
+// preallocated slot array while the committer waits on exactly the next
+// slot. There is no broadcast storm — a worker takes the wake-up lock only
+// when the committer has actually parked. All hand-off scaffolding (slots,
+// deliveries, cells, offsets) is recycled through a sync.Pool, so the
+// steady-state hand-off allocates nothing; only the Versions and their
+// decoded columns are freshly allocated, from one slab per batch, because
+// they live on in the Memtable's version chains after the epoch is gone.
 
 // cell is one uncommitted modification produced by phase 1: a pointer to
 // the Memtable record plus the fully built version to link at commit. The
-// version object is allocated here, in the embarrassingly parallel phase,
-// so the single-threaded commit phase does nothing but set the commit
-// timestamp and swing two pointers under the record lock.
+// version is carved from the batch's version slab in the embarrassingly
+// parallel phase, so the single-threaded commit phase does nothing but set
+// the commit timestamp and swing two pointers under the record lock.
 type cell struct {
 	rec *memtable.Record
 	ver *memtable.Version
@@ -42,51 +54,133 @@ type delivery struct {
 	commitTS int64
 }
 
-// waitingList is the waiting_commit_list of one group batch.
-type waitingList struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	ready map[uint64]*delivery
-	err   error
+// errBox wraps an error for atomic publication from phase-1 workers.
+type errBox struct{ err error }
+
+// batchState is the recycled per-batch hand-off state: the slot ring, the
+// delivery and cell slabs, and the per-piece cell offsets. Acquired from
+// the engine's pool at the start of replayGroup and returned when the
+// batch is fully committed.
+type batchState struct {
+	slots      []atomic.Pointer[delivery]
+	deliveries []delivery
+	cells      []cell
+	offsets    []int
+
+	errv   atomic.Pointer[errBox]
+	mu     sync.Mutex
+	cond   *sync.Cond
+	parked atomic.Bool
 }
 
-func newWaitingList() *waitingList {
-	w := &waitingList{ready: make(map[uint64]*delivery)}
-	w.cond = sync.NewCond(&w.mu)
-	return w
-}
-
-func (w *waitingList) deliver(txnID uint64, d *delivery) {
-	w.mu.Lock()
-	w.ready[txnID] = d
-	w.mu.Unlock()
-	w.cond.Broadcast()
-}
-
-func (w *waitingList) fail(err error) {
-	w.mu.Lock()
-	if w.err == nil {
-		w.err = err
+// reset sizes the state for a batch of npieces pieces totalling nentries
+// entries and clears any residue from the previous batch. Called before
+// any worker goroutine exists, so plain writes are safe.
+func (bs *batchState) reset(npieces, nentries int) {
+	if bs.cond == nil {
+		bs.cond = sync.NewCond(&bs.mu)
 	}
-	w.mu.Unlock()
-	w.cond.Broadcast()
+	if cap(bs.slots) < npieces {
+		bs.slots = make([]atomic.Pointer[delivery], npieces)
+		bs.deliveries = make([]delivery, npieces)
+		bs.offsets = make([]int, npieces)
+	} else {
+		bs.slots = bs.slots[:npieces]
+		for i := range bs.slots {
+			bs.slots[i].Store(nil)
+		}
+		bs.deliveries = bs.deliveries[:npieces]
+		bs.offsets = bs.offsets[:npieces]
+	}
+	if cap(bs.cells) < nentries {
+		bs.cells = make([]cell, nentries)
+	} else {
+		bs.cells = bs.cells[:nentries]
+	}
+	bs.errv.Store(nil)
+	bs.parked.Store(false)
 }
 
-// take blocks until txnID's delivery is available (Algorithm 1's min-ID
-// wait: the committer consumes the commit_order_queue in order, so waiting
-// for a specific ID is equivalent to waiting for it to become the minimum).
-func (w *waitingList) take(txnID uint64) (*delivery, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	for w.ready[txnID] == nil && w.err == nil {
-		w.cond.Wait()
+// deliver publishes slot i and wakes the committer only if it is parked.
+func (bs *batchState) deliver(i int, d *delivery) {
+	bs.slots[i].Store(d)
+	if bs.parked.Load() {
+		bs.mu.Lock()
+		bs.cond.Broadcast()
+		bs.mu.Unlock()
 	}
-	if w.err != nil {
-		return nil, w.err
+}
+
+// fail publishes the first worker error and wakes the committer.
+func (bs *batchState) fail(err error) {
+	bs.errv.CompareAndSwap(nil, &errBox{err})
+	bs.mu.Lock()
+	bs.cond.Broadcast()
+	bs.mu.Unlock()
+}
+
+func (bs *batchState) errOrNil() error {
+	if b := bs.errv.Load(); b != nil {
+		return b.err
 	}
-	d := w.ready[txnID]
-	delete(w.ready, txnID)
-	return d, nil
+	return nil
+}
+
+// take blocks until slot i's delivery is available (Algorithm 1's min-ID
+// wait: slots are consumed in commit order, so waiting on slot i is
+// waiting for its transaction to become the minimum). A short cooperative
+// spin covers the common case where the pipeline is ahead of the
+// committer; only then does the committer park on the condition variable.
+func (bs *batchState) take(i int) (*delivery, error) {
+	for spin := 0; spin < 128; spin++ {
+		if d := bs.slots[i].Load(); d != nil {
+			return d, nil
+		}
+		if err := bs.errOrNil(); err != nil {
+			return nil, err
+		}
+		runtime.Gosched()
+	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	bs.parked.Store(true)
+	defer bs.parked.Store(false)
+	for {
+		if d := bs.slots[i].Load(); d != nil {
+			return d, nil
+		}
+		if err := bs.errOrNil(); err != nil {
+			return nil, err
+		}
+		bs.cond.Wait()
+	}
+}
+
+// acquireBatch takes hand-off state from the engine pool, sized for the
+// given batch shape.
+func (e *Engine) acquireBatch(npieces, nentries int) *batchState {
+	var bs *batchState
+	if v := e.batchPool.Get(); v != nil {
+		bs = v.(*batchState)
+		e.cHandoffReuse.Inc()
+	} else {
+		bs = new(batchState)
+		e.cHandoffAlloc.Inc()
+	}
+	bs.reset(npieces, nentries)
+	return bs
+}
+
+func (e *Engine) releaseBatch(bs *batchState) {
+	// Deliveries keep cell-slab sub-slices; drop them so the pool does not
+	// pin record pointers beyond the batch's lifetime.
+	for i := range bs.deliveries {
+		bs.deliveries[i].cells = nil
+	}
+	for i := range bs.cells {
+		bs.cells[i] = cell{}
+	}
+	e.batchPool.Put(bs)
 }
 
 // replayGroup runs TPLR over one group batch with n phase-1 workers. The
@@ -102,14 +196,24 @@ func (e *Engine) replayGroup(vs *visState, gb *dispatch.GroupBatch, n int) error
 	if n <= 1 {
 		return e.replayGroupSerial(vs, gb)
 	}
-	wl := newWaitingList()
-	var next atomic.Int64
+	bs := e.acquireBatch(len(gb.Pieces), gb.Entries)
+	off := 0
+	for i := range gb.Pieces {
+		bs.offsets[i] = off
+		off += len(gb.Pieces[i].Frames)
+	}
+	// The version slab is the one fresh allocation per batch: versions are
+	// installed into the Memtable's chains and outlive the epoch, so they
+	// cannot be pooled.
+	vers := make([]memtable.Version, gb.Entries)
 
+	var next atomic.Int64
 	var workers sync.WaitGroup
 	for k := 0; k < n; k++ {
 		workers.Add(1)
 		go func() {
 			defer workers.Done()
+			var arena wal.DecodeArena
 			t0 := time.Now()
 			for {
 				i := int(next.Add(1)) - 1
@@ -117,12 +221,16 @@ func (e *Engine) replayGroup(vs *visState, gb *dispatch.GroupBatch, n int) error
 					break
 				}
 				p := &gb.Pieces[i]
-				cells, err := e.translate(p)
-				if err != nil {
-					wl.fail(fmt.Errorf("group %d txn %d: %w", gb.Group, p.TxnID, err))
+				o := bs.offsets[i]
+				cells := bs.cells[o : o+len(p.Frames) : o+len(p.Frames)]
+				if err := e.translate(p, cells, vers[o:o+len(p.Frames)], &arena); err != nil {
+					bs.fail(fmt.Errorf("group %d txn %d: %w", gb.Group, p.TxnID, err))
 					return
 				}
-				wl.deliver(p.TxnID, &delivery{cells: cells, commitTS: p.CommitTS})
+				d := &bs.deliveries[i]
+				d.cells = cells
+				d.commitTS = p.CommitTS
+				bs.deliver(i, d)
 			}
 			if e.cfg.Breakdown != nil {
 				e.cfg.Breakdown.AddReplay(time.Since(t0))
@@ -131,15 +239,15 @@ func (e *Engine) replayGroup(vs *visState, gb *dispatch.GroupBatch, n int) error
 	}
 
 	var commitErr error
-	for _, txnID := range gb.CommitOrder {
-		d, err := wl.take(txnID)
+	for i := range gb.Pieces {
+		d, err := bs.take(i)
 		if err != nil {
 			commitErr = err
 			break
 		}
 		t0 := time.Now()
-		for i := range d.cells {
-			c := &d.cells[i]
+		for j := range d.cells {
+			c := &d.cells[j]
 			c.ver.CommitTS = d.commitTS
 			c.rec.Append(c.ver)
 		}
@@ -150,30 +258,40 @@ func (e *Engine) replayGroup(vs *visState, gb *dispatch.GroupBatch, n int) error
 	}
 
 	workers.Wait()
+	e.releaseBatch(bs)
 	return commitErr
 }
 
 // replayGroupSerial is the single-worker fast path: translate and commit
-// piece by piece in commit order on one goroutine.
+// piece by piece in commit order on one goroutine, straight from the
+// version slab with no hand-off at all.
 func (e *Engine) replayGroupSerial(vs *visState, gb *dispatch.GroupBatch) error {
+	vers := make([]memtable.Version, gb.Entries)
+	var arena wal.DecodeArena
+	vi := 0
 	t0 := time.Now()
 	for i := range gb.Pieces {
 		p := &gb.Pieces[i]
-		cells, err := e.translate(p)
-		if err != nil {
-			return fmt.Errorf("group %d txn %d: %w", gb.Group, p.TxnID, err)
-		}
-		tc := time.Now()
-		for j := range cells {
-			c := &cells[j]
-			c.ver.CommitTS = p.CommitTS
-			c.rec.Append(c.ver)
+		for _, frame := range p.Frames {
+			entry, _, err := wal.DecodeTo(frame, &arena)
+			if err != nil {
+				return fmt.Errorf("group %d txn %d: %w", gb.Group, p.TxnID, err)
+			}
+			rec := e.mt.Table(entry.Table).GetOrCreate(entry.RowKey)
+			v := &vers[vi]
+			vi++
+			v.TxnID = entry.TxnID
+			v.Deleted = entry.Type == wal.TypeDelete
+			v.Columns = entry.Columns
+			tc := time.Now()
+			v.CommitTS = p.CommitTS
+			rec.Append(v)
+			if e.cfg.Breakdown != nil {
+				e.cfg.Breakdown.AddCommit(time.Since(tc))
+				t0 = t0.Add(time.Since(tc)) // keep commit time out of the replay share
+			}
 		}
 		e.publishGroup(vs, gb.Group, p.CommitTS)
-		if e.cfg.Breakdown != nil {
-			e.cfg.Breakdown.AddCommit(time.Since(tc))
-			t0 = t0.Add(time.Since(tc)) // keep commit time out of the replay share
-		}
 	}
 	if e.cfg.Breakdown != nil {
 		e.cfg.Breakdown.AddReplay(time.Since(t0))
@@ -184,23 +302,20 @@ func (e *Engine) replayGroupSerial(vs *visState, gb *dispatch.GroupBatch) error 
 // translate is TPLR phase 1 for one transaction piece: decode each frame
 // and turn it into an uncommitted cell pointing at its Memtable record.
 // Records are created on first reference (inserts), but no version is
-// installed and no record lock is taken.
-func (e *Engine) translate(p *dispatch.Piece) ([]cell, error) {
-	cells := make([]cell, 0, len(p.Frames))
-	for _, frame := range p.Frames {
-		entry, _, err := wal.Decode(frame)
+// installed and no record lock is taken. Versions come from the batch's
+// slab; columns and value bytes from the worker's decode arena.
+func (e *Engine) translate(p *dispatch.Piece, cells []cell, vers []memtable.Version, arena *wal.DecodeArena) error {
+	for j, frame := range p.Frames {
+		entry, _, err := wal.DecodeTo(frame, arena)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rec := e.mt.Table(entry.Table).GetOrCreate(entry.RowKey)
-		cells = append(cells, cell{
-			rec: rec,
-			ver: &memtable.Version{
-				TxnID:   entry.TxnID,
-				Deleted: entry.Type == wal.TypeDelete,
-				Columns: entry.Columns,
-			},
-		})
+		v := &vers[j]
+		v.TxnID = entry.TxnID
+		v.Deleted = entry.Type == wal.TypeDelete
+		v.Columns = entry.Columns
+		cells[j] = cell{rec: rec, ver: v}
 	}
-	return cells, nil
+	return nil
 }

@@ -14,11 +14,12 @@ import (
 // satisfies it.
 type Applier interface {
 	// Feed applies one epoch; the receiver guarantees strictly
-	// sequential, gap-free, duplicate-free delivery.
-	Feed(*epoch.Encoded)
+	// sequential, gap-free, duplicate-free delivery. An error (the
+	// applier was stopped) terminates the connection.
+	Feed(*epoch.Encoded) error
 	// Heartbeat advances visibility on an idle stream (the paper's
 	// dummy-log epoch) without consuming an epoch sequence number.
-	Heartbeat(ts int64)
+	Heartbeat(ts int64) error
 }
 
 // ReceiverConfig configures the backup side of a replication link.
@@ -182,7 +183,9 @@ func (r *Receiver) Serve(conn net.Conn) (done bool, err error) {
 			r.txns += int64(enc.TxnCount)
 			r.entries += int64(enc.EntryCount)
 			r.mu.Unlock()
-			r.cfg.Applier.Feed(enc)
+			if err := r.cfg.Applier.Feed(enc); err != nil {
+				return false, fmt.Errorf("ship: applier: %w", err)
+			}
 			sinceAck++
 			if sinceAck >= r.cfg.AckEvery || br.Buffered() == 0 {
 				ack()
@@ -193,7 +196,9 @@ func (r *Receiver) Serve(conn net.Conn) (done bool, err error) {
 			if err != nil {
 				return false, err
 			}
-			r.cfg.Applier.Heartbeat(ts)
+			if err := r.cfg.Applier.Heartbeat(ts); err != nil {
+				return false, fmt.Errorf("ship: applier: %w", err)
+			}
 			// Keep the sender's ack cursor and lag gauge fresh while idle.
 			ack()
 			sinceAck = 0

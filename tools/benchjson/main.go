@@ -1,0 +1,70 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// JSON document on stdout, so benchmark results can be archived and diffed
+// by CI (`make bench-json` writes BENCH_replay.json with it). Context
+// lines (goos, goarch, pkg, cpu) are captured alongside the per-benchmark
+// metric pairs; any "<value> <unit>" pair emitted via b.ReportMetric comes
+// through untouched.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type doc struct {
+	Context map[string]string `json:"context"`
+	Results []result          `json:"results"`
+}
+
+func main() {
+	out := doc{Context: map[string]string{}, Results: []result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			out.Context[k] = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "Benchmark"):
+			f := strings.Fields(line)
+			if len(f) < 2 {
+				continue
+			}
+			iters, err := strconv.ParseInt(f[1], 10, 64)
+			if err != nil {
+				continue
+			}
+			r := result{Name: f[0], Iterations: iters, Metrics: map[string]float64{}}
+			for i := 2; i+1 < len(f); i += 2 {
+				v, err := strconv.ParseFloat(f[i], 64)
+				if err != nil {
+					continue
+				}
+				r.Metrics[f[i+1]] = v
+			}
+			out.Results = append(out.Results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
