@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz ci bench-json
+.PHONY: all build vet test race fuzz smoke ci bench-json
 
 all: ci
 
@@ -22,9 +22,14 @@ race:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadFrame -fuzztime=10s ./internal/ship/
 
+# Boot `replayd backup -http`, scrape /metrics and /healthz, fail on
+# non-200 responses or missing replay_* series.
+smoke:
+	sh scripts/smoke-obsrv.sh
+
 # Serial-vs-pipelined replay throughput, archived as JSON for diffing.
 bench-json:
 	$(GO) test -run='^$$' -bench=BenchmarkReplayPipeline -benchmem ./internal/replay/ \
 		| $(GO) run ./tools/benchjson > BENCH_replay.json
 
-ci: build vet test race
+ci: build vet test race smoke

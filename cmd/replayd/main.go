@@ -24,10 +24,25 @@ import (
 	"aets/internal/grouping"
 	"aets/internal/htap"
 	"aets/internal/metrics"
+	"aets/internal/obsrv"
 	"aets/internal/primary"
 	"aets/internal/ship"
 	"aets/internal/workload"
 )
+
+// serveHTTP boots the observability endpoints when -http is set. It
+// returns a no-op closer when addr is empty.
+func serveHTTP(addr string, opts obsrv.Options) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	srv, err := obsrv.Serve(addr, opts)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("observability on http://%s (/metrics /healthz /varz /debug/pprof/)\n", srv.Addr())
+	return func() { srv.Close() }, nil
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -85,6 +100,7 @@ func runPrimary(args []string) error {
 	window := fs.Int("window", 32, "max in-flight (unacked) epochs before Send blocks")
 	hb := fs.Duration("hb", 500*time.Millisecond, "heartbeat interval (0 disables)")
 	retries := fs.Int("retries", 8, "consecutive reconnect attempts before giving up")
+	httpAddr := fs.String("http", "", "serve /metrics /healthz /varz /debug/pprof on this address (empty disables)")
 	_ = fs.Parse(args)
 
 	gen, _, err := workloadPlan(*name)
@@ -109,6 +125,22 @@ func runPrimary(args []string) error {
 	if err := s.Connect(); err != nil {
 		return err
 	}
+
+	closeHTTP, err := serveHTTP(*httpAddr, obsrv.Options{
+		Health: func() obsrv.Health {
+			st := s.Stats()
+			h := obsrv.Health{Healthy: true, Status: "ok", ShipConnected: st.Connected}
+			if !st.Connected {
+				h.Healthy = false
+				h.Status = "backup disconnected"
+			}
+			return h
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer closeHTTP()
 
 	stopProgress := startProgress(func() {
 		st := s.Stats()
@@ -147,6 +179,7 @@ func runBackup(args []string) error {
 	ckpt := fs.String("checkpoint", "", "write a checkpoint file after the stream drains")
 	resume := fs.String("resume", "", "restore from this checkpoint and resume the stream at its epoch cursor")
 	gcEvery := fs.Duration("gc-every", 0, "vacuum version chains at this interval (0 disables)")
+	httpAddr := fs.String("http", "", "serve /metrics /healthz /varz /debug/pprof on this address (empty disables)")
 	_ = fs.Parse(args)
 
 	gen, plan, err := workloadPlan(*name)
@@ -168,7 +201,7 @@ func runBackup(args []string) error {
 		}
 		node = n
 		fmt.Printf("resumed from %s: next epoch %d, visible ts %d\n",
-			*resume, m.LastEpochSeq+1, m.LastCommitTS)
+			*resume, m.NextEpochSeq(), m.LastCommitTS)
 	} else {
 		node, err = htap.NewNode(htap.Kind(*algo), plan, opts)
 		if err != nil {
@@ -188,6 +221,16 @@ func runBackup(args []string) error {
 		Metrics: m,
 		Drain:   func() error { node.Drain(); return node.Err() },
 	})
+
+	closeHTTP, err := serveHTTP(*httpAddr, obsrv.Options{
+		Health: node.HealthSource(metrics.Default, func() bool {
+			return metrics.Default.Gauge("ship_connected").Load() != 0
+		}),
+	})
+	if err != nil {
+		return err
+	}
+	defer closeHTTP()
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -4,19 +4,24 @@
 // epochs through a fault-injected connection that is severed mid-epoch;
 // the sender reconnects, the handshake resumes from the backup's
 // cursor, and the backup replays everything exactly once with AETS.
+// While the stream runs, the backup's observability endpoints are live
+// on a loopback port; the example scrapes its own /healthz at the end.
 //
 // Run with: go run ./examples/logshipping
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"net"
+	"net/http"
 	"time"
 
 	"aets/internal/grouping"
 	"aets/internal/htap"
 	"aets/internal/metrics"
+	"aets/internal/obsrv"
 	"aets/internal/primary"
 	"aets/internal/ship"
 	"aets/internal/workload"
@@ -102,6 +107,18 @@ func backup(ln net.Listener) error {
 		Drain:  func() error { node.Drain(); return node.Err() },
 	})
 
+	// The same endpoint set replayd serves behind -http.
+	srv, err := obsrv.Serve("127.0.0.1:0", obsrv.Options{
+		Health: node.HealthSource(metrics.Default, func() bool {
+			return metrics.Default.Gauge("ship_connected").Load() != 0
+		}),
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("backup observability on http://%s\n", srv.Addr())
+
 	start := time.Now()
 	for {
 		conn, err := ln.Accept()
@@ -126,5 +143,13 @@ func backup(ln net.Listener) error {
 	fmt.Printf("backup: replayed %d txns in %v (%.0f txns/s), %d duplicate epoch(s) dropped, visible ts %d, order_line rows %d\n",
 		st.Txns, elapsed.Round(time.Millisecond), float64(st.Txns)/elapsed.Seconds(),
 		st.Duplicates, node.VisibleTS(), node.Memtable().Table(workload.TPCCOrderLine).Len())
+
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("backup: /healthz %d %s", resp.StatusCode, body)
 	return nil
 }

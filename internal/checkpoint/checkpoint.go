@@ -6,7 +6,7 @@
 //
 // The format is a single self-describing stream:
 //
-//	magic "AETSCKPT" | version u16 | meta | tableCount uvarint
+//	magic "AETSCKPT" | version u16 | meta (3 varints + flags u8) | tableCount uvarint
 //	per table:  tableID uvarint | recordCount uvarint
 //	per record: key uvarint | versionCount uvarint
 //	per version (oldest first): txnID uvarint | commitTS varint |
@@ -33,7 +33,12 @@ import (
 
 var magic = []byte("AETSCKPT")
 
-const version = 1
+// Format version history:
+//
+//	1 — initial format (no fed-ness flag; a fresh checkpoint was
+//	    indistinguishable from one cut after epoch 0)
+//	2 — a flags byte after the meta varints, bit 0 = Fed
+const version = 2
 
 // ErrCorrupt is returned when a checkpoint fails structural or CRC checks.
 var ErrCorrupt = errors.New("checkpoint: corrupt stream")
@@ -42,12 +47,28 @@ var ErrCorrupt = errors.New("checkpoint: corrupt stream")
 // restarted backup asks the primary to re-ship epochs after LastEpochSeq.
 type Meta struct {
 	// LastEpochSeq is the sequence number of the last fully replayed epoch.
+	// Meaningful only when Fed is true.
 	LastEpochSeq uint64
 	// LastTxnID is the last committed transaction ID contained.
 	LastTxnID uint64
 	// LastCommitTS is the visibility watermark: every version with a
 	// commit timestamp at or below it is contained in the checkpoint.
 	LastCommitTS int64
+	// Fed reports whether the node had applied any epoch when the
+	// checkpoint was cut. False marks a fresh node: without it, a restore
+	// could not tell "never fed" (resume from epoch 0) apart from "last
+	// applied epoch was 0" (resume from epoch 1), and the handshake would
+	// permanently skip epoch 0.
+	Fed bool
+}
+
+// NextEpochSeq is the replication resume cursor the checkpoint implies:
+// 0 for a checkpoint of a never-fed node, LastEpochSeq+1 otherwise.
+func (m Meta) NextEpochSeq() uint64 {
+	if !m.Fed {
+		return 0
+	}
+	return m.LastEpochSeq + 1
 }
 
 // Write serialises the Memtable and meta to w. The caller must ensure no
@@ -78,6 +99,11 @@ func Write(w io.Writer, mt *memtable.Memtable, meta Meta) error {
 	putUvarint(meta.LastEpochSeq)
 	putUvarint(meta.LastTxnID)
 	putVarint(meta.LastCommitTS)
+	var flags byte
+	if meta.Fed {
+		flags |= 1
+	}
+	bw.WriteByte(flags)
 
 	tables := mt.Tables()
 	sort.Slice(tables, func(i, j int) bool { return tables[i] < tables[j] })
@@ -165,6 +191,14 @@ func Read(r io.Reader) (*memtable.Memtable, Meta, error) {
 	if meta.LastCommitTS, err = rdS(); err != nil {
 		return nil, meta, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
+	flags, err := br.ReadByte()
+	if err != nil {
+		return nil, meta, fmt.Errorf("%w: flags", ErrCorrupt)
+	}
+	if flags &^ 1 != 0 {
+		return nil, meta, fmt.Errorf("%w: unknown flags %#x", ErrCorrupt, flags)
+	}
+	meta.Fed = flags&1 != 0
 
 	mt := memtable.New()
 	nTables, err := rd()

@@ -2,7 +2,9 @@ package checkpoint
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"testing"
 
 	"aets/internal/memtable"
@@ -21,6 +23,63 @@ func populatedMemtable(t *testing.T) (*memtable.Memtable, Meta) {
 		LastEpochSeq: 3,
 		LastTxnID:    txns[len(txns)-1].ID,
 		LastCommitTS: txns[len(txns)-1].CommitTS,
+		Fed:          true,
+	}
+}
+
+func TestNextEpochSeq(t *testing.T) {
+	if got := (Meta{}).NextEpochSeq(); got != 0 {
+		t.Fatalf("fresh meta resume cursor %d, want 0", got)
+	}
+	if got := (Meta{LastEpochSeq: 0, Fed: true}).NextEpochSeq(); got != 1 {
+		t.Fatalf("fed-at-epoch-0 resume cursor %d, want 1", got)
+	}
+	if got := (Meta{LastEpochSeq: 9, Fed: true}).NextEpochSeq(); got != 10 {
+		t.Fatalf("resume cursor %d, want 10", got)
+	}
+}
+
+// TestFedFlagRoundTrip covers both polarities: a fresh (never-fed)
+// checkpoint must restore as never-fed, and a fed-at-epoch-0 checkpoint
+// must restore with the cursor past epoch 0. Before the flags byte the
+// two were indistinguishable.
+func TestFedFlagRoundTrip(t *testing.T) {
+	for _, fed := range []bool{false, true} {
+		var buf bytes.Buffer
+		if err := Write(&buf, memtable.New(), Meta{Fed: fed}); err != nil {
+			t.Fatal(err)
+		}
+		_, meta, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if meta.Fed != fed {
+			t.Fatalf("Fed=%v did not round-trip", fed)
+		}
+		want := uint64(0)
+		if fed {
+			want = 1
+		}
+		if got := meta.NextEpochSeq(); got != want {
+			t.Fatalf("Fed=%v: resume cursor %d, want %d", fed, got, want)
+		}
+	}
+}
+
+func TestUnknownFlagsRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, memtable.New(), Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// The meta of a zero Meta is three zero varints; the flags byte is
+	// right after them. Set a reserved bit and refresh the trailer CRC.
+	flagsOff := len(magic) + 2 + 3
+	data[flagsOff] |= 0x80
+	body := data[:len(data)-4]
+	binary.LittleEndian.PutUint32(data[len(data)-4:], crc32.ChecksumIEEE(body))
+	if _, _, err := Read(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt for unknown flags, got %v", err)
 	}
 }
 

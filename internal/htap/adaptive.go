@@ -194,7 +194,7 @@ func RunAdaptive(strategy Strategy, cfg AdaptiveConfig) (*AdaptiveResult, error)
 			shipped.Store(encs[i].LastCommitTS)
 		}
 
-		delays := &metrics.DelayRecorder{}
+		delays := metrics.NewExactDelayRecorder()
 		queryDone := make(chan struct{})
 		go func() {
 			defer close(queryDone)

@@ -114,15 +114,17 @@ func Run(kind Kind, exp Experiment) (*RunResult, error) {
 		return nil, err
 	}
 
+	// Exact recorders: the harness reproduces the paper's percentile
+	// tables over bounded runs, where reservoir estimates would add noise.
 	res := &RunResult{
 		Algorithm:  r.Name(),
-		Visibility: &metrics.DelayRecorder{},
+		Visibility: metrics.NewExactDelayRecorder(),
 		PerQuery:   make(map[string]*metrics.DelayRecorder),
 		Breakdown:  &bd,
 	}
 	queries := gen.Queries()
 	for _, q := range queries {
-		res.PerQuery[q.Name] = &metrics.DelayRecorder{}
+		res.PerQuery[q.Name] = metrics.NewExactDelayRecorder()
 	}
 
 	var shipped atomic.Int64

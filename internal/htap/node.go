@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aets/internal/checkpoint"
@@ -23,9 +24,14 @@ type Node struct {
 	r  Replayer
 	ex *query.Executor
 
-	mu      sync.Mutex
-	lastSeq uint64
-	fed     bool
+	mu        sync.Mutex
+	lastSeq   uint64
+	lastTxnID uint64
+	fed       bool
+
+	// primaryTS is the newest primary commit watermark this node has seen
+	// (fed epochs and heartbeats). replay lag = primaryTS - VisibleTS.
+	primaryTS atomic.Int64
 }
 
 // NewNode builds a backup node with the given replay algorithm and plan.
@@ -35,7 +41,7 @@ func NewNode(kind Kind, plan *grouping.Plan, opts Options) (*Node, error) {
 }
 
 // RestoreNode rebuilds a node from a checkpoint stream. The returned meta
-// tells the caller which epoch to resume feeding from (LastEpochSeq+1).
+// tells the caller which epoch to resume feeding from (Meta.NextEpochSeq).
 func RestoreNode(src io.Reader, kind Kind, plan *grouping.Plan, opts Options) (*Node, checkpoint.Meta, error) {
 	mt, meta, err := checkpoint.Read(src)
 	if err != nil {
@@ -46,7 +52,11 @@ func RestoreNode(src io.Reader, kind Kind, plan *grouping.Plan, opts Options) (*
 		return nil, meta, err
 	}
 	n.lastSeq = meta.LastEpochSeq
-	n.fed = true
+	n.lastTxnID = meta.LastTxnID
+	// Fed-ness must round-trip: a checkpoint of a never-fed node restores
+	// to a node whose resume cursor is still epoch 0, not epoch 1.
+	n.fed = meta.Fed
+	n.advancePrimaryTS(meta.LastCommitTS)
 	// Make the restored state immediately visible: everything up to the
 	// checkpoint watermark is present.
 	hb := epoch.Encoded{Seq: meta.LastEpochSeq, LastCommitTS: meta.LastCommitTS}
@@ -73,7 +83,11 @@ func (n *Node) Feed(enc *epoch.Encoded) error {
 	n.mu.Lock()
 	n.lastSeq = enc.Seq
 	n.fed = true
+	if enc.TxnCount > 0 {
+		n.lastTxnID = enc.LastTxnID
+	}
 	n.mu.Unlock()
+	n.advancePrimaryTS(enc.LastCommitTS)
 	return n.r.Feed(enc)
 }
 
@@ -85,7 +99,31 @@ func (n *Node) Heartbeat(ts int64) error {
 	n.mu.Lock()
 	seq := n.lastSeq
 	n.mu.Unlock()
+	n.advancePrimaryTS(ts)
 	return n.r.Feed(&epoch.Encoded{Seq: seq, LastCommitTS: ts})
+}
+
+func (n *Node) advancePrimaryTS(ts int64) {
+	for {
+		cur := n.primaryTS.Load()
+		if cur >= ts || n.primaryTS.CompareAndSwap(cur, ts) {
+			return
+		}
+	}
+}
+
+// PrimaryTS returns the newest primary commit watermark the node has seen
+// through fed epochs and heartbeats — the "how fresh could I be" clock.
+func (n *Node) PrimaryTS() int64 { return n.primaryTS.Load() }
+
+// ReplayLag returns how far replay visibility trails the primary's
+// watermark, in commit-timestamp units (0 when fully caught up).
+func (n *Node) ReplayLag() int64 {
+	lag := n.PrimaryTS() - n.VisibleTS()
+	if lag < 0 {
+		return 0
+	}
+	return lag
 }
 
 // NextSeq returns the next epoch sequence number the node expects: 0 on
@@ -141,7 +179,9 @@ func (n *Node) Checkpoint(w io.Writer) (checkpoint.Meta, error) {
 	n.mu.Lock()
 	meta := checkpoint.Meta{
 		LastEpochSeq: n.lastSeq,
+		LastTxnID:    n.lastTxnID,
 		LastCommitTS: n.r.GlobalTS(),
+		Fed:          n.fed,
 	}
 	n.mu.Unlock()
 	return meta, checkpoint.Write(w, n.mt, meta)

@@ -94,6 +94,80 @@ func TestNodeCheckpointRestoreResume(t *testing.T) {
 	restored.Close()
 }
 
+// TestNodeCheckpointMetaRoundTrip pins the checkpoint meta the node
+// records: the last committed transaction ID and fed-ness must survive
+// Checkpoint→RestoreNode. LastTxnID used to be left zero, so a restored
+// operator could not tell which primary transaction the state contained.
+func TestNodeCheckpointMetaRoundTrip(t *testing.T) {
+	n, txns, encs, plan := nodeFixture(t)
+	for i := range encs {
+		n.Feed(&encs[i])
+	}
+	var buf bytes.Buffer
+	meta, err := n.Checkpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTxn := txns[len(txns)-1].ID
+	if meta.LastTxnID != wantTxn {
+		t.Fatalf("checkpoint LastTxnID %d, want %d", meta.LastTxnID, wantTxn)
+	}
+	if !meta.Fed || meta.NextEpochSeq() != encs[len(encs)-1].Seq+1 {
+		t.Fatalf("checkpoint meta %+v, want fed with resume %d", meta, encs[len(encs)-1].Seq+1)
+	}
+	n.Close()
+
+	restored, gotMeta, err := RestoreNode(&buf, KindAETS, plan, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if gotMeta.LastTxnID != wantTxn || !gotMeta.Fed {
+		t.Fatalf("restored meta %+v, want LastTxnID %d fed", gotMeta, wantTxn)
+	}
+	// A second checkpoint cut immediately after restore must carry the
+	// same position — the node, not just the meta, remembers it.
+	var buf2 bytes.Buffer
+	meta2, err := restored.Checkpoint(&buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta2.LastTxnID != wantTxn || !meta2.Fed || meta2.LastEpochSeq != meta.LastEpochSeq {
+		t.Fatalf("re-checkpoint meta %+v, want %+v", meta2, meta)
+	}
+}
+
+// TestNodeHeartbeatDoesNotClaimTxns pins that heartbeats (TxnCount 0)
+// advance the primary watermark but not LastTxnID.
+func TestNodeHeartbeatDoesNotClaimTxns(t *testing.T) {
+	n, txns, encs, _ := nodeFixture(t)
+	defer n.Close()
+	for i := range encs {
+		n.Feed(&encs[i])
+	}
+	n.Drain()
+	wantTxn := txns[len(txns)-1].ID
+	hb := n.PrimaryTS() + 5000
+	if err := n.Heartbeat(hb); err != nil {
+		t.Fatal(err)
+	}
+	n.Drain()
+	if got := n.PrimaryTS(); got != hb {
+		t.Fatalf("primary ts %d, want heartbeat %d", got, hb)
+	}
+	if n.ReplayLag() != 0 {
+		t.Fatalf("replay lag %d after drain, want 0", n.ReplayLag())
+	}
+	var buf bytes.Buffer
+	meta, err := n.Checkpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.LastTxnID != wantTxn {
+		t.Fatalf("heartbeat changed LastTxnID: %d, want %d", meta.LastTxnID, wantTxn)
+	}
+}
+
 func TestNodeVacuumBoundsVersions(t *testing.T) {
 	// One hot row updated many times: before vacuum the chain holds every
 	// version, afterwards only those at or above the watermark (plus its

@@ -1,0 +1,48 @@
+package htap
+
+import (
+	"aets/internal/metrics"
+	"aets/internal/obsrv"
+)
+
+// HealthSource returns an obsrv health callback bound to this node. Each
+// call (once per scrape) refreshes the derived replay_lag_ts gauge in reg
+// and reports:
+//
+//   - healthy while replay has no fatal error — a fatal Engine.Err is the
+//     one unrecoverable state;
+//   - the replay lag — how far the visible timestamp trails the newest
+//     primary watermark the node has seen through fed epochs/heartbeats;
+//   - the transport state, when a ship connection probe is supplied.
+//     Informational, not a health gate: a backup waiting for its primary
+//     to (re)connect is ready, not broken.
+//
+// shipConnected may be nil when the node is fed in-process (no transport
+// to probe).
+func (n *Node) HealthSource(reg *metrics.Registry, shipConnected func() bool) func() obsrv.Health {
+	if reg == nil {
+		reg = metrics.Default
+	}
+	lag := reg.Gauge("replay_lag_ts")
+	return func() obsrv.Health {
+		h := obsrv.Health{
+			Healthy:   true,
+			Status:    "ok",
+			VisibleTS: n.VisibleTS(),
+			PrimaryTS: n.PrimaryTS(),
+		}
+		h.ReplayLagTS = n.ReplayLag()
+		lag.Set(float64(h.ReplayLagTS))
+		if err := n.Err(); err != nil {
+			h.Healthy = false
+			h.Status = "replay failed"
+			h.Err = err.Error()
+		}
+		if shipConnected != nil {
+			h.ShipConnected = shipConnected()
+		} else {
+			h.ShipConnected = true
+		}
+		return h
+	}
+}

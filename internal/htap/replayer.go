@@ -73,6 +73,10 @@ type Options struct {
 	// Breakdown, when non-nil, records the Table II phase timing
 	// (AETS/TPLR only).
 	Breakdown *metrics.Breakdown
+	// Metrics receives the replayer's operational metrics (counters,
+	// gauges, latency histograms). Defaults to metrics.Default; tests
+	// pass their own registry to scrape in isolation.
+	Metrics *metrics.Registry
 }
 
 // NewReplayer builds a replayer of the given kind over mt. plan is the
@@ -87,7 +91,7 @@ func NewReplayer(kind Kind, mt *memtable.Memtable, plan *grouping.Plan, opts Opt
 		e := replay.New("TPLR", mt, single, replay.Config{
 			Workers: opts.Workers, Urgency: opts.Urgency,
 			TwoStage: false, Breakdown: opts.Breakdown,
-			Pipeline: opts.Pipeline,
+			Pipeline: opts.Pipeline, Registry: opts.Metrics,
 		})
 		return engineReplayer{e, mt}, nil
 	case KindATR:
@@ -105,7 +109,7 @@ func NewAETS(mt *memtable.Memtable, plan *grouping.Plan, opts Options) *AETSEngi
 	e := replay.New("AETS", mt, plan, replay.Config{
 		Workers: opts.Workers, Urgency: opts.Urgency,
 		TwoStage: true, Breakdown: opts.Breakdown,
-		Pipeline: opts.Pipeline,
+		Pipeline: opts.Pipeline, Registry: opts.Metrics,
 	})
 	return &AETSEngine{Engine: e, mt: mt}
 }

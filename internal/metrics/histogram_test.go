@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketsAndCount(t *testing.T) {
+	var h Histogram
+	h.Observe(500 * time.Nanosecond) // below first bound → first bucket
+	h.Observe(3 * time.Microsecond)
+	h.Observe(100 * time.Millisecond)
+	h.Observe(10 * time.Minute) // beyond last bound → +Inf only
+	h.Observe(-time.Second)     // clamped to 0
+
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count %d, want 5", s.Count)
+	}
+	if got := s.Buckets[len(s.Buckets)-1].Count; got != 4 {
+		t.Fatalf("last finite bucket cumulative %d, want 4 (one sample is +Inf-only)", got)
+	}
+	if s.Buckets[0].Count != 2 { // 500ns and -1s→0 both land in the first bucket
+		t.Fatalf("first bucket %d, want 2", s.Buckets[0].Count)
+	}
+	// Cumulative counts must be monotone and bounds ascending.
+	for i := 1; i < len(s.Buckets); i++ {
+		if s.Buckets[i].Count < s.Buckets[i-1].Count {
+			t.Fatalf("bucket %d cumulative count decreased", i)
+		}
+		if s.Buckets[i].UpperSeconds <= s.Buckets[i-1].UpperSeconds {
+			t.Fatalf("bucket %d bound not ascending", i)
+		}
+	}
+	wantSum := (500*time.Nanosecond + 3*time.Microsecond + 100*time.Millisecond + 10*time.Minute).Seconds()
+	if math.Abs(s.SumSeconds-wantSum) > 1e-9 {
+		t.Fatalf("sum %v, want %v", s.SumSeconds, wantSum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	p50 := s.Quantile(0.5)
+	// All samples are 1ms; the estimate must land within the 2× bucket that
+	// contains it.
+	if p50 < 0.5e-3 || p50 > 2.2e-3 {
+		t.Fatalf("p50 %v, want ≈1ms", p50)
+	}
+	var empty HistogramSnapshot
+	if empty.Quantile(0.99) != 0 {
+		t.Fatal("empty snapshot quantile must be 0")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count %d", h.Count())
+	}
+}
+
+// TestHistogramObserveAllocs pins the hot-path claim: recording a sample
+// allocates nothing, so histograms can sit on the TPLR hand-off path
+// without breaking its zero-allocation guarantee.
+func TestHistogramObserveAllocs(t *testing.T) {
+	var h Histogram
+	n := testing.AllocsPerRun(1000, func() {
+		h.Observe(3 * time.Millisecond)
+	})
+	if n != 0 {
+		t.Fatalf("Observe allocates %.1f objects/op, want 0", n)
+	}
+}
+
+func TestRegistryHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("replay_test_seconds")
+	if h != r.Histogram("replay_test_seconds") {
+		t.Fatal("get-or-create must return the same instance")
+	}
+	h.Observe(time.Millisecond)
+	snap := r.SnapshotAll()
+	hs, ok := snap.Histograms["replay_test_seconds"]
+	if !ok || hs.Count != 1 {
+		t.Fatalf("snapshot %+v", snap.Histograms)
+	}
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(1.5)
+	snap = r.SnapshotAll()
+	if snap.Counters["c"] != 3 || snap.Gauges["g"] != 1.5 {
+		t.Fatalf("typed snapshot %+v", snap)
+	}
+}
+
+func TestDelayRecorderReservoirBounds(t *testing.T) {
+	var r DelayRecorder
+	const n = 3 * ReservoirSize
+	for i := 1; i <= n; i++ {
+		r.Record(time.Duration(i) * time.Microsecond)
+	}
+	if r.Count() != n {
+		t.Fatalf("count %d, want %d", r.Count(), n)
+	}
+	r.mu.Lock()
+	retained := len(r.samples)
+	r.mu.Unlock()
+	if retained != ReservoirSize {
+		t.Fatalf("retained %d samples, want capped at %d", retained, ReservoirSize)
+	}
+	// Mean stays exact even with sampling.
+	if m := r.Mean(); math.Abs(m-float64(n+1)/2) > 1e-6 {
+		t.Fatalf("mean %v, want %v", m, float64(n+1)/2)
+	}
+	// The reservoir is uniform over 1..n µs: the median estimate must land
+	// near n/2 (generous tolerance — this guards gross bias, not variance).
+	if p50 := r.Quantile(0.5); p50 < float64(n)*0.4 || p50 > float64(n)*0.6 {
+		t.Fatalf("reservoir p50 %v, want ≈%v", p50, float64(n)/2)
+	}
+}
+
+func TestDelayRecorderExactMode(t *testing.T) {
+	r := NewExactDelayRecorder()
+	const n = 2 * ReservoirSize
+	for i := 1; i <= n; i++ {
+		r.Record(time.Duration(i) * time.Microsecond)
+	}
+	r.mu.Lock()
+	retained := len(r.samples)
+	r.mu.Unlock()
+	if retained != n {
+		t.Fatalf("exact mode retained %d, want all %d", retained, n)
+	}
+	if p := r.Quantile(1); p != float64(n) {
+		t.Fatalf("exact max %v, want %v", p, float64(n))
+	}
+	r.Reset()
+	if r.Count() != 0 || r.Quantile(0.5) != 0 || r.Mean() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}

@@ -1,0 +1,205 @@
+// Package obsrv is the operational observability layer: an HTTP endpoint
+// set exposing the process's metrics.Registry as Prometheus text
+// (/metrics), a liveness/health signal tied to replay progress
+// (/healthz), a JSON state snapshot for humans and scripts (/varz), and
+// the standard net/http/pprof profiling handlers (/debug/pprof/).
+//
+// The package knows nothing about replay or shipping: callers hand it a
+// registry plus an optional health callback, and subsystems keep their
+// metrics in the registry as before. cmd/replayd serves it behind the
+// -http flag on both the primary and the backup.
+package obsrv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"time"
+
+	"aets/internal/metrics"
+)
+
+// Health is the point-in-time health report served at /healthz and
+// embedded in /varz. Timestamps are in the log's commit-timestamp domain
+// (the same domain as Engine.GlobalTS).
+type Health struct {
+	// Healthy selects the HTTP status: 200 when true, 503 when false.
+	Healthy bool `json:"healthy"`
+	// Status is a short state word: "ok", "failed", ...
+	Status string `json:"status"`
+	// Err is the first fatal replay error, when one has occurred.
+	Err string `json:"err,omitempty"`
+	// VisibleTS is the backup's global visible timestamp.
+	VisibleTS int64 `json:"visible_ts"`
+	// PrimaryTS is the newest primary commit watermark the node has seen
+	// (shipped epochs and heartbeats).
+	PrimaryTS int64 `json:"primary_ts"`
+	// ReplayLagTS is PrimaryTS - VisibleTS clamped at 0: how far replay
+	// trails the primary's heartbeat clock.
+	ReplayLagTS int64 `json:"replay_lag_ts"`
+	// ShipConnected reports whether a replication link is currently up.
+	ShipConnected bool `json:"ship_connected"`
+}
+
+// Options configures the endpoint set.
+type Options struct {
+	// Registry is the metrics source; nil means metrics.Default.
+	Registry *metrics.Registry
+	// Health supplies the health report; nil reports always-healthy. It is
+	// called on every request to /healthz, /varz AND /metrics — health
+	// callbacks conventionally refresh derived gauges (replay_lag_ts), so
+	// scrapes must observe fresh values too.
+	Health func() Health
+	// Collect hooks run before every snapshot, for gauges that are
+	// computed rather than maintained (queue depths, pool sizes).
+	Collect []func()
+}
+
+func (o *Options) fill() {
+	if o.Registry == nil {
+		o.Registry = metrics.Default
+	}
+}
+
+// NewHandler returns the endpoint mux. Use Serve for the common
+// listen-and-serve-in-background case.
+func NewHandler(opts Options) http.Handler {
+	opts.fill()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		h := refresh(opts)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePrometheus(w, opts.Registry.SnapshotAll(), h)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := refresh(opts)
+		w.Header().Set("Content-Type", "application/json")
+		code := http.StatusOK
+		if h != nil && !h.Healthy {
+			code = http.StatusServiceUnavailable
+		}
+		w.WriteHeader(code)
+		writeJSON(w, healthOrDefault(h))
+	})
+	mux.HandleFunc("/varz", func(w http.ResponseWriter, r *http.Request) {
+		h := refresh(opts)
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, varz{
+			Health:  healthOrDefault(h),
+			Metrics: opts.Registry.SnapshotAll(),
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// refresh runs the collect hooks and health callback that keep derived
+// gauges current, returning the health report (nil when unconfigured).
+func refresh(opts Options) *Health {
+	for _, fn := range opts.Collect {
+		fn()
+	}
+	if opts.Health == nil {
+		return nil
+	}
+	h := opts.Health()
+	return &h
+}
+
+func healthOrDefault(h *Health) Health {
+	if h != nil {
+		return *h
+	}
+	return Health{Healthy: true, Status: "ok"}
+}
+
+// varz is the /varz document.
+type varz struct {
+	Health  Health           `json:"health"`
+	Metrics metrics.Snapshot `json:"metrics"`
+}
+
+func writeJSON(w io.Writer, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writePrometheus renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): one TYPE line per family, histograms
+// as cumulative le-labelled buckets with _sum and _count. Health is
+// rendered too (healthz over scrape, the Kubernetes idiom) so alerting
+// needs only this endpoint.
+func writePrometheus(w io.Writer, snap metrics.Snapshot, h *Health) {
+	for _, name := range sortedKeys(snap.Counters) {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, snap.Counters[name])
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, snap.Gauges[name])
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		hs := snap.Histograms[name]
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		for _, b := range hs.Buckets {
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b.UpperSeconds), b.Count)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, hs.Count)
+		fmt.Fprintf(w, "%s_sum %g\n", name, hs.SumSeconds)
+		fmt.Fprintf(w, "%s_count %d\n", name, hs.Count)
+	}
+	if h != nil {
+		up := 0
+		if h.Healthy {
+			up = 1
+		}
+		fmt.Fprintf(w, "# TYPE up gauge\nup %d\n", up)
+	}
+}
+
+func formatBound(v float64) string {
+	return fmt.Sprintf("%g", v)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Server is a live endpoint listener, created by Serve.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve listens on addr (":9090", "127.0.0.1:0", ...) and serves the
+// endpoint set in a background goroutine until Close.
+func Serve(addr string, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obsrv: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           NewHandler(opts),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and any in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

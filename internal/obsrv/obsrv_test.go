@@ -1,0 +1,181 @@
+package obsrv
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"aets/internal/metrics"
+)
+
+func testOptions(h Health) (Options, *metrics.Registry) {
+	reg := metrics.NewRegistry()
+	reg.Counter("replay_epochs_total").Add(7)
+	reg.Gauge("replay_lag_ts").Set(42)
+	hist := reg.Histogram("replay_commit_seconds")
+	hist.Observe(3 * time.Microsecond)
+	hist.Observe(80 * time.Millisecond)
+	return Options{Registry: reg, Health: func() Health { return h }}, reg
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	opts, _ := testOptions(Health{Healthy: true, Status: "ok"})
+	srv := httptest.NewServer(NewHandler(opts))
+	defer srv.Close()
+
+	code, body, ctype := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ctype)
+	}
+	for _, want := range []string{
+		"# TYPE replay_epochs_total counter",
+		"replay_epochs_total 7",
+		"# TYPE replay_lag_ts gauge",
+		"replay_lag_ts 42",
+		"# TYPE replay_commit_seconds histogram",
+		`replay_commit_seconds_bucket{le="+Inf"} 2`,
+		"replay_commit_seconds_count 2",
+		"replay_commit_seconds_sum",
+		"# TYPE up gauge",
+		"up 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+	// Histogram buckets must be cumulative: the last finite bucket holds
+	// everything at or below its bound.
+	if !strings.Contains(body, "_bucket{le=") {
+		t.Fatalf("no le-labelled buckets:\n%s", body)
+	}
+}
+
+func TestHealthzStatusCodes(t *testing.T) {
+	for _, tc := range []struct {
+		h    Health
+		code int
+	}{
+		{Health{Healthy: true, Status: "ok", VisibleTS: 10, PrimaryTS: 12, ReplayLagTS: 2}, http.StatusOK},
+		{Health{Healthy: false, Status: "replay failed", Err: "boom"}, http.StatusServiceUnavailable},
+	} {
+		opts, _ := testOptions(tc.h)
+		srv := httptest.NewServer(NewHandler(opts))
+		code, body, ctype := get(t, srv, "/healthz")
+		srv.Close()
+		if code != tc.code {
+			t.Fatalf("healthy=%v: status %d, want %d", tc.h.Healthy, code, tc.code)
+		}
+		if ctype != "application/json" {
+			t.Fatalf("content type %q", ctype)
+		}
+		var got Health
+		if err := json.Unmarshal([]byte(body), &got); err != nil {
+			t.Fatalf("healthz not JSON: %v\n%s", err, body)
+		}
+		if got != tc.h {
+			t.Fatalf("healthz %+v, want %+v", got, tc.h)
+		}
+	}
+}
+
+func TestVarzSnapshot(t *testing.T) {
+	opts, _ := testOptions(Health{Healthy: true, Status: "ok"})
+	srv := httptest.NewServer(NewHandler(opts))
+	defer srv.Close()
+
+	code, body, _ := get(t, srv, "/varz")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var doc struct {
+		Health  Health           `json:"health"`
+		Metrics metrics.Snapshot `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("varz not JSON: %v\n%s", err, body)
+	}
+	if !doc.Health.Healthy {
+		t.Fatalf("varz health %+v", doc.Health)
+	}
+	if doc.Metrics.Counters["replay_epochs_total"] != 7 {
+		t.Fatalf("varz counters %v", doc.Metrics.Counters)
+	}
+	if hs := doc.Metrics.Histograms["replay_commit_seconds"]; hs.Count != 2 {
+		t.Fatalf("varz histogram %+v", hs)
+	}
+}
+
+func TestPprofServed(t *testing.T) {
+	opts, _ := testOptions(Health{Healthy: true, Status: "ok"})
+	srv := httptest.NewServer(NewHandler(opts))
+	defer srv.Close()
+	code, body, _ := get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index status %d", code)
+	}
+}
+
+// TestCollectHooksRunPerScrape pins the contract health callbacks rely
+// on: every endpoint refreshes derived gauges before snapshotting.
+func TestCollectHooksRunPerScrape(t *testing.T) {
+	reg := metrics.NewRegistry()
+	calls := 0
+	opts := Options{
+		Registry: reg,
+		Collect:  []func(){func() { calls++; reg.Gauge("derived").Set(float64(calls)) }},
+	}
+	srv := httptest.NewServer(NewHandler(opts))
+	defer srv.Close()
+	for i, path := range []string{"/metrics", "/healthz", "/varz"} {
+		get(t, srv, path)
+		if calls != i+1 {
+			t.Fatalf("%s did not run collect hooks (%d calls)", path, calls)
+		}
+	}
+	if _, body, _ := get(t, srv, "/metrics"); !strings.Contains(body, "derived 4") {
+		t.Fatalf("derived gauge stale:\n%s", body)
+	}
+}
+
+func TestServeAndClose(t *testing.T) {
+	opts, _ := testOptions(Health{Healthy: true, Status: "ok"})
+	srv, err := Serve("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/healthz"); err == nil {
+		t.Fatal("server still reachable after Close")
+	}
+}

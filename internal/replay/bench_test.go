@@ -3,6 +3,7 @@ package replay
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"aets/internal/epoch"
 	"aets/internal/grouping"
@@ -65,7 +66,8 @@ func BenchmarkReplayPipeline(b *testing.B) {
 // TestHandoffSteadyStateAllocs pins the zero-allocation claim for the TPLR
 // phase-1→phase-2 hand-off: once the engine's pool is warm, a full
 // acquire → deliver → take → release cycle of the slot ring allocates
-// nothing.
+// nothing — including the per-piece commit-latency histogram recording
+// that now rides on the same path.
 func TestHandoffSteadyStateAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race detector randomises sync.Pool caching; alloc counts are meaningless")
@@ -87,6 +89,7 @@ func TestHandoffSteadyStateAllocs(t *testing.T) {
 			if _, err := bs.take(i); err != nil {
 				t.Fatal(err)
 			}
+			e.hCommit.Observe(time.Microsecond) // as the commit loop does per piece
 		}
 		e.releaseBatch(bs)
 	})

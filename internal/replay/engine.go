@@ -134,6 +134,14 @@ type Engine struct {
 	cHandoffAlloc  *metrics.Counter
 	cDispatchReuse *metrics.Counter
 	cDispatchAlloc *metrics.Counter
+
+	// Stage latency histograms (paper Table II's dispatch/replay/commit
+	// breakdown, as live distributions): per-epoch dispatch time, per-piece
+	// TPLR commit time, and per-query WaitVisible block time. Observe is
+	// allocation-free, so these sit on the pinned hot paths.
+	hDispatch *metrics.Histogram
+	hCommit   *metrics.Histogram
+	hWait     *metrics.Histogram
 }
 
 // New returns an engine named name over mt with the initial group plan.
@@ -151,6 +159,9 @@ func New(name string, mt *memtable.Memtable, plan *grouping.Plan, cfg Config) *E
 	e.cHandoffAlloc = reg.Counter("replay_handoff_alloc_total")
 	e.cDispatchReuse = reg.Counter("replay_dispatch_reuse_total")
 	e.cDispatchAlloc = reg.Counter("replay_dispatch_alloc_total")
+	e.hDispatch = reg.Histogram("replay_dispatch_seconds")
+	e.hCommit = reg.Histogram("replay_commit_seconds")
+	e.hWait = reg.Histogram("replay_wait_visible_seconds")
 	e.installPlan(plan, 0)
 	return e
 }
@@ -302,8 +313,10 @@ func (e *Engine) processEpoch(enc *epoch.Encoded, bufs *dispatch.Buffers) {
 
 	t0 := time.Now()
 	res, err := bufs.Dispatch(enc, vs.plan)
+	dd := time.Since(t0)
+	e.hDispatch.Observe(dd)
 	if e.cfg.Breakdown != nil {
-		e.cfg.Breakdown.AddDispatch(time.Since(t0))
+		e.cfg.Breakdown.AddDispatch(dd)
 	}
 	if err != nil {
 		e.fail(fmt.Errorf("epoch %d: %w", enc.Seq, err))
@@ -462,8 +475,10 @@ func (e *Engine) runPipelined() {
 		bufs := e.acquireDispatch()
 		t0 := time.Now()
 		res, err := bufs.Dispatch(enc, vs.plan)
+		dd := time.Since(t0)
+		e.hDispatch.Observe(dd)
 		if e.cfg.Breakdown != nil {
-			e.cfg.Breakdown.AddDispatch(time.Since(t0))
+			e.cfg.Breakdown.AddDispatch(dd)
 		}
 		if err != nil {
 			e.fail(fmt.Errorf("epoch %d: %w", enc.Seq, err))

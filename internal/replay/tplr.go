@@ -252,8 +252,10 @@ func (e *Engine) replayGroup(vs *visState, gb *dispatch.GroupBatch, n int) error
 			c.rec.Append(c.ver)
 		}
 		e.publishGroup(vs, gb.Group, d.commitTS)
+		cd := time.Since(t0)
+		e.hCommit.Observe(cd)
 		if e.cfg.Breakdown != nil {
-			e.cfg.Breakdown.AddCommit(time.Since(t0))
+			e.cfg.Breakdown.AddCommit(cd)
 		}
 	}
 
@@ -286,9 +288,11 @@ func (e *Engine) replayGroupSerial(vs *visState, gb *dispatch.GroupBatch) error 
 			tc := time.Now()
 			v.CommitTS = p.CommitTS
 			rec.Append(v)
+			cd := time.Since(tc)
+			e.hCommit.Observe(cd)
 			if e.cfg.Breakdown != nil {
-				e.cfg.Breakdown.AddCommit(time.Since(tc))
-				t0 = t0.Add(time.Since(tc)) // keep commit time out of the replay share
+				e.cfg.Breakdown.AddCommit(cd)
+				t0 = t0.Add(cd) // keep commit time out of the replay share
 			}
 		}
 		e.publishGroup(vs, gb.Group, p.CommitTS)

@@ -2,6 +2,7 @@ package replay
 
 import (
 	"sync/atomic"
+	"time"
 
 	"aets/internal/wal"
 )
@@ -78,17 +79,21 @@ func (e *Engine) visibleAt(qts int64, tables []wal.TableID) bool {
 // WaitVisible blocks until every record version with commit timestamp ≤ qts
 // in the given tables is visible (Algorithm 3, lines 4-10). After it
 // returns, reads at qts on those tables satisfy the primary's commit order.
+// Blocked waits are recorded in the replay_wait_visible_seconds histogram;
+// the already-visible fast path records nothing and stays free.
 func (e *Engine) WaitVisible(qts int64, tables []wal.TableID) {
 	if e.visibleAt(qts, tables) {
 		return
 	}
+	t0 := time.Now()
 	e.waiters.Add(1)
 	defer e.waiters.Add(-1)
 	e.visMu.Lock()
-	defer e.visMu.Unlock()
 	for !e.visibleAt(qts, tables) {
 		e.visCond.Wait()
 	}
+	e.visMu.Unlock()
+	e.hWait.Observe(time.Since(t0))
 }
 
 // advanceMax atomically raises a to at least v.

@@ -23,6 +23,9 @@ type Metrics struct {
 	// Duplicates counts epochs the receiver dropped as already applied
 	// (redelivered after a mid-window reconnect).
 	Duplicates *metrics.Counter
+	// Connected is the link state: 1 while a connection is established
+	// (sender side) or a stream is being served (receiver side), else 0.
+	Connected *metrics.Gauge
 }
 
 // NewMetrics registers the shipping metrics in r (metrics.Default when
@@ -38,5 +41,6 @@ func NewMetrics(r *metrics.Registry) *Metrics {
 		Reconnects:  r.Counter("ship_reconnects_total"),
 		LagSeconds:  r.Gauge("ship_lag_seconds"),
 		Duplicates:  r.Counter("ship_duplicates_total"),
+		Connected:   r.Gauge("ship_connected"),
 	}
 }

@@ -110,6 +110,8 @@ func (r *Receiver) Serve(conn net.Conn) (done bool, err error) {
 	r.serveMu.Lock()
 	defer r.serveMu.Unlock()
 	defer conn.Close()
+	r.m.Connected.Set(1)
+	defer r.m.Connected.Set(0)
 
 	br := bufio.NewReaderSize(conn, 1<<20)
 	bw := bufio.NewWriterSize(conn, 1<<12)
@@ -179,13 +181,20 @@ func (r *Receiver) Serve(conn net.Conn) (done bool, err error) {
 				r.mu.Unlock()
 				return false, fmt.Errorf("%w: got epoch %d, want %d", ErrGap, enc.Seq, want)
 			}
+			r.mu.Unlock()
+			// Apply before advancing: a failed Feed must leave the cursor
+			// pointing at this epoch, so the next handshake redelivers it
+			// instead of telling the sender to skip an epoch that was never
+			// applied. Serve connections serialize on serveMu, so nothing
+			// else can race the cursor between the check and the advance.
+			if err := r.cfg.Applier.Feed(enc); err != nil {
+				return false, fmt.Errorf("ship: applier: %w", err)
+			}
+			r.mu.Lock()
 			r.cursor = enc.Seq + 1
 			r.txns += int64(enc.TxnCount)
 			r.entries += int64(enc.EntryCount)
 			r.mu.Unlock()
-			if err := r.cfg.Applier.Feed(enc); err != nil {
-				return false, fmt.Errorf("ship: applier: %w", err)
-			}
 			sinceAck++
 			if sinceAck >= r.cfg.AckEvery || br.Buffered() == 0 {
 				ack()

@@ -62,6 +62,7 @@ type SenderStats struct {
 	Inflight   int           // sent-but-unacked epochs
 	AckCursor  uint64        // backup's cumulative cursor
 	Lag        time.Duration // age of the oldest unacked epoch
+	Connected  bool          // a connection is currently established
 }
 
 // Sender ships encoded epochs to one backup. Connections are opened
@@ -222,6 +223,7 @@ func (s *Sender) Close() error {
 		s.conn.Close()
 		s.conn = nil
 	}
+	s.m.Connected.Set(0)
 	s.cond.Broadcast()
 	return err
 }
@@ -238,6 +240,7 @@ func (s *Sender) Stats() SenderStats {
 		Reconnects: s.reconnects,
 		Inflight:   len(s.pending),
 		AckCursor:  s.ackCursor,
+		Connected:  s.conn != nil && s.connErr == nil && !s.closed,
 	}
 	if len(s.pendingAt) > 0 {
 		st.Lag = time.Since(s.pendingAt[0])
@@ -305,6 +308,7 @@ func (s *Sender) connectLocked() error {
 		s.conn = conn
 		s.bw = bufio.NewWriterSize(conn, 1<<20)
 		s.connErr = nil
+		s.m.Connected.Set(1)
 		s.gen++
 		s.retireLocked(cursor)
 		s.sentIdx = 0
@@ -408,6 +412,7 @@ func (s *Sender) failLocked(err error) {
 	if s.conn != nil {
 		s.conn.Close()
 	}
+	s.m.Connected.Set(0)
 	s.cond.Broadcast()
 }
 
@@ -416,6 +421,7 @@ func (s *Sender) teardownLocked() {
 		s.conn.Close()
 		s.conn = nil
 	}
+	s.m.Connected.Set(0)
 	s.gen++
 	s.sentIdx = 0
 }

@@ -468,6 +468,84 @@ func TestSenderGivesUpAfterMaxAttempts(t *testing.T) {
 	}
 }
 
+// failOnceApplier injects a single Feed failure, then behaves like the
+// real node.
+type failOnceApplier struct {
+	node   *htap.Node
+	failed atomic.Bool
+	feeds  atomic.Int64
+}
+
+func (a *failOnceApplier) Feed(enc *epoch.Encoded) error {
+	a.feeds.Add(1)
+	if a.failed.CompareAndSwap(false, true) {
+		return errors.New("injected applier failure")
+	}
+	return a.node.Feed(enc)
+}
+
+func (a *failOnceApplier) Heartbeat(ts int64) error { return a.node.Heartbeat(ts) }
+
+// TestFailedFeedDoesNotAdvanceCursor is the regression test for the
+// cursor-before-Feed bug: when Feed fails, the cursor must still point at
+// the failed epoch so the reconnect handshake redelivers it. Before the
+// fix the cursor had already advanced, the WELCOME told the sender to
+// skip the epoch, and it was silently lost.
+func TestFailedFeedDoesNotAdvanceCursor(t *testing.T) {
+	encs := tpccEncoded(1024, 128) // 8 epochs
+	want := directNode(t, encs)
+	defer want.Close()
+
+	node := newNode(t)
+	defer node.Close()
+	app := &failOnceApplier{node: node}
+	rcv := ship.NewReceiver(ship.ReceiverConfig{
+		Schema:  tpccSchema(),
+		Applier: app,
+		Metrics: ship.NewMetrics(metrics.NewRegistry()),
+	})
+	ln := listen(t)
+	defer ln.Close()
+	done, errs := serveLoop(ln, rcv)
+
+	s := ship.NewSender(ship.SenderConfig{
+		Dial:      dialer(ln.Addr().String()),
+		Schema:    tpccSchema(),
+		Window:    4,
+		RetryBase: time.Millisecond,
+		Metrics:   ship.NewMetrics(metrics.NewRegistry()),
+	})
+	for i := range encs {
+		if err := s.Send(&encs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, done, "serve loop")
+
+	// Exactly the injected failure, surfaced as a connection error.
+	es := errs.all()
+	if len(es) != 1 || !strings.Contains(es[0].Error(), "injected applier failure") {
+		t.Fatalf("connection errors %v, want only the injected failure", es)
+	}
+	// The failed epoch must have been redelivered: every epoch applied
+	// once, plus the one failed attempt.
+	if got := app.feeds.Load(); got != int64(len(encs))+1 {
+		t.Fatalf("applier saw %d feeds, want %d (all epochs + 1 failed attempt)", got, len(encs)+1)
+	}
+	if rcv.Cursor() != uint64(len(encs)) {
+		t.Fatalf("cursor %d, want %d", rcv.Cursor(), len(encs))
+	}
+	// Stats count applied work only — the failed attempt must not inflate
+	// the transaction total.
+	if st := rcv.Stats(); st.Txns != 1024 {
+		t.Fatalf("receiver counted %d txns, want 1024", st.Txns)
+	}
+	assertSameState(t, node, want)
+}
+
 func TestGapIsRejected(t *testing.T) {
 	encs := tpccEncoded(1024, 128)
 	ln := listen(t)
@@ -506,4 +584,68 @@ func TestGapIsRejected(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("receiver never rejected the gap")
 	}
+}
+
+// TestFreshCheckpointRestoreResumesFromEpochZero covers the fed-ness
+// round trip: checkpoint a node that was never fed, restore it, and ship
+// the full stream. Before Meta.Fed, the restored node reported NextSeq 1
+// (fed=true, lastSeq=0), the WELCOME cursor told the sender epoch 0 was
+// already durable, and the stream permanently skipped it.
+func TestFreshCheckpointRestoreResumesFromEpochZero(t *testing.T) {
+	encs := tpccEncoded(1024, 128)
+	want := directNode(t, encs)
+	defer want.Close()
+
+	var ckpt bytes.Buffer
+	fresh := newNode(t)
+	meta, err := fresh.Checkpoint(&ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.Close()
+	if meta.Fed || meta.NextEpochSeq() != 0 {
+		t.Fatalf("fresh checkpoint meta %+v, want Fed=false resume 0", meta)
+	}
+
+	node, gotMeta, err := htap.RestoreNode(&ckpt, htap.KindAETS, tpccPlan(), htap.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if gotMeta.Fed {
+		t.Fatalf("restored meta claims fed: %+v", gotMeta)
+	}
+	if got := node.NextSeq(); got != 0 {
+		t.Fatalf("restored fresh node resume cursor %d, want 0 (epoch 0 would be skipped)", got)
+	}
+
+	ln := listen(t)
+	defer ln.Close()
+	rcv := node.ShipReceiver(ship.ReceiverConfig{
+		Schema:  tpccSchema(),
+		Metrics: ship.NewMetrics(metrics.NewRegistry()),
+		Drain:   func() error { node.Drain(); return node.Err() },
+	})
+	done, errs := serveLoop(ln, rcv)
+	s := ship.NewSender(ship.SenderConfig{
+		Dial:    dialer(ln.Addr().String()),
+		Schema:  tpccSchema(),
+		Metrics: ship.NewMetrics(metrics.NewRegistry()),
+	})
+	for i := range encs {
+		if err := s.Send(&encs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, done, "serve loop")
+	for _, err := range errs.all() {
+		t.Fatalf("unexpected connection error: %v", err)
+	}
+	if got := rcv.Stats(); got.Cursor != uint64(len(encs)) || got.Duplicates != 0 {
+		t.Fatalf("receiver stats %+v, want cursor %d and no duplicates", got, len(encs))
+	}
+	assertSameState(t, node, want)
 }
