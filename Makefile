@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz smoke ci bench-json
+.PHONY: all build vet test race fuzz chaos smoke ci bench-json
 
 all: ci
 
@@ -22,6 +22,13 @@ race:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadFrame -fuzztime=10s ./internal/ship/
 
+# Chaos e2e in short mode under the race detector: repeated hard
+# restarts at random points under transport faults plus an injected
+# spool bit-flip must converge to reference-equal state, and a poison
+# epoch must be quarantined instead of crash-looping the replica.
+chaos:
+	$(GO) test -race -short -run 'TestChaos' -count=1 ./internal/recovery/
+
 # Boot `replayd backup -http`, scrape /metrics and /healthz, fail on
 # non-200 responses or missing replay_* series.
 smoke:
@@ -32,4 +39,4 @@ bench-json:
 	$(GO) test -run='^$$' -bench=BenchmarkReplayPipeline -benchmem ./internal/replay/ \
 		| $(GO) run ./tools/benchjson > BENCH_replay.json
 
-ci: build vet test race smoke
+ci: build vet test race chaos smoke

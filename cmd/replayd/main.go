@@ -6,12 +6,20 @@
 // chosen algorithm, and periodically reports replay progress,
 // visibility and shipping metrics. A backup restarted with -resume
 // picks the stream up at its checkpoint's epoch cursor instead of
-// re-replaying from scratch.
+// re-replaying from scratch. With -spool-dir and -ckpt-dir the backup
+// runs supervised (internal/recovery): epochs are spooled durably
+// before replay, checkpoints are written atomically on a schedule, a
+// hard-killed process restores from the newest valid checkpoint plus
+// the spool tail, and a poison epoch is quarantined instead of
+// crash-looping the replica.
 //
 //	replayd backup -listen :7070 -algo aets -workers 8 -checkpoint backup.ckpt
 //	replayd primary -connect localhost:7070 -workload tpcc -txns 50000 -window 32
 //	... crash ...
 //	replayd backup -listen :7070 -algo aets -resume backup.ckpt
+//
+//	replayd backup -listen :7070 -algo aets \
+//	    -spool-dir spool/ -ckpt-dir ckpt/ -ckpt-every 64 -sync always
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"aets/internal/metrics"
 	"aets/internal/obsrv"
 	"aets/internal/primary"
+	"aets/internal/recovery"
 	"aets/internal/ship"
 	"aets/internal/workload"
 )
@@ -114,7 +123,7 @@ func runPrimary(args []string) error {
 	// commit clock runs ahead of what has been shipped; heartbeats fall
 	// back to the last enqueued epoch's timestamp, which is the honest
 	// "stream complete through here" value.
-	s := ship.NewSender(ship.SenderConfig{
+	s, err := ship.NewSender(ship.SenderConfig{
 		Dial:           func() (net.Conn, error) { return net.Dial("tcp", *connect) },
 		Schema:         ship.SchemaHash(*name, workload.TableIDs(gen.Tables())),
 		Window:         *window,
@@ -122,6 +131,9 @@ func runPrimary(args []string) error {
 		MaxAttempts:    *retries,
 		Metrics:        m,
 	})
+	if err != nil {
+		return err
+	}
 	if err := s.Connect(); err != nil {
 		return err
 	}
@@ -180,6 +192,11 @@ func runBackup(args []string) error {
 	resume := fs.String("resume", "", "restore from this checkpoint and resume the stream at its epoch cursor")
 	gcEvery := fs.Duration("gc-every", 0, "vacuum version chains at this interval (0 disables)")
 	httpAddr := fs.String("http", "", "serve /metrics /healthz /varz /debug/pprof on this address (empty disables)")
+	spoolDir := fs.String("spool-dir", "", "durable epoch spool directory; with -ckpt-dir, runs the crash-recovery supervisor")
+	ckptDir := fs.String("ckpt-dir", "", "atomic checkpoint directory for the recovery supervisor")
+	ckptEvery := fs.Int("ckpt-every", 0, "supervisor: checkpoint after this many applied epochs (0 disables)")
+	ckptInterval := fs.Duration("ckpt-interval", 30*time.Second, "supervisor: checkpoint at least this often while epochs arrive (0 disables)")
+	syncPol := fs.String("sync", "always", "spool sync policy: always, interval, never")
 	_ = fs.Parse(args)
 
 	gen, plan, err := workloadPlan(*name)
@@ -188,6 +205,20 @@ func runBackup(args []string) error {
 	}
 
 	opts := htap.Options{Workers: *workers, Pipeline: *pipeline}
+
+	if *spoolDir != "" || *ckptDir != "" {
+		if *spoolDir == "" || *ckptDir == "" {
+			return fmt.Errorf("recovery mode needs both -spool-dir and -ckpt-dir")
+		}
+		return runSupervised(supervisedConfig{
+			listen: *listen, algo: *algo, name: *name,
+			gen: gen, plan: plan, opts: opts,
+			spoolDir: *spoolDir, ckptDir: *ckptDir,
+			ckptEvery: *ckptEvery, ckptInterval: *ckptInterval,
+			syncPolicy: *syncPol, once: *once, gcEvery: *gcEvery,
+			httpAddr: *httpAddr,
+		})
+	}
 	var node *htap.Node
 	if *resume != "" {
 		f, err := os.Open(*resume)
@@ -216,11 +247,14 @@ func runBackup(args []string) error {
 	}
 
 	m := ship.NewMetrics(metrics.Default)
-	rcv := node.ShipReceiver(ship.ReceiverConfig{
+	rcv, err := node.ShipReceiver(ship.ReceiverConfig{
 		Schema:  ship.SchemaHash(*name, workload.TableIDs(gen.Tables())),
 		Metrics: m,
 		Drain:   func() error { node.Drain(); return node.Err() },
 	})
+	if err != nil {
+		return err
+	}
 
 	closeHTTP, err := serveHTTP(*httpAddr, obsrv.Options{
 		Health: node.HealthSource(metrics.Default, func() bool {
@@ -284,6 +318,131 @@ func runBackup(args []string) error {
 		}
 		fmt.Printf("checkpoint written to %s (epoch %d, ts %d)\n", *ckpt, meta.LastEpochSeq, meta.LastCommitTS)
 	}
+	return nil
+}
+
+// supervisedConfig carries the backup flags into the recovery mode.
+type supervisedConfig struct {
+	listen, algo, name string
+	gen                workload.Generator
+	plan               *grouping.Plan
+	opts               htap.Options
+	spoolDir, ckptDir  string
+	ckptEvery          int
+	ckptInterval       time.Duration
+	syncPolicy         string
+	once               bool
+	gcEvery            time.Duration
+	httpAddr           string
+}
+
+// runSupervised is the crash-tolerant backup: every received epoch is
+// spooled durably before it is acknowledged, checkpoints are cut
+// atomically on a schedule, and the replay supervisor restores
+// checkpoint + spool tail on startup and rebuilds the node on fatal
+// replay errors instead of exiting.
+func runSupervised(c supervisedConfig) error {
+	policy, err := recovery.ParseSyncPolicy(c.syncPolicy)
+	if err != nil {
+		return err
+	}
+	spool, err := recovery.OpenSpool(recovery.SpoolConfig{Dir: c.spoolDir, Policy: policy})
+	if err != nil {
+		return err
+	}
+	defer spool.Close()
+	mgr, err := recovery.OpenManager(c.ckptDir, 0, nil)
+	if err != nil {
+		return err
+	}
+	sup, err := recovery.NewSupervisor(recovery.Config{
+		Kind:                  htap.Kind(c.algo),
+		Plan:                  c.plan,
+		Node:                  c.opts,
+		Spool:                 spool,
+		Checkpoints:           mgr,
+		CheckpointEveryEpochs: c.ckptEvery,
+		CheckpointInterval:    c.ckptInterval,
+	})
+	if err != nil {
+		return err
+	}
+	if err := sup.Start(); err != nil {
+		return err
+	}
+	defer sup.Close()
+
+	if c.gcEvery > 0 {
+		if node := sup.Node(); node != nil {
+			stop := node.StartVacuumLoop(c.gcEvery, 0)
+			defer stop()
+		}
+	}
+
+	m := ship.NewMetrics(metrics.Default)
+	rcv, err := ship.NewReceiver(ship.ReceiverConfig{
+		Schema:  ship.SchemaHash(c.name, workload.TableIDs(c.gen.Tables())),
+		Resume:  sup.NextSeq(),
+		Applier: sup,
+		Metrics: m,
+		Drain:   sup.Checkpoint,
+	})
+	if err != nil {
+		return err
+	}
+
+	closeHTTP, err := serveHTTP(c.httpAddr, obsrv.Options{
+		Health: func() obsrv.Health {
+			h := sup.Health()
+			h.ShipConnected = metrics.Default.Gauge("ship_connected").Load() != 0
+			return h
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer closeHTTP()
+
+	ln, err := net.Listen("tcp", c.listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Printf("supervised backup (%s) listening on %s, cursor %d, spool %s (sync=%s), checkpoints %s\n",
+		c.algo, c.listen, rcv.Cursor(), c.spoolDir, policy, c.ckptDir)
+
+	stopProgress := startProgress(func() {
+		st := rcv.Stats()
+		sst := sup.Stats()
+		fmt.Printf("  %8d txns received, cursor %d, state %s, restarts %d, quarantined %d | %s\n",
+			st.Txns, st.Cursor, sst.State, sst.Restarts, sst.Quarantined,
+			metrics.Default.Line("recovery_"))
+	})
+	defer stopProgress()
+
+	start := time.Now()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		done, err := rcv.Serve(conn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stream:", err)
+		}
+		if sup.State() == recovery.StateFatal {
+			return fmt.Errorf("supervisor fatal: %s", sup.Stats().LastErr)
+		}
+		if done && c.once {
+			break
+		}
+	}
+	st := rcv.Stats()
+	sst := sup.Stats()
+	elapsed := time.Since(start)
+	fmt.Printf("replayed %d txns (%d entries, %d duplicates dropped) in %v — state %s, restarts %d, quarantined %d\n",
+		st.Txns, st.Entries, st.Duplicates, elapsed.Round(time.Millisecond),
+		sst.State, sst.Restarts, sst.Quarantined)
 	return nil
 }
 

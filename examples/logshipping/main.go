@@ -66,13 +66,16 @@ func shipEpochs(addr string) error {
 			}
 			return ship.FaultOpts{}
 		})
-	s := ship.NewSender(ship.SenderConfig{
+	s, err := ship.NewSender(ship.SenderConfig{
 		Dial:      dial,
 		Schema:    schema(),
 		Window:    8,
 		RetryBase: 5 * time.Millisecond,
 		Metrics:   ship.NewMetrics(metrics.Default),
 	})
+	if err != nil {
+		return err
+	}
 
 	p := primary.New(workload.NewTPCC(8), 1)
 	encs := p.GenerateEncoded(txns, 2048)
@@ -102,10 +105,13 @@ func backup(ln net.Listener) error {
 	}
 	defer node.Close()
 
-	rcv := node.ShipReceiver(ship.ReceiverConfig{
+	rcv, err := node.ShipReceiver(ship.ReceiverConfig{
 		Schema: schema(),
 		Drain:  func() error { node.Drain(); return node.Err() },
 	})
+	if err != nil {
+		return err
+	}
 
 	// The same endpoint set replayd serves behind -http.
 	srv, err := obsrv.Serve("127.0.0.1:0", obsrv.Options{

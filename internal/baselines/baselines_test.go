@@ -29,7 +29,7 @@ func runBaseline(t *testing.T, r replayerUnderTest, txns []wal.Txn, epochSize in
 	t.Helper()
 	r.Start()
 	defer r.Stop()
-	for _, enc := range epoch.EncodeAll(epoch.Split(txns, epochSize)) {
+	for _, enc := range epoch.EncodeAll(epoch.MustSplit(txns, epochSize)) {
 		enc := enc
 		if err := r.Feed(&enc); err != nil {
 			t.Fatal(err)
@@ -136,7 +136,7 @@ func TestSnapshotReadInvariant(t *testing.T) {
 		mt := memtable.New()
 		r := mk(mt)
 		r.Start()
-		for _, enc := range epoch.EncodeAll(epoch.Split(txns, 100)) {
+		for _, enc := range epoch.EncodeAll(epoch.MustSplit(txns, 100)) {
 			enc := enc
 			r.Feed(&enc)
 		}

@@ -181,6 +181,21 @@ func Read(r io.Reader) (*memtable.Memtable, Meta, error) {
 
 	rd := func() (uint64, error) { return binary.ReadUvarint(br) }
 	rdS := func() (int64, error) { return binary.ReadVarint(br) }
+	// rdCount decodes a count and bounds it by the bytes left to parse:
+	// the stream is fully in memory and every counted item costs at least
+	// one byte, so a larger count is structurally impossible. Allocations
+	// sized from counts stay proportional to the input, not to whatever a
+	// hostile (CRC-valid) prefix claims.
+	rdCount := func() (uint64, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, err
+		}
+		if n > uint64(br.Len()) {
+			return 0, fmt.Errorf("%w: count %d exceeds %d remaining bytes", ErrCorrupt, n, br.Len())
+		}
+		return n, nil
+	}
 
 	if meta.LastEpochSeq, err = rd(); err != nil {
 		return nil, meta, fmt.Errorf("%w: %v", ErrCorrupt, err)
@@ -201,8 +216,8 @@ func Read(r io.Reader) (*memtable.Memtable, Meta, error) {
 	meta.Fed = flags&1 != 0
 
 	mt := memtable.New()
-	nTables, err := rd()
-	if err != nil || nTables > 1<<20 {
+	nTables, err := rdCount()
+	if err != nil {
 		return nil, meta, fmt.Errorf("%w: table count", ErrCorrupt)
 	}
 	for t := uint64(0); t < nTables; t++ {
@@ -210,7 +225,7 @@ func Read(r io.Reader) (*memtable.Memtable, Meta, error) {
 		if err != nil {
 			return nil, meta, fmt.Errorf("%w: table id", ErrCorrupt)
 		}
-		nRecs, err := rd()
+		nRecs, err := rdCount()
 		if err != nil {
 			return nil, meta, fmt.Errorf("%w: record count", ErrCorrupt)
 		}
@@ -221,8 +236,8 @@ func Read(r io.Reader) (*memtable.Memtable, Meta, error) {
 				return nil, meta, fmt.Errorf("%w: key", ErrCorrupt)
 			}
 			rec := tab.GetOrCreate(key)
-			nVers, err := rd()
-			if err != nil || nVers > 1<<30 {
+			nVers, err := rdCount()
+			if err != nil {
 				return nil, meta, fmt.Errorf("%w: version count", ErrCorrupt)
 			}
 			for v := uint64(0); v < nVers; v++ {
@@ -238,26 +253,30 @@ func Read(r io.Reader) (*memtable.Memtable, Meta, error) {
 					return nil, meta, fmt.Errorf("%w: deleted flag", ErrCorrupt)
 				}
 				ver.Deleted = del == 1
-				nCols, err := rd()
-				if err != nil || nCols > 1<<20 {
+				nCols, err := rdCount()
+				if err != nil {
 					return nil, meta, fmt.Errorf("%w: column count", ErrCorrupt)
 				}
 				if nCols > 0 {
-					ver.Columns = make([]wal.Column, nCols)
-					for c := range ver.Columns {
+					// Grow incrementally from a small capacity instead of
+					// trusting the decoded count with one big make: the
+					// count is bounded above, but keeping the allocation
+					// proportional to parsed data costs nothing.
+					ver.Columns = make([]wal.Column, 0, min(nCols, 16))
+					for c := uint64(0); c < nCols; c++ {
 						id, err := rd()
 						if err != nil {
 							return nil, meta, fmt.Errorf("%w: column id", ErrCorrupt)
 						}
-						n, err := rd()
-						if err != nil || n > 1<<30 {
+						n, err := rdCount()
+						if err != nil {
 							return nil, meta, fmt.Errorf("%w: column length", ErrCorrupt)
 						}
 						buf := make([]byte, n)
 						if _, err := io.ReadFull(br, buf); err != nil {
 							return nil, meta, fmt.Errorf("%w: column value", ErrCorrupt)
 						}
-						ver.Columns[c] = wal.Column{ID: uint32(id), Value: buf}
+						ver.Columns = append(ver.Columns, wal.Column{ID: uint32(id), Value: buf})
 					}
 				}
 				rec.Append(ver)

@@ -122,13 +122,15 @@ func (b *Batcher) cut() *Epoch {
 // Split cuts an already-assembled transaction list into epochs of the given
 // size. It is the batch analogue of feeding every txn through a Batcher and
 // flushing, and is used by benchmark drivers that pre-generate workloads.
-func Split(txns []wal.Txn, size int) []*Epoch {
+// The input must be in strictly increasing ID order; a violation is
+// reported as an error.
+func Split(txns []wal.Txn, size int) ([]*Epoch, error) {
 	b := NewBatcher(size)
 	var out []*Epoch
 	for _, t := range txns {
 		e, err := b.Add(t)
 		if err != nil {
-			panic(err) // pre-generated workloads are ID-ordered by construction
+			return nil, err
 		}
 		if e != nil {
 			out = append(out, e)
@@ -136,6 +138,17 @@ func Split(txns []wal.Txn, size int) []*Epoch {
 	}
 	if e := b.Flush(); e != nil {
 		out = append(out, e)
+	}
+	return out, nil
+}
+
+// MustSplit is Split for inputs that are ID-ordered by construction
+// (generated workloads, test fixtures); it panics on a misordered
+// input, mirroring regexp.MustCompile's contract.
+func MustSplit(txns []wal.Txn, size int) []*Epoch {
+	out, err := Split(txns, size)
+	if err != nil {
+		panic(err)
 	}
 	return out
 }

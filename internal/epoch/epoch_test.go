@@ -67,7 +67,7 @@ func TestSplitBoundariesQuick(t *testing.T) {
 		n := 1 + r.Intn(100)
 		size := 1 + r.Intn(20)
 		txns := makeTxns(n, 1)
-		eps := Split(txns, size)
+		eps := MustSplit(txns, size)
 
 		total := 0
 		lastID := uint64(0)
@@ -150,7 +150,7 @@ func TestEncodeDecodeEpoch(t *testing.T) {
 }
 
 func TestEncodeAllSharesLSNSpace(t *testing.T) {
-	eps := Split(makeTxns(10, 2), 4)
+	eps := MustSplit(makeTxns(10, 2), 4)
 	encs := EncodeAll(eps)
 	if len(encs) != 3 {
 		t.Fatalf("got %d encoded epochs", len(encs))

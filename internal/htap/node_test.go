@@ -19,7 +19,7 @@ func nodeFixture(t *testing.T) (*Node, []wal.Txn, []epoch.Encoded, *grouping.Pla
 	gen := workload.NewTPCC(1)
 	p := primary.New(gen, 77)
 	txns := p.GenerateTxns(600)
-	encs := epoch.EncodeAll(epoch.Split(txns, 128))
+	encs := epoch.EncodeAll(epoch.MustSplit(txns, 128))
 	plan := grouping.Build(TPCCRates(500), workload.TableIDs(gen.Tables()),
 		grouping.Options{Eps: 0.05, MinPts: 2})
 	n, err := NewNode(KindAETS, plan, Options{Workers: 2})
@@ -187,7 +187,7 @@ func TestNodeVacuumBoundsVersions(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer n.Close()
-	for _, enc := range epoch.EncodeAll(epoch.Split(txns, 100)) {
+	for _, enc := range epoch.EncodeAll(epoch.MustSplit(txns, 100)) {
 		enc := enc
 		n.Feed(&enc)
 	}

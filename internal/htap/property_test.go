@@ -85,7 +85,7 @@ func TestChaosEquivalenceQuick(t *testing.T) {
 				return false
 			}
 			r.Start()
-			for _, enc := range epoch.EncodeAll(epoch.Split(txns, epochSize)) {
+			for _, enc := range epoch.EncodeAll(epoch.MustSplit(txns, epochSize)) {
 				enc := enc
 				r.Feed(&enc)
 			}
@@ -116,7 +116,7 @@ func TestChaosEquivalenceQuick(t *testing.T) {
 func TestCorruptEpochFailsCleanly(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	txns := chaosTxns(rng, 50, 3, 50)
-	encs := epoch.EncodeAll(epoch.Split(txns, 25))
+	encs := epoch.EncodeAll(epoch.MustSplit(txns, 25))
 	tables := []wal.TableID{1, 2, 3}
 	plan := grouping.SingleGroup(tables)
 
@@ -189,7 +189,7 @@ func TestHeartbeatInterleavedWithData(t *testing.T) {
 		}
 		r.Start()
 		seq := uint64(0)
-		for _, enc := range epoch.EncodeAll(epoch.Split(txns, 50)) {
+		for _, enc := range epoch.EncodeAll(epoch.MustSplit(txns, 50)) {
 			enc := enc
 			enc.Seq = seq
 			seq++

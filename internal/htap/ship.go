@@ -10,7 +10,7 @@ var _ ship.Applier = (*Node)(nil)
 // cursor starts at the node's next expected epoch (nonzero after
 // RestoreNode — that is what lets a restarted backup resume the stream
 // instead of re-replaying it).
-func (n *Node) ShipReceiver(cfg ship.ReceiverConfig) *ship.Receiver {
+func (n *Node) ShipReceiver(cfg ship.ReceiverConfig) (*ship.Receiver, error) {
 	cfg.Applier = n
 	if cfg.Resume == 0 {
 		cfg.Resume = n.NextSeq()

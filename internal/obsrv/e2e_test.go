@@ -39,6 +39,24 @@ func e2eSchema() uint64 {
 	return ship.SchemaHash("tpcc", workload.TableIDs(workload.NewTPCC(e2eWarehouses).Tables()))
 }
 
+func mustSender(t *testing.T, cfg ship.SenderConfig) *ship.Sender {
+	t.Helper()
+	s, err := ship.NewSender(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustShipReceiver(t *testing.T, node *htap.Node, cfg ship.ReceiverConfig) *ship.Receiver {
+	t.Helper()
+	r, err := node.ShipReceiver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
 // shipAll streams encs into rcv over a real TCP connection and waits for
 // the clean end of stream.
 func shipAll(t *testing.T, rcv *ship.Receiver, reg *metrics.Registry, encs []epoch.Encoded) {
@@ -67,7 +85,7 @@ func shipAll(t *testing.T, rcv *ship.Receiver, reg *metrics.Registry, encs []epo
 			}
 		}
 	}()
-	s := ship.NewSender(ship.SenderConfig{
+	s := mustSender(t, ship.SenderConfig{
 		Dial:    func() (net.Conn, error) { return net.Dial("tcp", ln.Addr().String()) },
 		Schema:  e2eSchema(),
 		Metrics: ship.NewMetrics(reg),
@@ -107,7 +125,7 @@ func scrape(t *testing.T, addr, path string) (int, string) {
 func TestCrashRestartResumeWithObservability(t *testing.T) {
 	p := primary.New(workload.NewTPCC(e2eWarehouses), 9)
 	txns := p.GenerateTxns(4096)
-	encs := epoch.EncodeAll(epoch.Split(txns, 256)) // 16 epochs
+	encs := epoch.EncodeAll(epoch.MustSplit(txns, 256)) // 16 epochs
 	half := len(encs) / 2
 
 	// Ground truth: the whole stream applied serially.
@@ -122,7 +140,7 @@ func TestCrashRestartResumeWithObservability(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rcv := node.ShipReceiver(ship.ReceiverConfig{
+		rcv := mustShipReceiver(t, node, ship.ReceiverConfig{
 			Schema:  e2eSchema(),
 			Metrics: ship.NewMetrics(reg),
 			Drain:   func() error { node.Drain(); return node.Err() },
@@ -162,7 +180,7 @@ func TestCrashRestartResumeWithObservability(t *testing.T) {
 	}
 	defer srv.Close()
 
-	rcv := node.ShipReceiver(ship.ReceiverConfig{
+	rcv := mustShipReceiver(t, node, ship.ReceiverConfig{
 		Schema:  e2eSchema(),
 		Metrics: ship.NewMetrics(reg),
 		Drain:   func() error { node.Drain(); return node.Err() },

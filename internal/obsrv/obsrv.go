@@ -43,6 +43,17 @@ type Health struct {
 	ReplayLagTS int64 `json:"replay_lag_ts"`
 	// ShipConnected reports whether a replication link is currently up.
 	ShipConnected bool `json:"ship_connected"`
+	// Supervisor is the recovery supervisor's state word
+	// ("running"/"degraded"/"fatal"); empty when no supervisor runs.
+	Supervisor string `json:"supervisor,omitempty"`
+	// Degraded reports a serving-but-impaired replica: replay is live
+	// but at least one poison epoch was quarantined. Degraded nodes
+	// still answer /healthz with 200 — they are ready, not broken.
+	Degraded bool `json:"degraded,omitempty"`
+	// Restarts counts successful supervisor rebuilds of the replay node.
+	Restarts int64 `json:"supervisor_restarts,omitempty"`
+	// Quarantined counts poison epochs quarantined by the supervisor.
+	Quarantined int64 `json:"quarantined_epochs,omitempty"`
 }
 
 // Options configures the endpoint set.

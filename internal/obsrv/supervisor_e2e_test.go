@@ -1,0 +1,123 @@
+// End-to-end test of supervisor state through the observability
+// endpoints: a supervised backup serves /varz and /healthz while
+// running, and after a poison epoch is quarantined the endpoints must
+// show a degraded-but-healthy replica.
+package obsrv_test
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"aets/internal/epoch"
+	"aets/internal/htap"
+	"aets/internal/metrics"
+	"aets/internal/obsrv"
+	"aets/internal/primary"
+	"aets/internal/recovery"
+	"aets/internal/workload"
+)
+
+func TestSupervisorStateThroughVarz(t *testing.T) {
+	reg := metrics.NewRegistry()
+	spool, err := recovery.OpenSpool(recovery.SpoolConfig{Dir: t.TempDir(), Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spool.Close()
+	mgr, err := recovery.OpenManager(t.TempDir(), 0, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := recovery.NewSupervisor(recovery.Config{
+		Kind:          htap.KindAETS,
+		Plan:          e2ePlan(),
+		Node:          htap.Options{Workers: 2, Metrics: reg},
+		Spool:         spool,
+		Checkpoints:   mgr,
+		RetryBase:     time.Millisecond,
+		RetryMax:      5 * time.Millisecond,
+		ProbeInterval: -1,
+		Metrics:       reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+
+	srv, err := obsrv.Serve("127.0.0.1:0", obsrv.Options{Registry: reg, Health: sup.Health})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	p := primary.New(workload.NewTPCC(e2eWarehouses), 3)
+	encs := p.GenerateEncoded(512, 64)
+	for i := range encs {
+		if err := sup.Feed(&encs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	code, varz := scrape(t, srv.Addr(), "/varz")
+	if code != http.StatusOK {
+		t.Fatalf("/varz %d: %s", code, varz)
+	}
+	for _, want := range []string{
+		`"supervisor": "running"`,
+		`"healthy": true`,
+		`"recovery_spool_epochs_total": 8`,
+	} {
+		if !strings.Contains(varz, want) {
+			t.Fatalf("/varz missing %q:\n%s", want, varz)
+		}
+	}
+	if strings.Contains(varz, `"degraded"`) {
+		t.Fatalf("/varz reports degraded on a healthy run:\n%s", varz)
+	}
+
+	// Poison the stream: /varz must flip to degraded with a restart and
+	// quarantine count, while /healthz stays 200 (degraded ≠ down).
+	poison := &epoch.Encoded{
+		Seq:          uint64(len(encs)),
+		TxnCount:     1,
+		EntryCount:   1,
+		Buf:          []byte{0xba, 0xad, 0xf0, 0x0d},
+		LastCommitTS: encs[len(encs)-1].LastCommitTS,
+	}
+	if err := sup.Feed(poison); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for sup.State() != recovery.StateDegraded {
+		if time.Now().After(deadline) {
+			t.Fatalf("poison epoch never quarantined (stats %+v)", sup.Stats())
+		}
+		_ = sup.Probe()
+		time.Sleep(time.Millisecond)
+	}
+
+	code, varz = scrape(t, srv.Addr(), "/varz")
+	if code != http.StatusOK {
+		t.Fatalf("/varz %d after quarantine", code)
+	}
+	for _, want := range []string{
+		`"supervisor": "degraded"`,
+		`"degraded": true`,
+		`"quarantined_epochs": 1`,
+		`"healthy": true`,
+		`"recovery_quarantined_total": 1`,
+	} {
+		if !strings.Contains(varz, want) {
+			t.Fatalf("/varz after quarantine missing %q:\n%s", want, varz)
+		}
+	}
+	code, health := scrape(t, srv.Addr(), "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("degraded replica answered /healthz with %d (must stay 200): %s", code, health)
+	}
+}

@@ -118,7 +118,7 @@ func (p *Primary) GenerateTxns(n int) []wal.Txn {
 // GenerateEpochs executes totalTxns transactions and batches them into
 // epochs of epochSize transactions.
 func (p *Primary) GenerateEpochs(totalTxns, epochSize int) []*epoch.Epoch {
-	return epoch.Split(p.GenerateTxns(totalTxns), epochSize)
+	return epoch.MustSplit(p.GenerateTxns(totalTxns), epochSize)
 }
 
 // GenerateEncoded executes totalTxns transactions and returns the encoded

@@ -34,7 +34,7 @@ func testBackup(t *testing.T) (*replay.Engine, *memtable.Memtable, int64) {
 	eng := replay.New("AETS", mt, grouping.SingleGroup([]wal.TableID{1}), replay.Config{Workers: 2})
 	eng.Start()
 	t.Cleanup(eng.Stop)
-	for _, enc := range epoch.EncodeAll(epoch.Split(txns, 2)) {
+	for _, enc := range epoch.EncodeAll(epoch.MustSplit(txns, 2)) {
 		enc := enc
 		eng.Feed(&enc)
 	}

@@ -1,0 +1,281 @@
+package recovery
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"aets/internal/epoch"
+	"aets/internal/grouping"
+	"aets/internal/htap"
+	"aets/internal/memtable"
+	"aets/internal/metrics"
+	"aets/internal/primary"
+	"aets/internal/reference"
+	"aets/internal/wal"
+	"aets/internal/workload"
+)
+
+const supWarehouses = 2
+
+func supPlan() *grouping.Plan {
+	gen := workload.NewTPCC(supWarehouses)
+	return grouping.Build(htap.TPCCRates(1000), workload.TableIDs(gen.Tables()),
+		grouping.Options{Eps: 0.05, MinPts: 2})
+}
+
+func supTables() []wal.TableID {
+	return workload.TableIDs(workload.NewTPCC(supWarehouses).Tables())
+}
+
+// supStream generates the test workload: the raw transactions (for the
+// serial reference) and their encoded epochs.
+func supStream(tb testing.TB, txnCount, epochSize int) ([]wal.Txn, []epoch.Encoded) {
+	tb.Helper()
+	p := primary.New(workload.NewTPCC(supWarehouses), 11)
+	txns := p.GenerateTxns(txnCount)
+	return txns, epoch.EncodeAll(epoch.MustSplit(txns, epochSize))
+}
+
+// supEnv is one supervisor instance over a spool and checkpoint dir.
+type supEnv struct {
+	spool *Spool
+	mgr   *Manager
+	sup   *Supervisor
+}
+
+func openSup(tb testing.TB, spoolDir, ckptDir string, mutate func(*Config)) *supEnv {
+	tb.Helper()
+	reg := metrics.NewRegistry()
+	spool, err := OpenSpool(SpoolConfig{Dir: spoolDir, Metrics: reg})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	mgr, err := OpenManager(ckptDir, 0, reg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg := Config{
+		Kind:          htap.KindAETS,
+		Plan:          supPlan(),
+		Node:          htap.Options{Workers: 2, Metrics: reg},
+		Spool:         spool,
+		Checkpoints:   mgr,
+		RetryBase:     time.Millisecond,
+		RetryMax:      5 * time.Millisecond,
+		ProbeInterval: -1, // tests drive Probe explicitly
+		Metrics:       reg,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	sup, err := NewSupervisor(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := sup.Start(); err != nil {
+		tb.Fatal(err)
+	}
+	return &supEnv{spool: spool, mgr: mgr, sup: sup}
+}
+
+func (e *supEnv) close(tb testing.TB) {
+	tb.Helper()
+	if err := e.sup.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	if err := e.spool.Close(); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+func (e *supEnv) assertReference(tb testing.TB, txns []wal.Txn) {
+	tb.Helper()
+	want := memtable.New()
+	reference.Apply(want, txns)
+	node := e.sup.Node()
+	if node == nil {
+		tb.Fatal("no live node")
+	}
+	node.Drain()
+	if err := reference.Equal(want, node.Memtable(), supTables()); err != nil {
+		tb.Fatalf("state diverged from reference: %v", err)
+	}
+}
+
+// TestSupervisorRestoreAcrossRestart feeds half the stream, checkpoints,
+// feeds the rest, stops without a final checkpoint, and restarts: the
+// node must come back via checkpoint + spool tail, reference-equal, and
+// report the right resume cursor.
+func TestSupervisorRestoreAcrossRestart(t *testing.T) {
+	spoolDir, ckptDir := t.TempDir(), t.TempDir()
+	txns, encs := supStream(t, 1200, 100)
+	half := len(encs) / 2
+
+	env := openSup(t, spoolDir, ckptDir, nil)
+	for i := range encs[:half] {
+		if err := env.sup.Feed(&encs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := env.sup.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := half; i < len(encs); i++ {
+		if err := env.sup.Feed(&encs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	env.close(t) // no final checkpoint: the tail lives only in the spool
+
+	env = openSup(t, spoolDir, ckptDir, nil)
+	defer env.close(t)
+	if got := env.sup.NextSeq(); got != uint64(len(encs)) {
+		t.Fatalf("resume cursor %d, want %d", got, len(encs))
+	}
+	if st := env.sup.State(); st != StateRunning {
+		t.Fatalf("state %s after restart, want running", st)
+	}
+	env.assertReference(t, txns)
+}
+
+// TestSupervisorQuarantinesPoisonEpoch injects an epoch whose payload
+// cannot be decoded. The supervisor must attribute the failure, write
+// the sidecar, mark the node degraded — and keep serving the rest of
+// the stream instead of crash-looping.
+func TestSupervisorQuarantinesPoisonEpoch(t *testing.T) {
+	spoolDir, ckptDir := t.TempDir(), t.TempDir()
+	txns, encs := supStream(t, 600, 100)
+	k := len(encs) / 2
+
+	env := openSup(t, spoolDir, ckptDir, nil)
+	defer env.close(t)
+	for i := range encs[:k] {
+		if err := env.sup.Feed(&encs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	poison := &epoch.Encoded{
+		Seq:          uint64(k),
+		TxnCount:     3,
+		EntryCount:   9,
+		Buf:          []byte{0xde, 0xad, 0xbe, 0xef, 0x00, 0x13, 0x37},
+		LastCommitTS: encs[k-1].LastCommitTS,
+	}
+	if err := env.sup.Feed(poison); err != nil {
+		t.Fatal(err)
+	}
+
+	// The decode failure surfaces asynchronously; the watchdog is off, so
+	// probe until the supervisor has dealt with it.
+	deadline := time.Now().Add(30 * time.Second)
+	for env.sup.State() != StateDegraded {
+		if time.Now().After(deadline) {
+			t.Fatalf("state %s, never degraded (stats %+v)", env.sup.State(), env.sup.Stats())
+		}
+		_ = env.sup.Probe()
+		time.Sleep(time.Millisecond)
+	}
+
+	st := env.sup.Stats()
+	if st.Quarantined != 1 {
+		t.Fatalf("quarantined %d epochs, want 1", st.Quarantined)
+	}
+	if seqs := env.sup.QuarantinedSeqs(); len(seqs) != 1 || seqs[0] != uint64(k) {
+		t.Fatalf("quarantined seqs %v, want [%d]", seqs, k)
+	}
+	sidecars, _ := filepath.Glob(filepath.Join(spoolDir, quarantinePrefix+"*"))
+	if len(sidecars) != 1 {
+		t.Fatalf("%d sidecar files, want 1", len(sidecars))
+	}
+
+	// The rest of the stream continues past the hole (re-sequenced by one).
+	for i := k; i < len(encs); i++ {
+		shifted := encs[i]
+		shifted.Seq++
+		if err := env.sup.Feed(&shifted); err != nil {
+			t.Fatalf("feed after quarantine: %v", err)
+		}
+	}
+	if err := env.sup.Probe(); err != nil {
+		t.Fatal(err)
+	}
+	if st := env.sup.State(); st != StateDegraded {
+		t.Fatalf("state %s after continuing, want degraded", st)
+	}
+	env.assertReference(t, txns)
+
+	h := env.sup.Health()
+	if !h.Healthy || !h.Degraded || h.Supervisor != "degraded" || h.Quarantined != 1 {
+		t.Fatalf("health %+v: degraded replica must stay healthy=true with degraded=true", h)
+	}
+
+	// A restart must remember the quarantine from the sidecar instead of
+	// paying the failure budget again.
+	env.close(t)
+	env = openSup(t, spoolDir, ckptDir, nil)
+	defer env.close(t)
+	if st := env.sup.State(); st != StateDegraded {
+		t.Fatalf("state %s after restart, want degraded (sidecar forgotten?)", st)
+	}
+	env.assertReference(t, txns)
+}
+
+// TestSupervisorFallsBackAcrossCorruptCheckpoint corrupts the newest
+// checkpoint at rest: restore must fall back to the older one and
+// rebuild the difference from the spool.
+func TestSupervisorFallsBackAcrossCorruptCheckpoint(t *testing.T) {
+	spoolDir, ckptDir := t.TempDir(), t.TempDir()
+	txns, encs := supStream(t, 900, 100)
+
+	env := openSup(t, spoolDir, ckptDir, nil)
+	third := len(encs) / 3
+	for i := range encs[:third] {
+		if err := env.sup.Feed(&encs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := env.sup.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := third; i < 2*third; i++ {
+		if err := env.sup.Feed(&encs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := env.sup.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 2 * third; i < len(encs); i++ {
+		if err := env.sup.Feed(&encs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	env.close(t)
+
+	newest, err := env.mgr.Newest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(data) / 2; i < len(data)/2+8 && i < len(data); i++ {
+		data[i] ^= 0xff
+	}
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	env = openSup(t, spoolDir, ckptDir, nil)
+	defer env.close(t)
+	if st := env.sup.Stats(); st.Fallbacks < 1 {
+		t.Fatalf("fallbacks %d, want ≥ 1 (corrupt checkpoint silently used?)", st.Fallbacks)
+	}
+	if st := env.sup.State(); st != StateRunning {
+		t.Fatalf("state %s, want running", st)
+	}
+	env.assertReference(t, txns)
+}

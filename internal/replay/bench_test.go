@@ -26,7 +26,7 @@ func BenchmarkReplayPipeline(b *testing.B) {
 	gen := workload.NewTPCC(4)
 	p := primary.New(gen, 1)
 	txns := p.GenerateTxns(4000)
-	encs := epoch.EncodeAll(epoch.Split(txns, 256))
+	encs := epoch.EncodeAll(epoch.MustSplit(txns, 256))
 
 	shapes := []struct {
 		name     string

@@ -42,7 +42,7 @@ func runEngine(t *testing.T, cfg Config, plan *grouping.Plan, txns []wal.Txn, ep
 	e := New("AETS", mt, plan, cfg)
 	e.Start()
 	defer e.Stop()
-	for _, enc := range epoch.EncodeAll(epoch.Split(txns, epochSize)) {
+	for _, enc := range epoch.EncodeAll(epoch.MustSplit(txns, epochSize)) {
 		enc := enc
 		feed(t, e, &enc)
 	}
@@ -121,7 +121,7 @@ func TestVisibilityAfterDrain(t *testing.T) {
 	e := New("AETS", mt, plan, Config{Workers: 4, TwoStage: true, Pipeline: 2})
 	e.Start()
 	defer e.Stop()
-	for _, enc := range epoch.EncodeAll(epoch.Split(txns, 128)) {
+	for _, enc := range epoch.EncodeAll(epoch.MustSplit(txns, 128)) {
 		enc := enc
 		feed(t, e, &enc)
 	}
@@ -171,7 +171,7 @@ func TestHotVisibleBeforeColdWithinEpoch(t *testing.T) {
 	defer e.Stop()
 
 	start := time.Now()
-	for _, enc := range epoch.EncodeAll(epoch.Split(txns, 2)) {
+	for _, enc := range epoch.EncodeAll(epoch.MustSplit(txns, 2)) {
 		enc := enc
 		feed(t, e, &enc)
 	}
@@ -229,7 +229,7 @@ func TestPlanSwapAtEpochBoundary(t *testing.T) {
 	e.Start()
 	defer e.Stop()
 
-	encs := epoch.EncodeAll(epoch.Split(txns, 100))
+	encs := epoch.EncodeAll(epoch.MustSplit(txns, 100))
 	for i := range encs {
 		if i == len(encs)/2 {
 			// Swap to per-table singleton groups mid-stream.
@@ -317,7 +317,7 @@ func TestGroupTSAdvancesMonotonically(t *testing.T) {
 			}
 		}
 	}()
-	for _, enc := range epoch.EncodeAll(epoch.Split(txns, 64)) {
+	for _, enc := range epoch.EncodeAll(epoch.MustSplit(txns, 64)) {
 		enc := enc
 		feed(t, e, &enc)
 	}

@@ -50,7 +50,7 @@ func TestStageTimesTrackEntryShares(t *testing.T) {
 		e := New("AETS", mt, plan, Config{Workers: 2, TwoStage: true})
 		e.Start()
 		defer e.Stop()
-		for _, enc := range epoch.EncodeAll(epoch.Split(buildSkewedTxns(2000, hotPerTxn, coldPerTxn), 256)) {
+		for _, enc := range epoch.EncodeAll(epoch.MustSplit(buildSkewedTxns(2000, hotPerTxn, coldPerTxn), 256)) {
 			enc := enc
 			feed(t, e, &enc)
 		}
@@ -87,7 +87,7 @@ func TestSingleStageCollapsesToHotBucket(t *testing.T) {
 	e := New("TPLR", mt, plan, Config{Workers: 2, TwoStage: false, Pipeline: 2})
 	e.Start()
 	defer e.Stop()
-	for _, enc := range epoch.EncodeAll(epoch.Split(buildSkewedTxns(500, 2, 2), 128)) {
+	for _, enc := range epoch.EncodeAll(epoch.MustSplit(buildSkewedTxns(500, 2, 2), 128)) {
 		enc := enc
 		feed(t, e, &enc)
 	}
@@ -109,7 +109,7 @@ func TestSerialFastPathEquivalence(t *testing.T) {
 		e := New("AETS", mt, plan, Config{Workers: workers, TwoStage: true, Pipeline: 2})
 		e.Start()
 		defer e.Stop()
-		for _, enc := range epoch.EncodeAll(epoch.Split(txns, 200)) {
+		for _, enc := range epoch.EncodeAll(epoch.MustSplit(txns, 200)) {
 			enc := enc
 			feed(t, e, &enc)
 		}

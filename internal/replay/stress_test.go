@@ -164,7 +164,7 @@ func TestVisibilityInvariantStress(t *testing.T) {
 
 	// Feeder: epochs in order, a heartbeat every 7th epoch, a plan swap
 	// (alternating rate, same hot table) every 11th.
-	encs := epoch.EncodeAll(epoch.Split(txns, eSize))
+	encs := epoch.EncodeAll(epoch.MustSplit(txns, eSize))
 	rate := 1000.0
 	for i := range encs {
 		if err := e.Feed(&encs[i]); err != nil {

@@ -37,7 +37,7 @@ func TestReconnectResumeAfterMidEpochCut(t *testing.T) {
 			node := newNode(t)
 			defer node.Close()
 			reg := metrics.NewRegistry()
-			rcv := node.ShipReceiver(ship.ReceiverConfig{
+			rcv := mustShipReceiver(t, node, ship.ReceiverConfig{
 				Schema:  tpccSchema(),
 				Metrics: ship.NewMetrics(reg),
 				Drain:   func() error { node.Drain(); return node.Err() },
@@ -50,7 +50,7 @@ func TestReconnectResumeAfterMidEpochCut(t *testing.T) {
 				}
 				return ship.FaultOpts{} // reconnects are clean
 			})
-			s := ship.NewSender(ship.SenderConfig{
+			s := mustSender(t, ship.SenderConfig{
 				Dial:      dial,
 				Schema:    tpccSchema(),
 				Window:    4,
@@ -108,7 +108,7 @@ func TestDuplicateFramesDeduped(t *testing.T) {
 	defer ln.Close()
 	node := newNode(t)
 	defer node.Close()
-	rcv := node.ShipReceiver(ship.ReceiverConfig{
+	rcv := mustShipReceiver(t, node, ship.ReceiverConfig{
 		Schema:  tpccSchema(),
 		Metrics: ship.NewMetrics(metrics.NewRegistry()),
 		Drain:   func() error { node.Drain(); return node.Err() },

@@ -73,10 +73,12 @@ type Receiver struct {
 	dups    int64
 }
 
-// NewReceiver returns a Receiver starting at cfg.Resume.
-func NewReceiver(cfg ReceiverConfig) *Receiver {
+// NewReceiver returns a Receiver starting at cfg.Resume. A nil Applier
+// is an error, not a panic, so embedding programs surface wiring
+// mistakes through their normal error paths.
+func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 	if cfg.Applier == nil {
-		panic("ship: ReceiverConfig.Applier is required")
+		return nil, fmt.Errorf("ship: ReceiverConfig.Applier is required")
 	}
 	if cfg.AckEvery <= 0 {
 		cfg.AckEvery = 1
@@ -84,7 +86,7 @@ func NewReceiver(cfg ReceiverConfig) *Receiver {
 	if cfg.Metrics == nil {
 		cfg.Metrics = NewMetrics(nil)
 	}
-	return &Receiver{cfg: cfg, m: cfg.Metrics, cursor: cfg.Resume}
+	return &Receiver{cfg: cfg, m: cfg.Metrics, cursor: cfg.Resume}, nil
 }
 
 // Cursor returns the next epoch sequence the receiver expects.

@@ -103,10 +103,12 @@ type Sender struct {
 }
 
 // NewSender returns a Sender; no connection is made until the first
-// Send or Connect.
-func NewSender(cfg SenderConfig) *Sender {
+// Send or Connect. The configuration is validated here — a nil Dial is
+// an error, not a panic, so embedding programs surface wiring mistakes
+// through their normal error paths.
+func NewSender(cfg SenderConfig) (*Sender, error) {
 	if cfg.Dial == nil {
-		panic("ship: SenderConfig.Dial is required")
+		return nil, fmt.Errorf("ship: SenderConfig.Dial is required")
 	}
 	if cfg.Window <= 0 {
 		cfg.Window = 32
@@ -137,7 +139,7 @@ func NewSender(cfg SenderConfig) *Sender {
 	if cfg.HeartbeatEvery > 0 {
 		go s.heartbeatLoop()
 	}
-	return s
+	return s, nil
 }
 
 // Connect dials and handshakes eagerly so misconfiguration (bad

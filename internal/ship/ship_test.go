@@ -49,6 +49,33 @@ func newNode(t *testing.T) *htap.Node {
 	return n
 }
 
+func mustSender(t *testing.T, cfg ship.SenderConfig) *ship.Sender {
+	t.Helper()
+	s, err := ship.NewSender(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustReceiver(t *testing.T, cfg ship.ReceiverConfig) *ship.Receiver {
+	t.Helper()
+	r, err := ship.NewReceiver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func mustShipReceiver(t *testing.T, node *htap.Node, cfg ship.ReceiverConfig) *ship.Receiver {
+	t.Helper()
+	r, err := node.ShipReceiver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
 // directNode replays the stream without any transport: the ground truth.
 func directNode(t *testing.T, encs []epoch.Encoded) *htap.Node {
 	t.Helper()
@@ -149,14 +176,14 @@ func TestShipEndToEnd(t *testing.T) {
 	node := newNode(t)
 	defer node.Close()
 	reg := metrics.NewRegistry()
-	rcv := node.ShipReceiver(ship.ReceiverConfig{
+	rcv := mustShipReceiver(t, node, ship.ReceiverConfig{
 		Schema:  tpccSchema(),
 		Metrics: ship.NewMetrics(reg),
 		Drain:   func() error { node.Drain(); return node.Err() },
 	})
 	done, errs := serveLoop(ln, rcv)
 
-	s := ship.NewSender(ship.SenderConfig{
+	s := mustSender(t, ship.SenderConfig{
 		Dial:    dialer(ln.Addr().String()),
 		Schema:  tpccSchema(),
 		Window:  4,
@@ -197,7 +224,7 @@ func TestBackpressureBoundsInflightWindow(t *testing.T) {
 	encs := tpccEncoded(2048, 128) // 16 epochs
 	release := make(chan struct{})
 	app := &blockingApplier{release: release}
-	rcv := ship.NewReceiver(ship.ReceiverConfig{
+	rcv := mustReceiver(t, ship.ReceiverConfig{
 		Applier: app,
 		Metrics: ship.NewMetrics(metrics.NewRegistry()),
 	})
@@ -206,7 +233,7 @@ func TestBackpressureBoundsInflightWindow(t *testing.T) {
 	done, errs := serveLoop(ln, rcv)
 
 	const window = 2
-	s := ship.NewSender(ship.SenderConfig{
+	s := mustSender(t, ship.SenderConfig{
 		Dial:    dialer(ln.Addr().String()),
 		Schema:  0,
 		Window:  window,
@@ -274,14 +301,14 @@ func TestHeartbeatAdvancesIdleVisibility(t *testing.T) {
 	defer ln.Close()
 	node := newNode(t)
 	defer node.Close()
-	rcv := node.ShipReceiver(ship.ReceiverConfig{
+	rcv := mustShipReceiver(t, node, ship.ReceiverConfig{
 		Schema:  tpccSchema(),
 		Metrics: ship.NewMetrics(metrics.NewRegistry()),
 	})
 	done, errs := serveLoop(ln, rcv)
 
 	var ts atomic.Int64
-	s := ship.NewSender(ship.SenderConfig{
+	s := mustSender(t, ship.SenderConfig{
 		Dial:           dialer(ln.Addr().String()),
 		Schema:         tpccSchema(),
 		HeartbeatEvery: 5 * time.Millisecond,
@@ -322,13 +349,13 @@ func TestResumeFromCheckpointDedupes(t *testing.T) {
 	{
 		ln := listen(t)
 		node := newNode(t)
-		rcv := node.ShipReceiver(ship.ReceiverConfig{
+		rcv := mustShipReceiver(t, node, ship.ReceiverConfig{
 			Schema:  tpccSchema(),
 			Metrics: ship.NewMetrics(metrics.NewRegistry()),
 			Drain:   func() error { node.Drain(); return node.Err() },
 		})
 		done, errs := serveLoop(ln, rcv)
-		s := ship.NewSender(ship.SenderConfig{
+		s := mustSender(t, ship.SenderConfig{
 			Dial:    dialer(ln.Addr().String()),
 			Schema:  tpccSchema(),
 			Metrics: ship.NewMetrics(metrics.NewRegistry()),
@@ -367,13 +394,13 @@ func TestResumeFromCheckpointDedupes(t *testing.T) {
 	ln := listen(t)
 	defer ln.Close()
 	reg := metrics.NewRegistry()
-	rcv := node.ShipReceiver(ship.ReceiverConfig{
+	rcv := mustShipReceiver(t, node, ship.ReceiverConfig{
 		Schema:  tpccSchema(),
 		Metrics: ship.NewMetrics(reg),
 		Drain:   func() error { node.Drain(); return node.Err() },
 	})
 	done, errs := serveLoop(ln, rcv)
-	s := ship.NewSender(ship.SenderConfig{
+	s := mustSender(t, ship.SenderConfig{
 		Dial:    dialer(ln.Addr().String()),
 		Schema:  tpccSchema(),
 		Window:  4,
@@ -409,7 +436,7 @@ func TestSchemaMismatchIsPermanent(t *testing.T) {
 	defer ln.Close()
 	node := newNode(t)
 	defer node.Close()
-	rcv := node.ShipReceiver(ship.ReceiverConfig{
+	rcv := mustShipReceiver(t, node, ship.ReceiverConfig{
 		Schema:  tpccSchema(),
 		Metrics: ship.NewMetrics(metrics.NewRegistry()),
 	})
@@ -424,7 +451,7 @@ func TestSchemaMismatchIsPermanent(t *testing.T) {
 		errCh <- err
 	}()
 
-	s := ship.NewSender(ship.SenderConfig{
+	s := mustSender(t, ship.SenderConfig{
 		Dial:        dialer(ln.Addr().String()),
 		Schema:      tpccSchema() + 1,
 		RetryBase:   time.Millisecond,
@@ -450,7 +477,7 @@ func TestSenderGivesUpAfterMaxAttempts(t *testing.T) {
 	addr := ln.Addr().String()
 	ln.Close() // nothing listens here any more
 
-	s := ship.NewSender(ship.SenderConfig{
+	s := mustSender(t, ship.SenderConfig{
 		Dial:        dialer(addr),
 		RetryBase:   time.Millisecond,
 		RetryMax:    2 * time.Millisecond,
@@ -499,7 +526,7 @@ func TestFailedFeedDoesNotAdvanceCursor(t *testing.T) {
 	node := newNode(t)
 	defer node.Close()
 	app := &failOnceApplier{node: node}
-	rcv := ship.NewReceiver(ship.ReceiverConfig{
+	rcv := mustReceiver(t, ship.ReceiverConfig{
 		Schema:  tpccSchema(),
 		Applier: app,
 		Metrics: ship.NewMetrics(metrics.NewRegistry()),
@@ -508,7 +535,7 @@ func TestFailedFeedDoesNotAdvanceCursor(t *testing.T) {
 	defer ln.Close()
 	done, errs := serveLoop(ln, rcv)
 
-	s := ship.NewSender(ship.SenderConfig{
+	s := mustSender(t, ship.SenderConfig{
 		Dial:      dialer(ln.Addr().String()),
 		Schema:    tpccSchema(),
 		Window:    4,
@@ -552,7 +579,7 @@ func TestGapIsRejected(t *testing.T) {
 	defer ln.Close()
 	node := newNode(t)
 	defer node.Close()
-	rcv := node.ShipReceiver(ship.ReceiverConfig{
+	rcv := mustShipReceiver(t, node, ship.ReceiverConfig{
 		Schema:  tpccSchema(),
 		Metrics: ship.NewMetrics(metrics.NewRegistry()),
 	})
@@ -621,13 +648,13 @@ func TestFreshCheckpointRestoreResumesFromEpochZero(t *testing.T) {
 
 	ln := listen(t)
 	defer ln.Close()
-	rcv := node.ShipReceiver(ship.ReceiverConfig{
+	rcv := mustShipReceiver(t, node, ship.ReceiverConfig{
 		Schema:  tpccSchema(),
 		Metrics: ship.NewMetrics(metrics.NewRegistry()),
 		Drain:   func() error { node.Drain(); return node.Err() },
 	})
 	done, errs := serveLoop(ln, rcv)
-	s := ship.NewSender(ship.SenderConfig{
+	s := mustSender(t, ship.SenderConfig{
 		Dial:    dialer(ln.Addr().String()),
 		Schema:  tpccSchema(),
 		Metrics: ship.NewMetrics(metrics.NewRegistry()),
