@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz chaos smoke ci bench-json
+.PHONY: all build vet test race fuzz chaos smoke bench-smoke ci bench-json
 
 all: ci
 
@@ -14,9 +14,9 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrency-heavy packages: the replication transport,
-# the replay engine, and the epoch batcher.
+# the replay engine, the epoch batcher, and the sharded memtable index.
 race:
-	$(GO) test -race ./internal/ship/... ./internal/replay/... ./internal/epoch/...
+	$(GO) test -race ./internal/ship/... ./internal/replay/... ./internal/epoch/... ./internal/memtable/...
 
 # Short fuzz smoke of the wire-format decoder.
 fuzz:
@@ -34,9 +34,18 @@ chaos:
 smoke:
 	sh scripts/smoke-obsrv.sh
 
-# Serial-vs-pipelined replay throughput, archived as JSON for diffing.
+# Every benchmark must at least run: one iteration each, so a bench that
+# rots (panics, fails its own sanity checks) breaks CI instead of the
+# next person's perf investigation.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Serial-vs-pipelined replay throughput and memtable index benchmarks,
+# archived as JSON for diffing.
 bench-json:
 	$(GO) test -run='^$$' -bench=BenchmarkReplayPipeline -benchmem ./internal/replay/ \
 		| $(GO) run ./tools/benchjson > BENCH_replay.json
+	$(GO) test -run='^$$' -bench='BenchmarkGetOrCreateParallel|BenchmarkScanMerged' -benchmem ./internal/memtable/ \
+		| $(GO) run ./tools/benchjson > BENCH_memtable.json
 
-ci: build vet test race chaos smoke
+ci: build vet test race chaos bench-smoke smoke

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"runtime"
 	"time"
 
 	"aets/internal/grouping"
@@ -38,6 +39,26 @@ import (
 	"aets/internal/ship"
 	"aets/internal/workload"
 )
+
+// contentionProfileFlags registers -mutexprofile and -blockprofile on fs
+// and returns a function to apply them after parsing. The profiles are
+// scraped through the -http server's /debug/pprof/{mutex,block} endpoints;
+// both samplers are off by default because they add a timestamp read to
+// every contended lock hand-off.
+func contentionProfileFlags(fs *flag.FlagSet) (apply func()) {
+	mutexFrac := fs.Int("mutexprofile", 0,
+		"sample 1/n of contended mutex events for /debug/pprof/mutex (0 disables)")
+	blockRate := fs.Int("blockprofile", 0,
+		"sample blocking events ≥ n ns for /debug/pprof/block (0 disables)")
+	return func() {
+		if *mutexFrac > 0 {
+			runtime.SetMutexProfileFraction(*mutexFrac)
+		}
+		if *blockRate > 0 {
+			runtime.SetBlockProfileRate(*blockRate)
+		}
+	}
+}
 
 // serveHTTP boots the observability endpoints when -http is set. It
 // returns a no-op closer when addr is empty.
@@ -110,7 +131,9 @@ func runPrimary(args []string) error {
 	hb := fs.Duration("hb", 500*time.Millisecond, "heartbeat interval (0 disables)")
 	retries := fs.Int("retries", 8, "consecutive reconnect attempts before giving up")
 	httpAddr := fs.String("http", "", "serve /metrics /healthz /varz /debug/pprof on this address (empty disables)")
+	applyProfiles := contentionProfileFlags(fs)
 	_ = fs.Parse(args)
+	applyProfiles()
 
 	gen, _, err := workloadPlan(*name)
 	if err != nil {
@@ -197,7 +220,9 @@ func runBackup(args []string) error {
 	ckptEvery := fs.Int("ckpt-every", 0, "supervisor: checkpoint after this many applied epochs (0 disables)")
 	ckptInterval := fs.Duration("ckpt-interval", 30*time.Second, "supervisor: checkpoint at least this often while epochs arrive (0 disables)")
 	syncPol := fs.String("sync", "always", "spool sync policy: always, interval, never")
+	applyProfiles := contentionProfileFlags(fs)
 	_ = fs.Parse(args)
+	applyProfiles()
 
 	gen, plan, err := workloadPlan(*name)
 	if err != nil {

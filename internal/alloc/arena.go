@@ -1,0 +1,111 @@
+package alloc
+
+// arena.go extends the package's thread-budget allocation with a memory
+// allocator of the same spirit: Slab is a chunked, resettable arena that
+// amortises many small allocations into few large ones, generalising the
+// pattern wal.DecodeArena hand-rolls for columns and value bytes. Replay
+// uses it to carve per-epoch Version slabs that are recycled wholesale
+// once the epoch's versions fall below the vacuum horizon, instead of
+// leaving the garbage collector to trace and free them one by one.
+
+// Slab is a chunked arena of T. Take returns contiguous runs carved from
+// the current chunk; when a run does not fit, a fresh chunk is allocated
+// with geometrically growing capacity, so a reused slab converges on a
+// single chunk sized for its steady-state demand. The zero value is ready
+// to use. Not safe for concurrent use.
+type Slab[T any] struct {
+	chunks [][]T // chunks[:ci] are full or skipped; chunks[ci] is current
+	ci     int
+	off    int // carve offset within chunks[ci]
+	dirty  int // leading elements of chunks[0] that may hold stale data
+}
+
+// slabMinChunk is the smallest chunk capacity, in elements.
+const slabMinChunk = 256
+
+// Take returns a contiguous []T of length n carved from the slab. The
+// slice aliases slab memory: it stays valid until Reset, and Reset must
+// not be called while any taken slice is still referenced. After a Reset
+// the returned memory may hold stale elements — callers that need zeroed
+// storage must clear it.
+func (s *Slab[T]) Take(n int) []T {
+	if n <= 0 {
+		return nil
+	}
+	for s.ci < len(s.chunks) {
+		c := s.chunks[s.ci]
+		if cap(c)-s.off >= n {
+			out := c[s.off : s.off+n : s.off+n]
+			s.off += n
+			return out
+		}
+		s.ci++
+		s.off = 0
+	}
+	// No retained chunk fits: allocate one, doubling the largest capacity
+	// so far (minimum slabMinChunk, at least n).
+	c := slabMinChunk
+	if len(s.chunks) > 0 {
+		if last := 2 * cap(s.chunks[len(s.chunks)-1]); last > c {
+			c = last
+		}
+	}
+	if n > c {
+		c = n
+	}
+	chunk := make([]T, c)
+	s.chunks = append(s.chunks, chunk)
+	s.ci = len(s.chunks) - 1
+	s.off = n
+	return chunk[0:n:n]
+}
+
+// TakeZeroed is Take with the guarantee that every returned element is the
+// zero value. Freshly allocated chunks arrive zeroed from the runtime, so
+// the only memory that needs clearing is the region of the retained chunk
+// being carved again after a Reset — one clear per reuse cycle instead of
+// one per Take.
+func (s *Slab[T]) TakeZeroed(n int) []T {
+	ci, off := s.ci, s.off
+	out := s.Take(n)
+	if ci == 0 && s.ci == 0 && off < s.dirty {
+		end := off + n
+		if end > s.dirty {
+			end = s.dirty
+		}
+		clear(out[:end-off])
+	}
+	return out
+}
+
+// Reset rewinds the slab so its chunks can be carved again. Only the
+// largest chunk is retained — smaller chunks from the growth phase are
+// released to the collector — so repeated Take/Reset cycles settle on one
+// allocation-free chunk. The caller must guarantee nothing references
+// previously taken slices.
+func (s *Slab[T]) Reset() {
+	if len(s.chunks) > 1 {
+		largest := s.chunks[0]
+		for _, c := range s.chunks[1:] {
+			if cap(c) > cap(largest) {
+				largest = c
+			}
+		}
+		s.chunks = append(s.chunks[:0], largest)
+	}
+	s.ci = 0
+	s.off = 0
+	if len(s.chunks) > 0 {
+		// Conservative: anything in the retained chunk may be stale.
+		s.dirty = cap(s.chunks[0])
+	}
+}
+
+// Cap returns the total capacity, in elements, across all chunks.
+func (s *Slab[T]) Cap() int {
+	n := 0
+	for _, c := range s.chunks {
+		n += cap(c)
+	}
+	return n
+}

@@ -83,6 +83,15 @@ type Options struct {
 // table-group plan; ATR and C5 ignore it (they are ungrouped), TPLR
 // collapses it to a single group.
 func NewReplayer(kind Kind, mt *memtable.Memtable, plan *grouping.Plan, opts Options) (Replayer, error) {
+	// All four algorithms funnel entries through the sharded memtable
+	// index; expose its shard-lock wait distribution regardless of kind.
+	// (replay.New wires the same histogram for AETS/TPLR — same registry,
+	// same histogram, so the double wiring is idempotent.)
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.Default
+	}
+	mt.SetWaitObserver(reg.Histogram("memtable_shard_wait_ns"))
 	switch kind {
 	case KindAETS:
 		return NewAETS(mt, plan, opts), nil

@@ -1,0 +1,150 @@
+package memtable
+
+// arena.go implements epoch arenas for version chains. TPLR's translate
+// phase used to allocate one Version slab per group batch and fresh decode
+// chunks per worker, all of which the garbage collector then had to trace
+// for as long as the versions lived — the dominant share of replay's GC
+// pressure. A VersionArena bundles those allocations per batch and ties
+// their lifetime to the version chains themselves: Vacuum releases each
+// unlinked version back to its arena, and once every version an arena
+// issued is dead the arena retires itself to the pool, where its chunks
+// are reset and handed to the next epoch — a sync.Pool cycle instead of a
+// GC cycle.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"aets/internal/alloc"
+
+	"aets/internal/wal"
+)
+
+// VersionArena carves the Versions and decode storage (columns, value
+// bytes) of one replay batch. Carving is single-threaded per arena except
+// for the per-worker decoders, which partition the decode storage so
+// phase-1 workers never share a chunk.
+//
+// Lifetime: the replay engine obtains an arena with ArenaPool.Get (which
+// pins it), carves versions and decoders during the batch, and drops its
+// pin with Unpin when the batch has committed. From then on the arena
+// stays alive exactly as long as any of its versions is linked in a chain;
+// Record.Vacuum releases versions as it unlinks them, and the release that
+// drops the count to zero retires the arena for recycling.
+type VersionArena struct {
+	pool *ArenaPool
+	vers alloc.Slab[Version]
+	decs []*wal.DecodeArena
+
+	// live counts issued versions not yet released, plus one pin bias
+	// while the replay engine still carves from the arena.
+	live atomic.Int64
+}
+
+// Versions returns a zeroed slab of n versions, each tagged with the
+// arena so Vacuum can release it. The slice is contiguous: the engine
+// indexes it by precomputed per-piece offsets, exactly as it did with a
+// plain make.
+func (a *VersionArena) Versions(n int) []Version {
+	if n == 0 {
+		return nil
+	}
+	s := a.vers.TakeZeroed(n)
+	for i := range s {
+		s[i].arena = a
+	}
+	a.live.Add(int64(n))
+	return s
+}
+
+// Decoders returns n decode arenas, one per phase-1 worker. Their chunks
+// are reset and reused when the arena is recycled. Must be called before
+// the workers spawn; the returned decoders are then used concurrently,
+// one per worker.
+func (a *VersionArena) Decoders(n int) []*wal.DecodeArena {
+	for len(a.decs) < n {
+		a.decs = append(a.decs, new(wal.DecodeArena))
+	}
+	return a.decs[:n]
+}
+
+// Unpin drops the engine's carving pin. Once unpinned, the arena recycles
+// as soon as all its versions are vacuumed. Calling Unpin on an arena
+// whose versions are already all dead retires it immediately.
+func (a *VersionArena) Unpin() { a.release(1) }
+
+// release subtracts n from the live count and retires the arena when it
+// hits zero.
+func (a *VersionArena) release(n int64) {
+	if a.live.Add(-n) == 0 {
+		a.pool.retire(a)
+	}
+}
+
+// reset prepares a retired arena for reuse.
+func (a *VersionArena) reset() {
+	a.vers.Reset()
+	for _, d := range a.decs {
+		d.Reset()
+	}
+}
+
+// ArenaPool recycles VersionArenas whose versions have all been vacuumed.
+//
+// Reclamation fence: a fully released arena is not reusable immediately.
+// Vacuum's contract lets a reader that entered before the watermark keep
+// walking the (now unlinked) suffix; handing that memory to a new epoch
+// right away would let the writer overwrite what the straggler is
+// reading. Retired arenas therefore park in a limbo list, and Flush —
+// called at the start of the *next* Memtable.Vacuum — moves them to the
+// free pool. Any reader that could see an arena's versions started before
+// the Vacuum that killed them, so by the time the next Vacuum begins
+// (one full GC interval later, chosen ≥ the longest query) it has
+// finished.
+type ArenaPool struct {
+	pool sync.Pool // *VersionArena, reset and ready to carve
+
+	mu    sync.Mutex
+	limbo []*VersionArena
+
+	recycled atomic.Int64
+}
+
+// Get returns an arena ready to carve, pinned for the caller. The arena
+// must be Unpinned when the caller is done carving.
+func (p *ArenaPool) Get() *VersionArena {
+	var a *VersionArena
+	if v := p.pool.Get(); v != nil {
+		a = v.(*VersionArena)
+	} else {
+		a = &VersionArena{pool: p}
+	}
+	a.live.Store(1) // pin bias
+	return a
+}
+
+// retire parks a fully released arena in limbo until the next Flush.
+func (p *ArenaPool) retire(a *VersionArena) {
+	p.mu.Lock()
+	p.limbo = append(p.limbo, a)
+	p.mu.Unlock()
+}
+
+// Flush moves limbo arenas to the free pool, resetting their chunks.
+// Memtable.Vacuum calls it at the start of every cycle; see the fence
+// comment above for why recycling is deferred by one cycle.
+func (p *ArenaPool) Flush() {
+	p.mu.Lock()
+	l := p.limbo
+	p.limbo = nil
+	p.mu.Unlock()
+	for _, a := range l {
+		a.reset()
+		p.pool.Put(a)
+		p.recycled.Add(1)
+	}
+}
+
+// Recycled returns the number of arenas recycled through the pool so far.
+// Test and monitoring helper.
+func (p *ArenaPool) Recycled() int64 { return p.recycled.Load() }

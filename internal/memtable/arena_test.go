@@ -1,0 +1,125 @@
+package memtable
+
+import (
+	"testing"
+
+	"aets/internal/wal"
+)
+
+// replayEpoch simulates one replay batch: carve n versions for keys
+// 1..n from a fresh arena, commit them at ts, and unpin.
+func replayEpoch(mt *Memtable, n int, ts int64) {
+	ar := mt.Arenas().Get()
+	vers := ar.Versions(n)
+	tab := mt.Table(1)
+	for i := range vers {
+		vers[i].TxnID = uint64(ts)
+		vers[i].CommitTS = ts
+		vers[i].Columns = []wal.Column{{ID: 1, Value: []byte{byte(ts)}}}
+		tab.GetOrCreate(uint64(i + 1)).Append(&vers[i])
+	}
+	ar.Unpin()
+}
+
+// TestArenaRecyclesAfterVacuum drives the full lifecycle: versions from
+// epoch 1 are overwritten by epoch 2, the first Vacuum unlinks them
+// (retiring their arena to limbo), and the second Vacuum's flush returns
+// the arena to the pool.
+func TestArenaRecyclesAfterVacuum(t *testing.T) {
+	mt := NewWithShards(2)
+	replayEpoch(mt, 100, 10)
+	replayEpoch(mt, 100, 20)
+
+	if got := mt.Arenas().Recycled(); got != 0 {
+		t.Fatalf("recycled %d arenas before any vacuum", got)
+	}
+	// First vacuum unlinks every ts=10 version; the epoch-1 arena's live
+	// count hits zero and it parks in limbo — not yet reusable, a straggler
+	// reader may still be walking the unlinked suffix.
+	if removed := mt.Vacuum(25); removed != 100 {
+		t.Fatalf("vacuum removed %d, want 100", removed)
+	}
+	if got := mt.Arenas().Recycled(); got != 0 {
+		t.Fatalf("arena recycled at the vacuum that freed it — fence broken (got %d)", got)
+	}
+	// The next vacuum's flush is the reclamation fence.
+	mt.Vacuum(25)
+	if got := mt.Arenas().Recycled(); got != 1 {
+		t.Fatalf("recycled %d arenas after second vacuum, want 1", got)
+	}
+
+	// Surviving epoch-2 data is intact.
+	for k := uint64(1); k <= 100; k++ {
+		v := mt.Table(1).Get(k).Visible(25)
+		if v == nil || v.CommitTS != 20 {
+			t.Fatalf("key %d: surviving version %+v", k, v)
+		}
+	}
+}
+
+// TestArenaPinBlocksRetire: an arena whose versions are all dead must stay
+// un-retired while the engine still holds its carving pin.
+func TestArenaPinBlocksRetire(t *testing.T) {
+	var p ArenaPool
+	a := p.Get() // pinned
+	s := a.Versions(3)
+	for i := range s {
+		s[i].arena.release(1) // simulate vacuum unlinking each version
+	}
+	p.Flush()
+	if p.Recycled() != 0 {
+		t.Fatal("arena retired while pinned")
+	}
+	a.Unpin() // drops to zero → limbo
+	p.Flush()
+	if p.Recycled() != 1 {
+		t.Fatalf("recycled %d after unpin+flush, want 1", p.Recycled())
+	}
+}
+
+// TestArenaReuseZeroed: an arena coming back from reset must hand out
+// zero versions even though its slab memory held a previous epoch.
+func TestArenaReuseZeroed(t *testing.T) {
+	var p ArenaPool
+	a := p.Get()
+	s := a.Versions(16)
+	for i := range s {
+		s[i].TxnID = 99
+		s[i].CommitTS = 99
+		s[i].Deleted = true
+		s[i].next.Store(&s[0])
+	}
+	a.reset()
+	s2 := a.Versions(16)
+	for i := range s2 {
+		v := &s2[i]
+		if v.TxnID != 0 || v.CommitTS != 0 || v.Deleted || v.Columns != nil || v.next.Load() != nil {
+			t.Fatalf("reused version %d not zeroed: %+v", i, v)
+		}
+		if v.arena != a {
+			t.Fatalf("reused version %d not tagged with its arena", i)
+		}
+	}
+}
+
+// TestArenaDecodersPartitioned: per-worker decoders must be distinct so
+// phase-1 workers never share a chunk, and they persist across reuse.
+func TestArenaDecodersPartitioned(t *testing.T) {
+	var p ArenaPool
+	a := p.Get()
+	d := a.Decoders(4)
+	if len(d) != 4 {
+		t.Fatalf("got %d decoders", len(d))
+	}
+	for i := range d {
+		for j := i + 1; j < len(d); j++ {
+			if d[i] == d[j] {
+				t.Fatalf("decoders %d and %d alias", i, j)
+			}
+		}
+	}
+	again := a.Decoders(2)
+	if again[0] != d[0] || again[1] != d[1] {
+		t.Fatal("decoder set not stable across calls")
+	}
+}

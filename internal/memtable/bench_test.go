@@ -1,7 +1,9 @@
 package memtable
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"aets/internal/wal"
@@ -18,6 +20,72 @@ func BenchmarkGetOrCreate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mt.Table(1).GetOrCreate(keys[i%len(keys)])
+	}
+}
+
+// BenchmarkGetOrCreateParallel measures translate-phase index scaling: g
+// goroutines hammer GetOrCreate on one 8-shard table, each with its own
+// random key stream. On a multi-core host the sharded index should scale
+// near-linearly where the old table-wide lock serialised; on a single
+// hardware thread (GOMAXPROCS=1) the goroutines time-slice one core and
+// the ratio stays ≈1 — the interesting number there is that adding
+// goroutines does not *cost* anything.
+func BenchmarkGetOrCreateParallel(b *testing.B) {
+	for _, g := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			tab := NewWithShards(8).Table(1)
+			streams := make([][]uint64, g)
+			for w := range streams {
+				rng := rand.New(rand.NewSource(int64(w + 1)))
+				streams[w] = make([]uint64, 1<<15)
+				for i := range streams[w] {
+					streams[w][i] = rng.Uint64() % (1 << 18)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := b.N/g + 1
+			for w := 0; w < g; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					keys := streams[w]
+					for i := 0; i < per; i++ {
+						tab.GetOrCreate(keys[i%len(keys)])
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkScanMerged prices the k-way merge against the single-tree fast
+// path: a full-table ordered scan of 1<<16 records through 1 shard (no
+// merge) and through 8 shards (heap-stitched).
+func BenchmarkScanMerged(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			tab := NewWithShards(shards).Table(1)
+			rng := rand.New(rand.NewSource(3))
+			for i := 0; i < 1<<16; i++ {
+				tab.GetOrCreate(rng.Uint64() % (1 << 20))
+			}
+			n := tab.Len()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				seen := 0
+				tab.Scan(0, ^uint64(0), func(uint64, *Record) bool {
+					seen++
+					return true
+				})
+				if seen != n {
+					b.Fatalf("scan saw %d of %d records", seen, n)
+				}
+			}
+		})
 	}
 }
 

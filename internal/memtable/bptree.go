@@ -34,10 +34,42 @@ type node struct {
 type tree struct {
 	root *node
 	size int
+
+	// recs is the current record slab: records are carved from chunks
+	// instead of being allocated one by one, because record creation is
+	// the translate path's dominant allocation (one per new row key) and
+	// records live exactly as long as their tree. A full chunk is simply
+	// replaced — records already handed out keep pointing into it.
+	recs []Record
 }
 
 func newTree() *tree {
 	return &tree{root: &node{leaf: true}}
+}
+
+// recSlabMin/Max bound the record chunk size: chunks double as the tree
+// grows so a large table settles on few big allocations, capped so one
+// chunk stays well under the large-object threshold.
+const (
+	recSlabMin = 64
+	recSlabMax = 8192
+)
+
+// newRecord carves a record from the slab. Caller holds the shard write
+// lock.
+func (t *tree) newRecord(key uint64) *Record {
+	if len(t.recs) == cap(t.recs) {
+		c := 2 * cap(t.recs)
+		if c < recSlabMin {
+			c = recSlabMin
+		}
+		if c > recSlabMax {
+			c = recSlabMax
+		}
+		t.recs = make([]Record, 0, c)
+	}
+	t.recs = append(t.recs, Record{Key: key})
+	return &t.recs[len(t.recs)-1]
 }
 
 // get returns the record for key, or nil.
@@ -59,7 +91,7 @@ func (t *tree) getOrCreate(key uint64) (rec *Record, created bool) {
 	if r := t.get(key); r != nil {
 		return r, false
 	}
-	rec = &Record{Key: key}
+	rec = t.newRecord(key)
 	t.insert(key, rec)
 	return rec, true
 }
@@ -102,6 +134,46 @@ func (t *tree) scan(from, to uint64, fn func(key uint64, rec *Record) bool) {
 
 // len returns the number of records in the tree.
 func (t *tree) len() int { return t.size }
+
+// treeIter is an explicit cursor over a tree's leaf chain, used by the
+// sharded Table's k-way merged Scan. The caller must hold the tree's shard
+// lock for the iterator's whole lifetime.
+type treeIter struct {
+	n *node
+	i int
+}
+
+// seek returns an iterator positioned at the first key ≥ from.
+func (t *tree) seek(from uint64) treeIter {
+	n := t.root
+	for !n.leaf {
+		n = n.children[n.childIndex(from)]
+	}
+	i, _ := n.search(from)
+	it := treeIter{n: n, i: i}
+	it.skipExhausted()
+	return it
+}
+
+// skipExhausted advances past leaves whose in-use keys are consumed.
+func (it *treeIter) skipExhausted() {
+	for it.n != nil && it.i >= it.n.n {
+		it.n = it.n.next
+		it.i = 0
+	}
+}
+
+// valid reports whether the iterator points at a record.
+func (it *treeIter) valid() bool { return it.n != nil }
+
+func (it *treeIter) key() uint64  { return it.n.keys[it.i] }
+func (it *treeIter) rec() *Record { return it.n.values[it.i] }
+
+// next advances to the following key in ascending order.
+func (it *treeIter) next() {
+	it.i++
+	it.skipExhausted()
+}
 
 // childIndex returns the index of the child subtree that may contain key.
 // Internal-node semantics: child i holds keys < keys[i]; the last child

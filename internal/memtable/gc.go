@@ -11,7 +11,9 @@ package memtable
 // everything older.
 
 // Vacuum prunes the record's chain for the given watermark and returns the
-// number of versions removed.
+// number of versions removed. Removed versions that were carved from an
+// epoch arena are released back to it, which is what eventually lets the
+// arena's memory be recycled (see ArenaPool).
 //
 // Safety: callers must guarantee no reader is traversing versions older
 // than the watermark. Readers are lock-free, so this is a contract, not an
@@ -19,7 +21,10 @@ package memtable
 // snapshot timestamp of active queries (or now−retention) as the
 // watermark. A reader that already holds a pointer into the pruned suffix
 // keeps a consistent view: the suffix stays intact off-chain until Go's
-// collector reclaims it. The chain link itself is atomic, so a reader
+// collector reclaims it — or, for arena-carved versions, until the arena
+// is recycled, which ArenaPool defers to the *next* Vacuum cycle precisely
+// so that such stragglers have a full GC interval to finish (see
+// ArenaPool's fence comment). The chain link itself is atomic, so a reader
 // racing the truncation point observes either the old suffix or the cut —
 // never a torn pointer.
 func (r *Record) Vacuum(watermark int64) int {
@@ -37,24 +42,37 @@ func (r *Record) Vacuum(watermark int64) int {
 	removed := 0
 	for w := v.Next(); w != nil; w = w.Next() {
 		removed++
+		if a := w.arena; a != nil {
+			a.release(1)
+		}
 	}
 	v.next.Store(nil)
 	return removed
 }
 
 // Vacuum prunes every record of the table and returns the total number of
-// versions removed.
+// versions removed. Shards are vacuumed one at a time, so at most one
+// shard's read lock is held at any moment — writers on the other shards
+// proceed unhindered.
 func (t *Table) Vacuum(watermark int64) int {
 	removed := 0
-	t.Scan(0, ^uint64(0), func(_ uint64, rec *Record) bool {
-		removed += rec.Vacuum(watermark)
-		return true
-	})
+	for i := range t.shards {
+		s := &t.shards[i]
+		t.obs.rlock(&s.mu)
+		s.t.scan(0, ^uint64(0), func(_ uint64, rec *Record) bool {
+			removed += rec.Vacuum(watermark)
+			return true
+		})
+		s.mu.RUnlock()
+	}
 	return removed
 }
 
-// Vacuum prunes every table of the Memtable.
+// Vacuum prunes every table of the Memtable. It also advances the arena
+// pool's reclamation fence: arenas fully released by earlier Vacuum cycles
+// become reusable now.
 func (m *Memtable) Vacuum(watermark int64) int {
+	m.arenas.Flush()
 	removed := 0
 	for _, id := range m.Tables() {
 		removed += m.Table(id).Vacuum(watermark)

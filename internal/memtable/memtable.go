@@ -1,11 +1,23 @@
 // Package memtable implements the backup node's multi-version in-memory
 // storage engine: a B+Tree per table whose records carry transaction-ID
 // ordered version chains (paper §III-A, Figure 6).
+//
+// The paper describes one B+Tree per table behind one lock (§VI-A1). That
+// serialises TPLR's translate phase — which the paper promises is "no
+// dependency tracking, no locks" (§IV) — so this implementation splits
+// every table into N key-hash shards (N = next power of two ≥ GOMAXPROCS),
+// each with its own B+Tree and read/write mutex. Concurrent GetOrCreate
+// calls on different shards never touch the same mutex; Scan stitches the
+// shard iterators back together with a k-way merge so analytics queries
+// keep seeing global key order.
 package memtable
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"aets/internal/wal"
 )
@@ -21,6 +33,11 @@ type Version struct {
 	Deleted  bool
 	Columns  []wal.Column
 	next     atomic.Pointer[Version] // next-older version
+
+	// arena, when non-nil, is the epoch arena this version was carved
+	// from; Vacuum releases the version back to it on unlink so the
+	// arena's memory can be recycled once every version it issued is dead.
+	arena *VersionArena
 }
 
 // Next returns the next-older version, or nil at the end of the chain.
@@ -40,12 +57,18 @@ type Record struct {
 }
 
 // Append installs v as the newest version (Algorithm 1, lines 10-13).
+//
+// The writes counter is bumped before the new head is published, all inside
+// the critical section: a concurrent reader that observes the new chain
+// head is then guaranteed to observe the incremented count as well. (The
+// previous ordering — increment after unlock — let ATR's operation-sequence
+// witness see a head whose write was not yet counted and mis-validate.)
 func (r *Record) Append(v *Version) {
 	r.mu.Lock()
 	v.next.Store(r.head.Load())
+	r.writes.Add(1)
 	r.head.Store(v)
 	r.mu.Unlock()
-	r.writes.Add(1)
 }
 
 // Writes returns the number of versions installed so far. ATR's operation
@@ -119,95 +142,334 @@ func (r *Record) ChainOrdered() bool {
 	return true
 }
 
-// Table is the B+Tree index of one table's records.
+// ---------------------------------------------------------------------------
+// Shard-lock wait observability.
+
+// WaitObserver receives the time a caller spent blocked acquiring a shard
+// lock. metrics.Histogram satisfies it; memtable deliberately does not
+// import the metrics package.
+type WaitObserver interface {
+	Observe(time.Duration)
+}
+
+// obsHook is the shared, swappable wait observer. Every Table of a
+// Memtable points at the same hook, so SetWaitObserver takes effect for
+// tables created before and after the call.
+type obsHook struct {
+	o atomic.Pointer[WaitObserver]
+}
+
+// rlock acquires mu for reading. The TryRLock fast path keeps the
+// uncontended case free of clock reads; only a blocked acquisition is
+// timed and reported.
+func (h *obsHook) rlock(mu *sync.RWMutex) {
+	if mu.TryRLock() {
+		return
+	}
+	op := h.o.Load()
+	if op == nil {
+		mu.RLock()
+		return
+	}
+	t0 := time.Now()
+	mu.RLock()
+	(*op).Observe(time.Since(t0))
+}
+
+// lock is rlock for the write lock.
+func (h *obsHook) lock(mu *sync.RWMutex) {
+	if mu.TryLock() {
+		return
+	}
+	op := h.o.Load()
+	if op == nil {
+		mu.Lock()
+		return
+	}
+	t0 := time.Now()
+	mu.Lock()
+	(*op).Observe(time.Since(t0))
+}
+
+// ---------------------------------------------------------------------------
+// Sharded table.
+
+// shard is one key-hash partition of a table: its own B+Tree behind its
+// own lock. Padding keeps neighbouring shards' mutexes off one cache line
+// so contended CAS traffic on shard i does not invalidate shard i+1.
+type shard struct {
+	mu sync.RWMutex
+	t  *tree
+	_  [96]byte
+}
+
+// Table is the sharded B+Tree index of one table's records.
 type Table struct {
 	ID wal.TableID
 
-	mu sync.RWMutex
-	t  *tree
+	mask   uint64
+	shards []shard
+	obs    *obsHook
 }
+
+// newTable builds a table with n shards (n must be a power of two).
+func newTable(id wal.TableID, n int, obs *obsHook) *Table {
+	t := &Table{ID: id, mask: uint64(n - 1), shards: make([]shard, n), obs: obs}
+	for i := range t.shards {
+		t.shards[i].t = newTree()
+	}
+	return t
+}
+
+// shardOf maps a row key to its shard index. Row keys are often dense
+// (sequential order IDs) or structured (warehouse*K+district), so the key
+// is mixed through a splitmix64 finalizer before masking; without it,
+// dense key ranges would pile onto a few shards.
+func (t *Table) shardOf(key uint64) uint64 {
+	key ^= key >> 30
+	key *= 0xbf58476d1ce4e5b9
+	key ^= key >> 27
+	key *= 0x94d049bb133111eb
+	key ^= key >> 31
+	return key & t.mask
+}
+
+// Shards returns the number of key-hash shards. Test and monitoring helper.
+func (t *Table) Shards() int { return len(t.shards) }
 
 // Get returns the record with the given row key, or nil.
 func (t *Table) Get(key uint64) *Record {
-	t.mu.RLock()
-	rec := t.t.get(key)
-	t.mu.RUnlock()
+	s := &t.shards[t.shardOf(key)]
+	t.obs.rlock(&s.mu)
+	rec := s.t.get(key)
+	s.mu.RUnlock()
 	return rec
 }
 
 // GetOrCreate returns the record with the given row key, creating an empty
 // record (no versions) if absent. TPLR's first phase uses this to resolve
-// the Memtable node an uncommitted cell will point at.
+// the Memtable node an uncommitted cell will point at. Calls for keys on
+// different shards proceed in parallel with no shared lock.
 func (t *Table) GetOrCreate(key uint64) *Record {
-	t.mu.RLock()
-	rec := t.t.get(key)
-	t.mu.RUnlock()
+	s := &t.shards[t.shardOf(key)]
+	t.obs.rlock(&s.mu)
+	rec := s.t.get(key)
+	s.mu.RUnlock()
 	if rec != nil {
 		return rec
 	}
-	t.mu.Lock()
-	rec, _ = t.t.getOrCreate(key)
-	t.mu.Unlock()
+	t.obs.lock(&s.mu)
+	rec, _ = s.t.getOrCreate(key)
+	s.mu.Unlock()
 	return rec
 }
 
-// Scan visits records with from ≤ key ≤ to in key order until fn returns
-// false. Records created concurrently may or may not be observed.
+// Scan visits records with from ≤ key ≤ to in global key order until fn
+// returns false. Shard iterators are stitched with a k-way merge: shards
+// partition the key space by hash, so ascending order within each shard
+// plus a smallest-head merge yields ascending order overall. Records
+// created concurrently may or may not be observed. All shard read locks
+// are held for the duration of the scan — the same writer-blocking window
+// the previous table-wide lock imposed, now split per shard.
 func (t *Table) Scan(from, to uint64, fn func(key uint64, rec *Record) bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	t.t.scan(from, to, fn)
+	if len(t.shards) == 1 {
+		s := &t.shards[0]
+		t.obs.rlock(&s.mu)
+		defer s.mu.RUnlock()
+		s.t.scan(from, to, fn)
+		return
+	}
+	for i := range t.shards {
+		t.obs.rlock(&t.shards[i].mu)
+		defer t.shards[i].mu.RUnlock()
+	}
+
+	// Min-heap of shard iterators keyed by their current key. Keys are
+	// unique across shards (the hash partition is disjoint), so no
+	// tie-break is needed.
+	h := make([]treeIter, 0, len(t.shards))
+	for i := range t.shards {
+		it := t.shards[i].t.seek(from)
+		if it.valid() && it.key() <= to {
+			h = append(h, it)
+			siftUp(h, len(h)-1)
+		}
+	}
+	for len(h) > 0 {
+		it := &h[0]
+		if !fn(it.key(), it.rec()) {
+			return
+		}
+		it.next()
+		if !it.valid() || it.key() > to {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		siftDown(h, 0)
+	}
+}
+
+func siftUp(h []treeIter, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].key() <= h[i].key() {
+			return
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func siftDown(h []treeIter, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && h[l].key() < h[min].key() {
+			min = l
+		}
+		if r < len(h) && h[r].key() < h[min].key() {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
 }
 
 // Len returns the number of records in the table.
 func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.t.len()
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		t.obs.rlock(&s.mu)
+		n += s.t.len()
+		s.mu.RUnlock()
+	}
+	return n
 }
 
-// CheckInvariants verifies B+Tree structural invariants. Test helper; it
-// returns "" when the tree is well-formed.
+// CheckInvariants verifies the B+Tree structural invariants of every shard
+// and the cross-shard key partition: each key must live in exactly the
+// shard its hash selects, which is what makes the merged Scan's "no
+// tie-break" and disjoint-coverage assumptions sound. Test helper; it
+// returns "" when the table is well-formed.
 func (t *Table) CheckInvariants() string {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.t.checkInvariants()
+	for i := range t.shards {
+		s := &t.shards[i]
+		t.obs.rlock(&s.mu)
+		msg := s.t.checkInvariants()
+		if msg == "" {
+			s.t.scan(0, ^uint64(0), func(key uint64, _ *Record) bool {
+				if want := t.shardOf(key); want != uint64(i) {
+					msg = fmt.Sprintf("key %d found in shard %d, hashes to shard %d", key, i, want)
+					return false
+				}
+				return true
+			})
+		}
+		s.mu.RUnlock()
+		if msg != "" {
+			return fmt.Sprintf("shard %d: %s", i, msg)
+		}
+	}
+	return ""
 }
+
+// ---------------------------------------------------------------------------
+// Memtable: the set of tables.
+
+// tableMap is the copy-on-write table index. Lookups are a single atomic
+// pointer load; the map itself is never mutated after publication.
+type tableMap = map[wal.TableID]*Table
 
 // Memtable is the set of tables of the backup database.
 type Memtable struct {
-	mu     sync.RWMutex
-	tables map[wal.TableID]*Table
+	tables  atomic.Pointer[tableMap]
+	mu      sync.Mutex // serialises table creation (rare)
+	nshards int
+	obs     obsHook
+	arenas  ArenaPool
 }
 
-// New returns an empty Memtable.
+// New returns an empty Memtable whose tables carry the default shard
+// count: the next power of two ≥ GOMAXPROCS, so that a full complement of
+// replay workers can translate without colliding on a shard lock.
 func New() *Memtable {
-	return &Memtable{tables: make(map[wal.TableID]*Table)}
+	return NewWithShards(defaultShards())
 }
 
-// Table returns the table with the given ID, creating it if absent.
+// NewWithShards returns an empty Memtable with an explicit per-table shard
+// count (rounded up to a power of two, minimum 1). Tests and benchmarks
+// use it to pin the shard layout regardless of the host.
+func NewWithShards(n int) *Memtable {
+	m := &Memtable{nshards: nextPow2(n)}
+	empty := tableMap{}
+	m.tables.Store(&empty)
+	return m
+}
+
+func defaultShards() int {
+	return nextPow2(runtime.GOMAXPROCS(0))
+}
+
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// SetWaitObserver installs o as the shard-lock wait observer: every time a
+// lock acquisition on any shard of any table blocks, the wait duration is
+// reported to o. A nil o disables observation. Takes effect immediately
+// for existing tables.
+func (m *Memtable) SetWaitObserver(o WaitObserver) {
+	if o == nil {
+		m.obs.o.Store(nil)
+		return
+	}
+	m.obs.o.Store(&o)
+}
+
+// Arenas returns the Memtable's version-arena pool. Replay carves epoch
+// version slabs from it; Vacuum drives the recycling.
+func (m *Memtable) Arenas() *ArenaPool { return &m.arenas }
+
+// Table returns the table with the given ID, creating it if absent. The
+// lookup is a lock-free atomic pointer load over a copy-on-write map —
+// table creation is rare (schema-sized), lookups happen per replayed log
+// entry.
 func (m *Memtable) Table(id wal.TableID) *Table {
-	m.mu.RLock()
-	t := m.tables[id]
-	m.mu.RUnlock()
-	if t != nil {
+	if t := (*m.tables.Load())[id]; t != nil {
 		return t
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if t = m.tables[id]; t == nil {
-		t = &Table{ID: id, t: newTree()}
-		m.tables[id] = t
+	old := *m.tables.Load()
+	if t := old[id]; t != nil {
+		return t
 	}
+	t := newTable(id, m.nshards, &m.obs)
+	next := make(tableMap, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[id] = t
+	m.tables.Store(&next)
 	return t
 }
 
 // Tables returns a snapshot of all table IDs currently present.
 func (m *Memtable) Tables() []wal.TableID {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	out := make([]wal.TableID, 0, len(m.tables))
-	for id := range m.tables {
+	tabs := *m.tables.Load()
+	out := make([]wal.TableID, 0, len(tabs))
+	for id := range tabs {
 		out = append(out, id)
 	}
 	return out

@@ -120,7 +120,7 @@ func TestBPTreeScanEarlyStop(t *testing.T) {
 }
 
 func TestGetOrCreateIdempotent(t *testing.T) {
-	tab := &Table{ID: 1, t: newTree()}
+	tab := NewWithShards(4).Table(1)
 	a := tab.GetOrCreate(42)
 	b := tab.GetOrCreate(42)
 	if a != b {

@@ -162,6 +162,11 @@ func New(name string, mt *memtable.Memtable, plan *grouping.Plan, cfg Config) *E
 	e.hDispatch = reg.Histogram("replay_dispatch_seconds")
 	e.hCommit = reg.Histogram("replay_commit_seconds")
 	e.hWait = reg.Histogram("replay_wait_visible_seconds")
+	// Shard-lock wait time: how long translate workers (and scans) block
+	// on memtable shard mutexes. Near-zero when the sharded index is doing
+	// its job; a hot histogram here means keys are hashing onto too few
+	// shards for the worker count.
+	mt.SetWaitObserver(reg.Histogram("memtable_shard_wait_ns"))
 	e.installPlan(plan, 0)
 	return e
 }

@@ -34,9 +34,12 @@ import (
 // slot. There is no broadcast storm — a worker takes the wake-up lock only
 // when the committer has actually parked. All hand-off scaffolding (slots,
 // deliveries, cells, offsets) is recycled through a sync.Pool, so the
-// steady-state hand-off allocates nothing; only the Versions and their
-// decoded columns are freshly allocated, from one slab per batch, because
-// they live on in the Memtable's version chains after the epoch is gone.
+// steady-state hand-off allocates nothing. The Versions and their decoded
+// columns — which live on in the Memtable's version chains after the
+// epoch is gone — are carved from a memtable.VersionArena per batch; the
+// arena's memory comes back through the Memtable's pool once Vacuum has
+// unlinked every version it issued, so under a running GC loop even the
+// long-lived side of the hand-off stops allocating.
 
 // cell is one uncommitted modification produced by phase 1: a pointer to
 // the Memtable record plus the fully built version to link at commit. The
@@ -202,18 +205,20 @@ func (e *Engine) replayGroup(vs *visState, gb *dispatch.GroupBatch, n int) error
 		bs.offsets[i] = off
 		off += len(gb.Pieces[i].Frames)
 	}
-	// The version slab is the one fresh allocation per batch: versions are
-	// installed into the Memtable's chains and outlive the epoch, so they
-	// cannot be pooled.
-	vers := make([]memtable.Version, gb.Entries)
+	// Versions are installed into the Memtable's chains and outlive the
+	// epoch, so they cannot ride the hand-off pool; they come from an
+	// epoch arena instead, whose memory Vacuum eventually recycles.
+	ar := e.mt.Arenas().Get()
+	vers := ar.Versions(gb.Entries)
+	decs := ar.Decoders(n)
 
 	var next atomic.Int64
 	var workers sync.WaitGroup
 	for k := 0; k < n; k++ {
 		workers.Add(1)
-		go func() {
+		go func(arena *wal.DecodeArena) {
 			defer workers.Done()
-			var arena wal.DecodeArena
+			var tc tableCache
 			t0 := time.Now()
 			for {
 				i := int(next.Add(1)) - 1
@@ -223,7 +228,7 @@ func (e *Engine) replayGroup(vs *visState, gb *dispatch.GroupBatch, n int) error
 				p := &gb.Pieces[i]
 				o := bs.offsets[i]
 				cells := bs.cells[o : o+len(p.Frames) : o+len(p.Frames)]
-				if err := e.translate(p, cells, vers[o:o+len(p.Frames)], &arena); err != nil {
+				if err := e.translate(p, cells, vers[o:o+len(p.Frames)], arena, &tc); err != nil {
 					bs.fail(fmt.Errorf("group %d txn %d: %w", gb.Group, p.TxnID, err))
 					return
 				}
@@ -235,7 +240,7 @@ func (e *Engine) replayGroup(vs *visState, gb *dispatch.GroupBatch, n int) error
 			if e.cfg.Breakdown != nil {
 				e.cfg.Breakdown.AddReplay(time.Since(t0))
 			}
-		}()
+		}(decs[k])
 	}
 
 	var commitErr error
@@ -261,6 +266,7 @@ func (e *Engine) replayGroup(vs *visState, gb *dispatch.GroupBatch, n int) error
 
 	workers.Wait()
 	e.releaseBatch(bs)
+	ar.Unpin()
 	return commitErr
 }
 
@@ -268,18 +274,21 @@ func (e *Engine) replayGroup(vs *visState, gb *dispatch.GroupBatch, n int) error
 // piece by piece in commit order on one goroutine, straight from the
 // version slab with no hand-off at all.
 func (e *Engine) replayGroupSerial(vs *visState, gb *dispatch.GroupBatch) error {
-	vers := make([]memtable.Version, gb.Entries)
-	var arena wal.DecodeArena
+	ar := e.mt.Arenas().Get()
+	defer ar.Unpin()
+	vers := ar.Versions(gb.Entries)
+	arena := ar.Decoders(1)[0]
+	var tc tableCache
 	vi := 0
 	t0 := time.Now()
 	for i := range gb.Pieces {
 		p := &gb.Pieces[i]
 		for _, frame := range p.Frames {
-			entry, _, err := wal.DecodeTo(frame, &arena)
+			entry, _, err := wal.DecodeTo(frame, arena)
 			if err != nil {
 				return fmt.Errorf("group %d txn %d: %w", gb.Group, p.TxnID, err)
 			}
-			rec := e.mt.Table(entry.Table).GetOrCreate(entry.RowKey)
+			rec := e.tableFor(&tc, entry.Table).GetOrCreate(entry.RowKey)
 			v := &vers[vi]
 			vi++
 			v.TxnID = entry.TxnID
@@ -303,18 +312,37 @@ func (e *Engine) replayGroupSerial(vs *visState, gb *dispatch.GroupBatch) error 
 	return nil
 }
 
+// tableCache is a per-worker one-entry table-handle cache: group batches
+// are table-clustered, so consecutive entries overwhelmingly hit the same
+// table and the Memtable map lookup happens once per table run instead of
+// once per entry.
+type tableCache struct {
+	id  wal.TableID
+	tab *memtable.Table
+}
+
+// tableFor resolves a table handle through the worker's cache.
+func (e *Engine) tableFor(c *tableCache, id wal.TableID) *memtable.Table {
+	if c.tab == nil || c.id != id {
+		c.tab = e.mt.Table(id)
+		c.id = id
+	}
+	return c.tab
+}
+
 // translate is TPLR phase 1 for one transaction piece: decode each frame
 // and turn it into an uncommitted cell pointing at its Memtable record.
 // Records are created on first reference (inserts), but no version is
-// installed and no record lock is taken. Versions come from the batch's
-// slab; columns and value bytes from the worker's decode arena.
-func (e *Engine) translate(p *dispatch.Piece, cells []cell, vers []memtable.Version, arena *wal.DecodeArena) error {
+// installed and no table-wide lock is taken — GetOrCreate synchronises
+// only on the key's shard. Versions come from the batch's epoch arena;
+// columns and value bytes from the worker's decode arena.
+func (e *Engine) translate(p *dispatch.Piece, cells []cell, vers []memtable.Version, arena *wal.DecodeArena, tc *tableCache) error {
 	for j, frame := range p.Frames {
 		entry, _, err := wal.DecodeTo(frame, arena)
 		if err != nil {
 			return err
 		}
-		rec := e.mt.Table(entry.Table).GetOrCreate(entry.RowKey)
+		rec := e.tableFor(tc, entry.Table).GetOrCreate(entry.RowKey)
 		v := &vers[j]
 		v.TxnID = entry.TxnID
 		v.Deleted = entry.Type == wal.TypeDelete

@@ -66,19 +66,33 @@ func Encode(e *Entry) []byte {
 // DecodeArena amortises Decode's per-entry allocations (the Columns slice
 // and each column's value copy) across many entries: chunks are carved off
 // in order and a fresh chunk is allocated only when the current one is
-// exhausted. Decoded entries keep sub-slices of the chunks, so an arena
-// must never be reset or reused while any entry decoded through it is still
-// referenced — replay allocates one arena per worker per group batch and
-// lets the version chains own the chunks afterwards.
+// exhausted. Chunk capacities double on exhaustion, so an arena that is
+// Reset and reused converges on one chunk sized for its steady-state
+// batch and stops allocating altogether. Decoded entries keep sub-slices
+// of the chunks, so an arena must never be Reset or reused while any
+// entry decoded through it is still referenced — replay draws its arenas
+// from the Memtable's epoch-arena pool, which defers the Reset until the
+// version chains holding the chunks have been vacuumed.
 type DecodeArena struct {
 	cols []Column
 	vals []byte
 }
 
+// Reset rewinds the arena so its current chunks are carved again. Earlier,
+// smaller chunks from the growth phase are already unreferenced by the
+// arena and fall to the collector with the entries that used them.
+func (a *DecodeArena) Reset() {
+	a.cols = a.cols[:0]
+	a.vals = a.vals[:0]
+}
+
 // arenaCols returns a length-n slice carved from the column chunk.
 func (a *DecodeArena) arenaCols(n int) []Column {
 	if cap(a.cols)-len(a.cols) < n {
-		c := 1024
+		c := 2 * cap(a.cols)
+		if c < 1024 {
+			c = 1024
+		}
 		if n > c {
 			c = n
 		}
@@ -92,7 +106,10 @@ func (a *DecodeArena) arenaCols(n int) []Column {
 // arenaBytes copies b into the value chunk and returns the stable copy.
 func (a *DecodeArena) arenaBytes(b []byte) []byte {
 	if cap(a.vals)-len(a.vals) < len(b) {
-		c := 64 << 10
+		c := 2 * cap(a.vals)
+		if c < 64<<10 {
+			c = 64 << 10
+		}
 		if len(b) > c {
 			c = len(b)
 		}
