@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz chaos smoke bench-smoke ci bench-json
+.PHONY: all build vet test race fuzz chaos chaos-cluster smoke bench-smoke ci bench-json
 
 all: ci
 
@@ -14,9 +14,12 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrency-heavy packages: the replication transport,
-# the replay engine, the epoch batcher, and the sharded memtable index.
+# the replay engine, the epoch batcher, the sharded memtable index, the
+# query admission path, and the cluster router/fan-out (its chaos e2e
+# runs separately under chaos-cluster).
 race:
-	$(GO) test -race ./internal/ship/... ./internal/replay/... ./internal/epoch/... ./internal/memtable/...
+	$(GO) test -race ./internal/ship/... ./internal/replay/... ./internal/epoch/... ./internal/memtable/... ./internal/query/...
+	$(GO) test -race -skip 'TestClusterChaos' ./internal/cluster/
 
 # Short fuzz smoke of the wire-format decoder.
 fuzz:
@@ -28,6 +31,13 @@ fuzz:
 # epoch must be quarantined instead of crash-looping the replica.
 chaos:
 	$(GO) test -race -short -run 'TestChaos' -count=1 ./internal/recovery/
+
+# Cluster chaos e2e in short mode under the race detector: a 3-replica
+# fan-out where replicas hard-crash mid-stream and recover through the
+# supervisor while routed queries stay reference-equal and satisfied
+# queries admit without blocking.
+chaos-cluster:
+	$(GO) test -race -short -run 'TestClusterChaos' -count=1 ./internal/cluster/
 
 # Boot `replayd backup -http`, scrape /metrics and /healthz, fail on
 # non-200 responses or missing replay_* series.
@@ -47,5 +57,7 @@ bench-json:
 		| $(GO) run ./tools/benchjson > BENCH_replay.json
 	$(GO) test -run='^$$' -bench='BenchmarkGetOrCreateParallel|BenchmarkScanMerged' -benchmem ./internal/memtable/ \
 		| $(GO) run ./tools/benchjson > BENCH_memtable.json
+	$(GO) test -run='^$$' -bench=BenchmarkRouteQuery -benchmem ./internal/cluster/ \
+		| $(GO) run ./tools/benchjson > BENCH_cluster.json
 
-ci: build vet test race chaos bench-smoke smoke
+ci: build vet test race chaos chaos-cluster bench-smoke smoke

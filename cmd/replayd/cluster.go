@@ -1,0 +1,109 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"aets/internal/cluster"
+	"aets/internal/metrics"
+	"aets/internal/obsrv"
+	"aets/internal/primary"
+	"aets/internal/ship"
+	"aets/internal/workload"
+)
+
+// runCluster is the fan-out primary: one generated epoch stream shipped
+// to every -connect replica simultaneously, each over its own
+// independent link (cursor, window, reconnect), so a slow or dead
+// replica never stalls its siblings. Per-link progress is published as
+// ship_* metrics labelled peer="<addr>".
+func runCluster(args []string) error {
+	c, err := parseClusterFlags(args)
+	if err != nil {
+		return err
+	}
+	c.applyProfiles()
+
+	gen, _, err := workloadPlan(c.workload)
+	if err != nil {
+		return err
+	}
+	schema := ship.SchemaHash(c.workload, workload.TableIDs(gen.Tables()))
+
+	peers := make([]cluster.Peer, 0, len(c.connects))
+	for _, addr := range c.connects {
+		addr := addr
+		peers = append(peers, cluster.Peer{ID: addr, Sender: ship.SenderConfig{
+			Dial:           func() (net.Conn, error) { return net.Dial("tcp", addr) },
+			Schema:         schema,
+			Window:         c.window,
+			HeartbeatEvery: c.hb,
+			MaxAttempts:    c.retries,
+		}})
+	}
+	fan, err := cluster.NewFanout(cluster.FanoutConfig{
+		Peers:    peers,
+		Registry: metrics.Default,
+		MaxQueue: c.maxQueue,
+	})
+	if err != nil {
+		return err
+	}
+
+	closeHTTP, err := serveHTTP(c.httpAddr, obsrv.Options{
+		Health: func() obsrv.Health {
+			live := fan.Live()
+			h := obsrv.Health{Healthy: live > 0, Status: "ok",
+				ShipConnected: live == len(c.connects)}
+			if live < len(c.connects) {
+				h.Status = fmt.Sprintf("%d/%d peers live", live, len(c.connects))
+			}
+			if live == 0 {
+				h.Status = "all peers down"
+			}
+			return h
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer closeHTTP()
+
+	stopProgress := startProgress(func() {
+		for _, st := range fan.Stats() {
+			status := "ok"
+			if st.Err != nil {
+				status = st.Err.Error()
+			}
+			fmt.Printf("  %-24s sent %6d acked %6d queued %5d inflight %3d reconnects %d [%s]\n",
+				st.ID, st.Sent, st.Acked, st.Queued, st.Inflight, st.Reconnects, status)
+		}
+	})
+	defer stopProgress()
+
+	p := primary.New(gen, c.seed)
+	encs := p.GenerateEncoded(c.txns, c.epochSize)
+	start := time.Now()
+	for i := range encs {
+		if err := fan.Send(&encs[i]); err != nil {
+			return err
+		}
+		if c.rate > 0 {
+			time.Sleep(time.Second / time.Duration(c.rate))
+		}
+	}
+	err = fan.Close()
+	elapsed := time.Since(start).Round(time.Millisecond)
+	for _, st := range fan.Stats() {
+		status := "complete"
+		if st.Err != nil {
+			status = st.Err.Error()
+		}
+		fmt.Printf("peer %-24s acked %d/%d, reconnects %d — %s\n",
+			st.ID, st.Acked, len(encs), st.Reconnects, status)
+	}
+	fmt.Printf("fanned out %d epochs (%d txns) to %d replicas in %v\n",
+		len(encs), c.txns, len(c.connects), elapsed)
+	return err
+}

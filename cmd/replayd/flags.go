@@ -1,0 +1,282 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"aets/internal/htap"
+	"aets/internal/recovery"
+)
+
+// All four modes parse with ContinueOnError and validate every flag
+// combination up front, so a bad invocation dies with a usage error
+// before any socket is opened or epoch generated — never as a mid-run
+// panic. The parse functions are separated from the run functions so
+// the validation table is testable without side effects.
+
+// usageError tags a validation failure so main can exit with the
+// conventional usage status (2) instead of the runtime-failure status.
+type usageError struct{ msg string }
+
+func (e *usageError) Error() string { return e.msg }
+
+func usagef(format string, args ...any) error {
+	return &usageError{msg: fmt.Sprintf(format, args...)}
+}
+
+// knownWorkload mirrors workloadPlan's cases without building the
+// generator.
+func knownWorkload(name string) bool {
+	switch name {
+	case "tpcc", "chbench", "seats", "bustracker":
+		return true
+	}
+	return false
+}
+
+func knownAlgo(name string) bool {
+	for _, k := range htap.Kinds {
+		if string(k) == name {
+			return true
+		}
+	}
+	return false
+}
+
+type primaryFlags struct {
+	connect, workload     string
+	txns, epochSize       int
+	seed                  int64
+	rate, window, retries int
+	hb                    time.Duration
+	httpAddr              string
+	applyProfiles         func()
+}
+
+func parsePrimaryFlags(args []string) (*primaryFlags, error) {
+	fs := flag.NewFlagSet("primary", flag.ContinueOnError)
+	c := &primaryFlags{}
+	fs.StringVar(&c.connect, "connect", "localhost:7070", "backup address")
+	fs.StringVar(&c.workload, "workload", "tpcc", "workload: tpcc, chbench, seats, bustracker")
+	fs.IntVar(&c.txns, "txns", 50000, "transactions to ship")
+	fs.IntVar(&c.epochSize, "epoch", 2048, "epoch size")
+	fs.Int64Var(&c.seed, "seed", 1, "seed")
+	fs.IntVar(&c.rate, "rate", 0, "epochs per second pacing (0 = as fast as possible)")
+	fs.IntVar(&c.window, "window", 32, "max in-flight (unacked) epochs before Send blocks")
+	fs.DurationVar(&c.hb, "hb", 500*time.Millisecond, "heartbeat interval (0 disables)")
+	fs.IntVar(&c.retries, "retries", 8, "consecutive reconnect attempts before giving up")
+	fs.StringVar(&c.httpAddr, "http", "", "serve /metrics /healthz /varz /debug/pprof on this address (empty disables)")
+	c.applyProfiles = contentionProfileFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if c.connect == "" {
+		return nil, usagef("primary: -connect must not be empty")
+	}
+	if !knownWorkload(c.workload) {
+		return nil, usagef("primary: unknown workload %q (tpcc, chbench, seats, bustracker)", c.workload)
+	}
+	if c.txns <= 0 || c.epochSize <= 0 {
+		return nil, usagef("primary: -txns and -epoch must be positive (got %d, %d)", c.txns, c.epochSize)
+	}
+	if c.window <= 0 {
+		return nil, usagef("primary: -window must be positive (got %d)", c.window)
+	}
+	if c.retries <= 0 {
+		return nil, usagef("primary: -retries must be positive (got %d)", c.retries)
+	}
+	if c.rate < 0 || c.hb < 0 {
+		return nil, usagef("primary: -rate and -hb must not be negative")
+	}
+	return c, nil
+}
+
+type backupFlags struct {
+	listen, algo, workload string
+	workers, pipeline      int
+	once                   bool
+	ckpt, resume           string
+	gcEvery                time.Duration
+	httpAddr               string
+	spoolDir, ckptDir      string
+	ckptEvery              int
+	ckptInterval           time.Duration
+	syncPolicy             string
+	applyProfiles          func()
+}
+
+// supervised reports whether the recovery supervisor runs the node.
+func (c *backupFlags) supervised() bool { return c.spoolDir != "" }
+
+func parseBackupFlags(args []string) (*backupFlags, error) {
+	fs := flag.NewFlagSet("backup", flag.ContinueOnError)
+	c := &backupFlags{}
+	fs.StringVar(&c.listen, "listen", ":7070", "listen address")
+	fs.StringVar(&c.algo, "algo", "aets", "replay algorithm: aets, tplr, atr, c5")
+	fs.IntVar(&c.workers, "workers", 8, "replay workers")
+	fs.IntVar(&c.pipeline, "pipeline", 2, "replay pipeline depth: epochs in flight (0 = serial; aets/tplr only)")
+	fs.StringVar(&c.workload, "workload", "tpcc", "workload schema (for grouping): tpcc, chbench, seats, bustracker")
+	fs.BoolVar(&c.once, "once", true, "exit after the first clean end-of-stream")
+	fs.StringVar(&c.ckpt, "checkpoint", "", "write a checkpoint file after the stream drains")
+	fs.StringVar(&c.resume, "resume", "", "restore from this checkpoint and resume the stream at its epoch cursor")
+	fs.DurationVar(&c.gcEvery, "gc-every", 0, "vacuum version chains at this interval (0 disables)")
+	fs.StringVar(&c.httpAddr, "http", "", "serve /metrics /healthz /varz /debug/pprof on this address (empty disables)")
+	fs.StringVar(&c.spoolDir, "spool-dir", "", "durable epoch spool directory; with -ckpt-dir, runs the crash-recovery supervisor")
+	fs.StringVar(&c.ckptDir, "ckpt-dir", "", "atomic checkpoint directory for the recovery supervisor")
+	fs.IntVar(&c.ckptEvery, "ckpt-every", 0, "supervisor: checkpoint after this many applied epochs (0 disables)")
+	fs.DurationVar(&c.ckptInterval, "ckpt-interval", 30*time.Second, "supervisor: checkpoint at least this often while epochs arrive (0 disables)")
+	fs.StringVar(&c.syncPolicy, "sync", "always", "spool sync policy: always, interval, never")
+	c.applyProfiles = contentionProfileFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if c.listen == "" {
+		return nil, usagef("backup: -listen must not be empty")
+	}
+	if !knownAlgo(c.algo) {
+		return nil, usagef("backup: unknown algo %q (aets, tplr, atr, c5)", c.algo)
+	}
+	if !knownWorkload(c.workload) {
+		return nil, usagef("backup: unknown workload %q (tpcc, chbench, seats, bustracker)", c.workload)
+	}
+	if c.workers <= 0 {
+		return nil, usagef("backup: -workers must be positive (got %d)", c.workers)
+	}
+	if c.pipeline < 0 {
+		return nil, usagef("backup: -pipeline must not be negative (got %d)", c.pipeline)
+	}
+	if c.ckptEvery < 0 || c.ckptInterval < 0 || c.gcEvery < 0 {
+		return nil, usagef("backup: -ckpt-every, -ckpt-interval and -gc-every must not be negative")
+	}
+	if (c.spoolDir == "") != (c.ckptDir == "") {
+		return nil, usagef("backup: recovery mode needs both -spool-dir and -ckpt-dir (got spool-dir=%q, ckpt-dir=%q)", c.spoolDir, c.ckptDir)
+	}
+	if c.supervised() && c.resume != "" {
+		return nil, usagef("backup: -resume conflicts with -spool-dir/-ckpt-dir — the supervisor restores from its checkpoint directory automatically")
+	}
+	if c.supervised() && c.ckpt != "" {
+		return nil, usagef("backup: -checkpoint conflicts with -spool-dir/-ckpt-dir — the supervisor checkpoints into -ckpt-dir on its own schedule")
+	}
+	if _, err := recovery.ParseSyncPolicy(c.syncPolicy); err != nil {
+		return nil, usagef("backup: %v", err)
+	}
+	return c, nil
+}
+
+type clusterFlags struct {
+	connects              []string
+	workload              string
+	txns, epochSize       int
+	seed                  int64
+	rate, window, retries int
+	hb                    time.Duration
+	maxQueue              int
+	httpAddr              string
+	applyProfiles         func()
+}
+
+func parseClusterFlags(args []string) (*clusterFlags, error) {
+	fs := flag.NewFlagSet("cluster", flag.ContinueOnError)
+	c := &clusterFlags{}
+	connect := fs.String("connect", "", "comma-separated replica addresses (required)")
+	fs.StringVar(&c.workload, "workload", "tpcc", "workload: tpcc, chbench, seats, bustracker")
+	fs.IntVar(&c.txns, "txns", 50000, "transactions to ship")
+	fs.IntVar(&c.epochSize, "epoch", 2048, "epoch size")
+	fs.Int64Var(&c.seed, "seed", 1, "seed")
+	fs.IntVar(&c.rate, "rate", 0, "epochs per second pacing (0 = as fast as possible)")
+	fs.IntVar(&c.window, "window", 32, "per-link max in-flight (unacked) epochs")
+	fs.DurationVar(&c.hb, "hb", 500*time.Millisecond, "per-link heartbeat interval (0 disables)")
+	fs.IntVar(&c.retries, "retries", 8, "per-link consecutive reconnect attempts before the peer is dropped")
+	fs.IntVar(&c.maxQueue, "max-queue", 0, "per-peer divergence buffer in epochs; a peer further behind is dropped (0 = unbounded)")
+	fs.StringVar(&c.httpAddr, "http", "", "serve /metrics /healthz /varz /debug/pprof on this address (empty disables)")
+	c.applyProfiles = contentionProfileFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if *connect == "" {
+		return nil, usagef("cluster: -connect is required (comma-separated replica addresses)")
+	}
+	seen := map[string]bool{}
+	for _, a := range strings.Split(*connect, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return nil, usagef("cluster: empty address in -connect %q", *connect)
+		}
+		if seen[a] {
+			return nil, usagef("cluster: duplicate address %q in -connect", a)
+		}
+		seen[a] = true
+		c.connects = append(c.connects, a)
+	}
+	if !knownWorkload(c.workload) {
+		return nil, usagef("cluster: unknown workload %q (tpcc, chbench, seats, bustracker)", c.workload)
+	}
+	if c.txns <= 0 || c.epochSize <= 0 {
+		return nil, usagef("cluster: -txns and -epoch must be positive (got %d, %d)", c.txns, c.epochSize)
+	}
+	if c.window <= 0 || c.retries <= 0 {
+		return nil, usagef("cluster: -window and -retries must be positive")
+	}
+	if c.rate < 0 || c.hb < 0 || c.maxQueue < 0 {
+		return nil, usagef("cluster: -rate, -hb and -max-queue must not be negative")
+	}
+	return c, nil
+}
+
+type routeFlags struct {
+	replicas        int
+	algo, workload  string
+	txns, epochSize int
+	seed            int64
+	workers, rate   int
+	queries         int
+	concurrency     int
+	delay           time.Duration
+	stale           int64
+	applyProfiles   func()
+}
+
+func parseRouteFlags(args []string) (*routeFlags, error) {
+	fs := flag.NewFlagSet("route", flag.ContinueOnError)
+	c := &routeFlags{}
+	fs.IntVar(&c.replicas, "replicas", 3, "replica count (1-64)")
+	fs.StringVar(&c.algo, "algo", "aets", "replay algorithm: aets, tplr, atr, c5")
+	fs.StringVar(&c.workload, "workload", "tpcc", "workload: tpcc, chbench, seats, bustracker")
+	fs.IntVar(&c.txns, "txns", 20000, "transactions to ship")
+	fs.IntVar(&c.epochSize, "epoch", 256, "epoch size")
+	fs.Int64Var(&c.seed, "seed", 1, "seed")
+	fs.IntVar(&c.workers, "workers", 2, "replay workers per replica")
+	fs.IntVar(&c.rate, "rate", 200, "epochs per second pacing (0 = as fast as possible)")
+	fs.IntVar(&c.queries, "queries", 2000, "routed queries to issue while the stream ships")
+	fs.IntVar(&c.concurrency, "concurrency", 8, "concurrent query workers")
+	fs.DurationVar(&c.delay, "delay", 0, "per-link replication delay: link i gets i×delay (ship.FaultConn latency)")
+	fs.Int64Var(&c.stale, "stale", 1_000_000, "query timestamps trail the shipped watermark by up to this many commit-ts units (0 = always query the head)")
+	c.applyProfiles = contentionProfileFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if c.replicas < 1 || c.replicas > 64 {
+		return nil, usagef("route: -replicas must be in 1..64 (got %d)", c.replicas)
+	}
+	if !knownAlgo(c.algo) {
+		return nil, usagef("route: unknown algo %q (aets, tplr, atr, c5)", c.algo)
+	}
+	if !knownWorkload(c.workload) {
+		return nil, usagef("route: unknown workload %q (tpcc, chbench, seats, bustracker)", c.workload)
+	}
+	if c.txns <= 0 || c.epochSize <= 0 {
+		return nil, usagef("route: -txns and -epoch must be positive (got %d, %d)", c.txns, c.epochSize)
+	}
+	if c.workers <= 0 {
+		return nil, usagef("route: -workers must be positive (got %d)", c.workers)
+	}
+	if c.queries < 0 || c.rate < 0 || c.delay < 0 || c.stale < 0 {
+		return nil, usagef("route: -queries, -rate, -delay and -stale must not be negative")
+	}
+	if c.concurrency <= 0 {
+		return nil, usagef("route: -concurrency must be positive (got %d)", c.concurrency)
+	}
+	return c, nil
+}

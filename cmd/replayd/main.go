@@ -20,9 +20,20 @@
 //
 //	replayd backup -listen :7070 -algo aets \
 //	    -spool-dir spool/ -ckpt-dir ckpt/ -ckpt-every 64 -sync always
+//
+// The cluster mode fans one epoch stream out to several backups at
+// once (internal/cluster), each over its own independent link; the
+// route mode runs a whole 1-primary/N-replica topology in one process
+// with skewed per-link delays and measures freshness-aware query
+// routing against it:
+//
+//	replayd backup -listen :7070 & replayd backup -listen :7071 &
+//	replayd cluster -connect localhost:7070,localhost:7071 -txns 50000
+//	replayd route -replicas 3 -delay 5ms -queries 2000
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -76,7 +87,7 @@ func serveHTTP(addr string, opts obsrv.Options) (func(), error) {
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: replayd primary|backup [flags]")
+		fmt.Fprintln(os.Stderr, "usage: replayd primary|backup|cluster|route [flags]")
 		os.Exit(2)
 	}
 	var err error
@@ -85,11 +96,23 @@ func main() {
 		err = runPrimary(os.Args[2:])
 	case "backup":
 		err = runBackup(os.Args[2:])
+	case "cluster":
+		err = runCluster(os.Args[2:])
+	case "route":
+		err = runRoute(os.Args[2:])
 	default:
-		err = fmt.Errorf("unknown mode %q", os.Args[1])
+		err = &usageError{msg: fmt.Sprintf("unknown mode %q (primary, backup, cluster, route)", os.Args[1])}
 	}
-	if err != nil {
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		os.Exit(0)
+	default:
 		fmt.Fprintln(os.Stderr, err)
+		var ue *usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -120,38 +143,29 @@ func workloadPlan(name string) (workload.Generator, *grouping.Plan, error) {
 }
 
 func runPrimary(args []string) error {
-	fs := flag.NewFlagSet("primary", flag.ExitOnError)
-	connect := fs.String("connect", "localhost:7070", "backup address")
-	name := fs.String("workload", "tpcc", "workload: tpcc, chbench, seats, bustracker")
-	txns := fs.Int("txns", 50000, "transactions to ship")
-	epochSize := fs.Int("epoch", 2048, "epoch size")
-	seed := fs.Int64("seed", 1, "seed")
-	rate := fs.Int("rate", 0, "epochs per second pacing (0 = as fast as possible)")
-	window := fs.Int("window", 32, "max in-flight (unacked) epochs before Send blocks")
-	hb := fs.Duration("hb", 500*time.Millisecond, "heartbeat interval (0 disables)")
-	retries := fs.Int("retries", 8, "consecutive reconnect attempts before giving up")
-	httpAddr := fs.String("http", "", "serve /metrics /healthz /varz /debug/pprof on this address (empty disables)")
-	applyProfiles := contentionProfileFlags(fs)
-	_ = fs.Parse(args)
-	applyProfiles()
+	c, err := parsePrimaryFlags(args)
+	if err != nil {
+		return err
+	}
+	c.applyProfiles()
 
-	gen, _, err := workloadPlan(*name)
+	gen, _, err := workloadPlan(c.workload)
 	if err != nil {
 		return err
 	}
 
-	p := primary.New(gen, *seed)
+	p := primary.New(gen, c.seed)
 	m := ship.NewMetrics(metrics.Default)
 	// No HeartbeatTS: the stream is pre-generated, so the primary's live
 	// commit clock runs ahead of what has been shipped; heartbeats fall
 	// back to the last enqueued epoch's timestamp, which is the honest
 	// "stream complete through here" value.
 	s, err := ship.NewSender(ship.SenderConfig{
-		Dial:           func() (net.Conn, error) { return net.Dial("tcp", *connect) },
-		Schema:         ship.SchemaHash(*name, workload.TableIDs(gen.Tables())),
-		Window:         *window,
-		HeartbeatEvery: *hb,
-		MaxAttempts:    *retries,
+		Dial:           func() (net.Conn, error) { return net.Dial("tcp", c.connect) },
+		Schema:         ship.SchemaHash(c.workload, workload.TableIDs(gen.Tables())),
+		Window:         c.window,
+		HeartbeatEvery: c.hb,
+		MaxAttempts:    c.retries,
 		Metrics:        m,
 	})
 	if err != nil {
@@ -161,7 +175,7 @@ func runPrimary(args []string) error {
 		return err
 	}
 
-	closeHTTP, err := serveHTTP(*httpAddr, obsrv.Options{
+	closeHTTP, err := serveHTTP(c.httpAddr, obsrv.Options{
 		Health: func() obsrv.Health {
 			st := s.Stats()
 			h := obsrv.Health{Healthy: true, Status: "ok", ShipConnected: st.Connected}
@@ -184,14 +198,14 @@ func runPrimary(args []string) error {
 	})
 	defer stopProgress()
 
-	encs := p.GenerateEncoded(*txns, *epochSize)
+	encs := p.GenerateEncoded(c.txns, c.epochSize)
 	start := time.Now()
 	for i := range encs {
 		if err := s.Send(&encs[i]); err != nil {
 			return err
 		}
-		if *rate > 0 {
-			time.Sleep(time.Second / time.Duration(*rate))
+		if c.rate > 0 {
+			time.Sleep(time.Second / time.Duration(c.rate))
 		}
 	}
 	if err := s.Close(); err != nil {
@@ -199,81 +213,64 @@ func runPrimary(args []string) error {
 	}
 	st := s.Stats()
 	fmt.Printf("shipped %d epochs (%d txns) in %v — acked %d, reconnects %d\n",
-		len(encs), *txns, time.Since(start).Round(time.Millisecond), st.Acked, st.Reconnects)
+		len(encs), c.txns, time.Since(start).Round(time.Millisecond), st.Acked, st.Reconnects)
 	return nil
 }
 
 func runBackup(args []string) error {
-	fs := flag.NewFlagSet("backup", flag.ExitOnError)
-	listen := fs.String("listen", ":7070", "listen address")
-	algo := fs.String("algo", "aets", "replay algorithm: aets, tplr, atr, c5")
-	workers := fs.Int("workers", 8, "replay workers")
-	pipeline := fs.Int("pipeline", 2, "replay pipeline depth: epochs in flight (0 = serial; aets/tplr only)")
-	name := fs.String("workload", "tpcc", "workload schema (for grouping): tpcc, chbench, seats, bustracker")
-	once := fs.Bool("once", true, "exit after the first clean end-of-stream")
-	ckpt := fs.String("checkpoint", "", "write a checkpoint file after the stream drains")
-	resume := fs.String("resume", "", "restore from this checkpoint and resume the stream at its epoch cursor")
-	gcEvery := fs.Duration("gc-every", 0, "vacuum version chains at this interval (0 disables)")
-	httpAddr := fs.String("http", "", "serve /metrics /healthz /varz /debug/pprof on this address (empty disables)")
-	spoolDir := fs.String("spool-dir", "", "durable epoch spool directory; with -ckpt-dir, runs the crash-recovery supervisor")
-	ckptDir := fs.String("ckpt-dir", "", "atomic checkpoint directory for the recovery supervisor")
-	ckptEvery := fs.Int("ckpt-every", 0, "supervisor: checkpoint after this many applied epochs (0 disables)")
-	ckptInterval := fs.Duration("ckpt-interval", 30*time.Second, "supervisor: checkpoint at least this often while epochs arrive (0 disables)")
-	syncPol := fs.String("sync", "always", "spool sync policy: always, interval, never")
-	applyProfiles := contentionProfileFlags(fs)
-	_ = fs.Parse(args)
-	applyProfiles()
+	c, err := parseBackupFlags(args)
+	if err != nil {
+		return err
+	}
+	c.applyProfiles()
 
-	gen, plan, err := workloadPlan(*name)
+	gen, plan, err := workloadPlan(c.workload)
 	if err != nil {
 		return err
 	}
 
-	opts := htap.Options{Workers: *workers, Pipeline: *pipeline}
+	opts := htap.Options{Workers: c.workers, Pipeline: c.pipeline}
 
-	if *spoolDir != "" || *ckptDir != "" {
-		if *spoolDir == "" || *ckptDir == "" {
-			return fmt.Errorf("recovery mode needs both -spool-dir and -ckpt-dir")
-		}
+	if c.supervised() {
 		return runSupervised(supervisedConfig{
-			listen: *listen, algo: *algo, name: *name,
+			listen: c.listen, algo: c.algo, name: c.workload,
 			gen: gen, plan: plan, opts: opts,
-			spoolDir: *spoolDir, ckptDir: *ckptDir,
-			ckptEvery: *ckptEvery, ckptInterval: *ckptInterval,
-			syncPolicy: *syncPol, once: *once, gcEvery: *gcEvery,
-			httpAddr: *httpAddr,
+			spoolDir: c.spoolDir, ckptDir: c.ckptDir,
+			ckptEvery: c.ckptEvery, ckptInterval: c.ckptInterval,
+			syncPolicy: c.syncPolicy, once: c.once, gcEvery: c.gcEvery,
+			httpAddr: c.httpAddr,
 		})
 	}
 	var node *htap.Node
-	if *resume != "" {
-		f, err := os.Open(*resume)
+	if c.resume != "" {
+		f, err := os.Open(c.resume)
 		if err != nil {
 			return err
 		}
-		n, m, err := htap.RestoreNode(f, htap.Kind(*algo), plan, opts)
+		n, m, err := htap.RestoreNode(f, htap.Kind(c.algo), plan, opts)
 		f.Close()
 		if err != nil {
-			return fmt.Errorf("resume from %s: %w", *resume, err)
+			return fmt.Errorf("resume from %s: %w", c.resume, err)
 		}
 		node = n
 		fmt.Printf("resumed from %s: next epoch %d, visible ts %d\n",
-			*resume, m.NextEpochSeq(), m.LastCommitTS)
+			c.resume, m.NextEpochSeq(), m.LastCommitTS)
 	} else {
-		node, err = htap.NewNode(htap.Kind(*algo), plan, opts)
+		node, err = htap.NewNode(htap.Kind(c.algo), plan, opts)
 		if err != nil {
 			return err
 		}
 	}
 	defer node.Close()
 
-	if *gcEvery > 0 {
-		stop := node.StartVacuumLoop(*gcEvery, 0)
+	if c.gcEvery > 0 {
+		stop := node.StartVacuumLoop(c.gcEvery, 0)
 		defer stop()
 	}
 
 	m := ship.NewMetrics(metrics.Default)
 	rcv, err := node.ShipReceiver(ship.ReceiverConfig{
-		Schema:  ship.SchemaHash(*name, workload.TableIDs(gen.Tables())),
+		Schema:  ship.SchemaHash(c.workload, workload.TableIDs(gen.Tables())),
 		Metrics: m,
 		Drain:   func() error { node.Drain(); return node.Err() },
 	})
@@ -281,7 +278,7 @@ func runBackup(args []string) error {
 		return err
 	}
 
-	closeHTTP, err := serveHTTP(*httpAddr, obsrv.Options{
+	closeHTTP, err := serveHTTP(c.httpAddr, obsrv.Options{
 		Health: node.HealthSource(metrics.Default, func() bool {
 			return metrics.Default.Gauge("ship_connected").Load() != 0
 		}),
@@ -291,13 +288,13 @@ func runBackup(args []string) error {
 	}
 	defer closeHTTP()
 
-	ln, err := net.Listen("tcp", *listen)
+	ln, err := net.Listen("tcp", c.listen)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
 	fmt.Printf("backup (%s, %d workers, pipeline %d) listening on %s, cursor %d\n",
-		*algo, *workers, *pipeline, *listen, rcv.Cursor())
+		c.algo, c.workers, c.pipeline, c.listen, rcv.Cursor())
 
 	stopProgress := startProgress(func() {
 		st := rcv.Stats()
@@ -317,7 +314,7 @@ func runBackup(args []string) error {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "stream:", err)
 		}
-		if done && *once {
+		if done && c.once {
 			break
 		}
 	}
@@ -331,8 +328,8 @@ func runBackup(args []string) error {
 		st.Txns, st.Entries, st.Duplicates, elapsed.Round(time.Millisecond),
 		float64(st.Txns)/elapsed.Seconds(), node.VisibleTS())
 
-	if *ckpt != "" {
-		f, err := os.Create(*ckpt)
+	if c.ckpt != "" {
+		f, err := os.Create(c.ckpt)
 		if err != nil {
 			return err
 		}
@@ -341,7 +338,7 @@ func runBackup(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("checkpoint written to %s (epoch %d, ts %d)\n", *ckpt, meta.LastEpochSeq, meta.LastCommitTS)
+		fmt.Printf("checkpoint written to %s (epoch %d, ts %d)\n", c.ckpt, meta.LastEpochSeq, meta.LastCommitTS)
 	}
 	return nil
 }

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestFlagValidation drives every mode's parse function through its
+// invalid flag combinations and asserts each one fails up front with a
+// usage error — no socket opened, no epoch generated, no mid-run panic
+// — plus a valid combination per mode that must parse clean.
+func TestFlagValidation(t *testing.T) {
+	parse := map[string]func([]string) error{
+		"primary": func(a []string) error { _, err := parsePrimaryFlags(a); return err },
+		"backup":  func(a []string) error { _, err := parseBackupFlags(a); return err },
+		"cluster": func(a []string) error { _, err := parseClusterFlags(a); return err },
+		"route":   func(a []string) error { _, err := parseRouteFlags(a); return err },
+	}
+
+	cases := []struct {
+		name    string
+		mode    string
+		args    []string
+		wantErr string // "" = must parse clean; otherwise a substring of the usage error
+	}{
+		// primary
+		{"primary defaults", "primary", nil, ""},
+		{"primary empty connect", "primary", []string{"-connect", ""}, "-connect must not be empty"},
+		{"primary unknown workload", "primary", []string{"-workload", "ycsb"}, `unknown workload "ycsb"`},
+		{"primary zero txns", "primary", []string{"-txns", "0"}, "-txns and -epoch must be positive"},
+		{"primary negative epoch", "primary", []string{"-epoch", "-1"}, "-txns and -epoch must be positive"},
+		{"primary zero window", "primary", []string{"-window", "0"}, "-window must be positive"},
+		{"primary zero retries", "primary", []string{"-retries", "0"}, "-retries must be positive"},
+		{"primary negative rate", "primary", []string{"-rate", "-1"}, "must not be negative"},
+		{"primary negative hb", "primary", []string{"-hb", "-1s"}, "must not be negative"},
+
+		// backup
+		{"backup defaults", "backup", nil, ""},
+		{"backup supervised", "backup", []string{"-spool-dir", "s", "-ckpt-dir", "c"}, ""},
+		{"backup empty listen", "backup", []string{"-listen", ""}, "-listen must not be empty"},
+		{"backup unknown algo", "backup", []string{"-algo", "nope"}, `unknown algo "nope"`},
+		{"backup unknown workload", "backup", []string{"-workload", "nope"}, `unknown workload "nope"`},
+		{"backup zero workers", "backup", []string{"-workers", "0"}, "-workers must be positive"},
+		{"backup negative pipeline", "backup", []string{"-pipeline", "-1"}, "-pipeline must not be negative"},
+		{"backup negative gc-every", "backup", []string{"-gc-every", "-1s"}, "must not be negative"},
+		{"backup spool without ckpt dir", "backup", []string{"-spool-dir", "s"}, "both -spool-dir and -ckpt-dir"},
+		{"backup ckpt dir without spool", "backup", []string{"-ckpt-dir", "c"}, "both -spool-dir and -ckpt-dir"},
+		{"backup resume under supervisor", "backup",
+			[]string{"-spool-dir", "s", "-ckpt-dir", "c", "-resume", "x.ckpt"}, "-resume conflicts"},
+		{"backup checkpoint under supervisor", "backup",
+			[]string{"-spool-dir", "s", "-ckpt-dir", "c", "-checkpoint", "x.ckpt"}, "-checkpoint conflicts"},
+		{"backup bad sync policy", "backup", []string{"-spool-dir", "s", "-ckpt-dir", "c", "-sync", "maybe"}, "maybe"},
+
+		// cluster
+		{"cluster three peers", "cluster", []string{"-connect", "a:1,b:2,c:3"}, ""},
+		{"cluster missing connect", "cluster", nil, "-connect is required"},
+		{"cluster empty address", "cluster", []string{"-connect", "a:1,,b:2"}, "empty address"},
+		{"cluster duplicate address", "cluster", []string{"-connect", "a:1,a:1"}, `duplicate address "a:1"`},
+		{"cluster unknown workload", "cluster", []string{"-connect", "a:1", "-workload", "nope"}, `unknown workload "nope"`},
+		{"cluster zero epoch", "cluster", []string{"-connect", "a:1", "-epoch", "0"}, "-txns and -epoch must be positive"},
+		{"cluster zero window", "cluster", []string{"-connect", "a:1", "-window", "0"}, "-window and -retries must be positive"},
+		{"cluster negative max-queue", "cluster", []string{"-connect", "a:1", "-max-queue", "-1"}, "must not be negative"},
+
+		// route
+		{"route defaults", "route", nil, ""},
+		{"route zero replicas", "route", []string{"-replicas", "0"}, "-replicas must be in 1..64"},
+		{"route too many replicas", "route", []string{"-replicas", "65"}, "-replicas must be in 1..64"},
+		{"route unknown algo", "route", []string{"-algo", "nope"}, `unknown algo "nope"`},
+		{"route zero txns", "route", []string{"-txns", "0"}, "-txns and -epoch must be positive"},
+		{"route zero workers", "route", []string{"-workers", "0"}, "-workers must be positive"},
+		{"route negative delay", "route", []string{"-delay", "-1ms"}, "must not be negative"},
+		{"route negative stale", "route", []string{"-stale", "-1"}, "must not be negative"},
+		{"route zero concurrency", "route", []string{"-concurrency", "0"}, "-concurrency must be positive"},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := parse[tc.mode](tc.args)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("want clean parse, got %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want usage error containing %q, got nil", tc.wantErr)
+			}
+			var ue *usageError
+			if !errors.As(err, &ue) {
+				t.Fatalf("want *usageError, got %T: %v", err, err)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestFlagParseErrorIsNotUsageError: a malformed flag value fails in
+// flag.Parse itself — still up front, but not tagged as ours.
+func TestFlagParseErrorIsNotUsageError(t *testing.T) {
+	_, err := parsePrimaryFlags([]string{"-txns", "many"})
+	if err == nil {
+		t.Fatal("want parse error for non-numeric -txns")
+	}
+	var ue *usageError
+	if errors.As(err, &ue) {
+		t.Fatalf("flag package errors must not be usageError, got %v", err)
+	}
+}

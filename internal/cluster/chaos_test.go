@@ -1,0 +1,453 @@
+// Cluster chaos end-to-end: a primary fans one TPC-C stream out to
+// three crash-recovering replicas over real TCP, replicas are
+// hard-killed at randomized points and come back through
+// internal/recovery (spool + checkpoint restore), and the whole time a
+// freshness-aware router serves queries that must stay reference-equal
+// to a serially applied ground truth.
+package cluster_test
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aets/internal/cluster"
+	"aets/internal/epoch"
+	"aets/internal/htap"
+	"aets/internal/memtable"
+	"aets/internal/metrics"
+	"aets/internal/primary"
+	"aets/internal/query"
+	"aets/internal/recovery"
+	"aets/internal/reference"
+	"aets/internal/ship"
+	"aets/internal/wal"
+	"aets/internal/workload"
+)
+
+func fanTables() []wal.TableID {
+	return workload.TableIDs(workload.NewTPCC(fanWarehouses).Tables())
+}
+
+// chaosListener remembers accepted connections so a crash severs them
+// all at once, mid-frame.
+type chaosListener struct {
+	net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func (l *chaosListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.mu.Lock()
+		l.conns = append(l.conns, c)
+		l.mu.Unlock()
+	}
+	return c, err
+}
+
+func (l *chaosListener) kill() {
+	l.Listener.Close()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, c := range l.conns {
+		c.Close()
+	}
+	l.conns = nil
+}
+
+// chaosReplica is one replica process stand-in: a recovery supervisor
+// over its own durable spool/checkpoint dirs, fed by a ship.Receiver
+// behind a killable listener. Restarting builds a brand-new supervisor
+// from the same dirs and swaps it into the long-lived membership entry.
+type chaosReplica struct {
+	id       string
+	spoolDir string
+	ckptDir  string
+	reg      *metrics.Registry
+	rep      *cluster.SupervisorReplica
+
+	addr atomic.Value // string: current listener address ("" while down)
+
+	ln      *chaosListener
+	spool   *recovery.Spool
+	sup     *recovery.Supervisor
+	serveWG sync.WaitGroup
+}
+
+func newChaosReplica(t *testing.T, id string) *chaosReplica {
+	t.Helper()
+	cr := &chaosReplica{
+		id:       id,
+		spoolDir: filepath.Join(t.TempDir(), "spool"),
+		ckptDir:  filepath.Join(t.TempDir(), "ckpt"),
+		reg:      metrics.NewRegistry(),
+	}
+	if err := os.MkdirAll(cr.spoolDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(cr.ckptDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cr.start(t)
+	cr.rep = cluster.NewSupervisorReplica(id, cr.sup)
+	return cr
+}
+
+// start opens (or reopens) the replica: supervisor restored from
+// spool + checkpoints, fresh receiver resuming at its cursor, fresh
+// listener.
+func (cr *chaosReplica) start(t *testing.T) {
+	t.Helper()
+	spool, err := recovery.OpenSpool(recovery.SpoolConfig{Dir: cr.spoolDir, Metrics: cr.reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := recovery.OpenManager(cr.ckptDir, 0, cr.reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := recovery.NewSupervisor(recovery.Config{
+		Kind:                  htap.KindAETS,
+		Plan:                  fanPlan(),
+		Node:                  htap.Options{Workers: 2},
+		Spool:                 spool,
+		Checkpoints:           mgr,
+		CheckpointEveryEpochs: 8,
+		RetryBase:             time.Millisecond,
+		RetryMax:              5 * time.Millisecond,
+		Metrics:               cr.reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Start(); err != nil {
+		t.Fatal(err)
+	}
+	rcv, err := ship.NewReceiver(ship.ReceiverConfig{
+		Schema:  fanSchema(),
+		Resume:  sup.NextSeq(),
+		Applier: sup,
+		Metrics: ship.NewPeerMetrics(cr.reg, cr.id),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := &chaosListener{Listener: base}
+	cr.spool, cr.sup, cr.ln = spool, sup, ln
+	cr.addr.Store(ln.Addr().String())
+	cr.serveWG.Add(1)
+	go func() {
+		defer cr.serveWG.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Severed connections error mid-frame by design.
+			finished, _ := rcv.Serve(conn)
+			if finished {
+				return
+			}
+		}
+	}()
+}
+
+// kill hard-crashes the replica: mark it down for routing, sever every
+// connection, abandon the supervisor with no drain and no parting
+// checkpoint. Durability is whatever spool + checkpoints already hold.
+func (cr *chaosReplica) kill(t *testing.T, members *cluster.Membership) {
+	t.Helper()
+	members.SetDown(cr.id, true)
+	cr.addr.Store("")
+	cr.ln.kill()
+	cr.serveWG.Wait()
+	if err := cr.sup.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cr.spool.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// restart recovers the replica from its durable state and rejoins it to
+// the cluster; the fan-out's sender for this peer reconnects on its own
+// and resumes from the receiver's restored cursor.
+func (cr *chaosReplica) restart(t *testing.T, members *cluster.Membership) {
+	t.Helper()
+	cr.start(t)
+	cr.rep.Swap(cr.sup)
+	members.SetDown(cr.id, false)
+}
+
+// dial targets the replica's current listener; while down it fails fast
+// and the sender's backoff keeps probing until restart publishes a new
+// address.
+func (cr *chaosReplica) dial() (net.Conn, error) {
+	a, _ := cr.addr.Load().(string)
+	if a == "" {
+		return nil, fmt.Errorf("replica %s down", cr.id)
+	}
+	return net.Dial("tcp", a)
+}
+
+// snapDigest fingerprints every visible row of every table at the
+// snapshot: key, commit timestamp and sorted columns.
+func snapDigest(t *testing.T, sn *query.Snapshot, tables []wal.TableID) string {
+	t.Helper()
+	h := fnv.New64a()
+	for _, tb := range tables {
+		fmt.Fprintf(h, "T%d:", tb)
+		err := sn.Scan(tb, 0, ^uint64(0), func(r query.Row) bool {
+			fmt.Fprintf(h, "%d@%d[", r.Key, r.CommitTS)
+			cols := make([]uint32, 0, len(r.Columns))
+			for c := range r.Columns {
+				cols = append(cols, c)
+			}
+			sort.Slice(cols, func(i, j int) bool { return cols[i] < cols[j] })
+			for _, c := range cols {
+				fmt.Fprintf(h, "%d=%x;", c, r.Columns[c])
+			}
+			fmt.Fprint(h, "]")
+			return true
+		})
+		if err != nil {
+			t.Fatalf("scan table %d: %v", tb, err)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// waitCaughtUp blocks until every live replica's visible watermark
+// reaches ts (the fan-out senders' heartbeats push idle links forward).
+func waitCaughtUp(t *testing.T, members *cluster.Membership, ts int64) {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		behind := ""
+		for _, st := range members.Snapshot() {
+			if !st.Down && st.Healthy && st.VisibleTS < ts {
+				behind = fmt.Sprintf("%s at %d/%d", st.ID, st.VisibleTS, ts)
+				break
+			}
+		}
+		if behind == "" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never caught up: %s (members %+v)", behind, members.Snapshot())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestClusterChaosRoutedQueriesStayCorrect(t *testing.T) {
+	txnCount, epochSize := 6000, 64
+	if testing.Short() {
+		txnCount, epochSize = 2000, 64
+	}
+	p := primary.New(workload.NewTPCC(fanWarehouses), 11)
+	txns := p.GenerateTxns(txnCount)
+	encs := epoch.EncodeAll(epoch.MustSplit(txns, epochSize))
+	tables := fanTables()
+
+	// Ground truth: the serial reference memtable, plus a fully fed node
+	// whose MVCC snapshots answer "what should a query at ts see".
+	want := memtable.New()
+	reference.Apply(want, txns)
+	refNode := fanDirect(t, encs)
+	refDigests := map[int64]string{} // qts → digest, lazily filled
+
+	refAt := func(qts int64) string {
+		if d, ok := refDigests[qts]; ok {
+			return d
+		}
+		d := snapDigest(t, refNode.Query(qts, tables...), tables)
+		refDigests[qts] = d
+		return d
+	}
+
+	// The cluster: three crash-recovering replicas, one router.
+	m := cluster.NewMetrics(metrics.NewRegistry())
+	members := cluster.NewMembership(m)
+	reps := make([]*chaosReplica, 3)
+	peers := make([]cluster.Peer, 3)
+	for i := range reps {
+		cr := newChaosReplica(t, fmt.Sprintf("r%d", i))
+		reps[i] = cr
+		if err := members.Add(cr.rep); err != nil {
+			t.Fatal(err)
+		}
+		peers[i] = cluster.Peer{ID: cr.id, Sender: ship.SenderConfig{
+			Dial:           cr.dial,
+			Schema:         fanSchema(),
+			Window:         8,
+			HeartbeatEvery: 2 * time.Millisecond,
+			RetryBase:      time.Millisecond,
+			RetryMax:       10 * time.Millisecond,
+			MaxAttempts:    1 << 30, // a dead replica is retried until it returns
+		}}
+	}
+	router, err := cluster.NewRouter(cluster.RouterConfig{Members: members, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fan, err := cluster.NewFanout(cluster.FanoutConfig{Peers: peers, Registry: metrics.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+
+	// verify routes k historical queries and one freshest-read, checking
+	// the admission invariant and reference-equality of every snapshot.
+	verify := func(upToTS int64, k int) {
+		t.Helper()
+		for q := 0; q < k; q++ {
+			qts := 1 + rng.Int63n(upToTS)
+			adm, err := router.Admit(qts, tables...)
+			if err != nil {
+				t.Fatalf("admit qts=%d: %v", qts, err)
+			}
+			if got := adm.Replica.VisibleTS(); got < adm.TS {
+				t.Fatalf("INVARIANT: replica %s watermark %d < admitted ts %d",
+					adm.Replica.ID(), got, adm.TS)
+			}
+			sn := adm.Replica.(cluster.Snapshotter).Query(adm.TS, tables...)
+			if got, wantD := snapDigest(t, sn, tables), refAt(adm.TS); got != wantD {
+				t.Fatalf("qts=%d on %s: snapshot digest %s, reference %s",
+					adm.TS, adm.Replica.ID(), got, wantD)
+			}
+			adm.Done()
+		}
+		// Freshest read (qts ≤ 0): pinned to the chosen replica's own
+		// watermark, still reference-equal there.
+		adm, err := router.Admit(0, tables...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sn := adm.Replica.(cluster.Snapshotter).Query(adm.TS, tables...)
+		if got, wantD := snapDigest(t, sn, tables), refAt(adm.TS); got != wantD {
+			t.Fatalf("freshest read at %d on %s: digest %s, reference %s",
+				adm.TS, adm.Replica.ID(), got, wantD)
+		}
+		adm.Done()
+	}
+
+	// assertZeroBlock admits a query every live replica already
+	// satisfies and proves it neither waited nor bumped the wait counter.
+	assertZeroBlock := func() {
+		t.Helper()
+		minVis := int64(-1)
+		for _, st := range members.Snapshot() {
+			if !st.Down && st.Healthy && (minVis < 0 || st.VisibleTS < minVis) {
+				minVis = st.VisibleTS
+			}
+		}
+		if minVis <= 0 {
+			t.Fatalf("no live replica with data (members %+v)", members.Snapshot())
+		}
+		hits, waits := m.RouteHits.Load(), m.RouteWaits.Load()
+		adm, err := router.Admit(minVis, tables...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if adm.Waited || m.RouteHits.Load() != hits+1 || m.RouteWaits.Load() != waits {
+			t.Fatalf("satisfied query blocked: waited=%v hits %d→%d waits %d→%d",
+				adm.Waited, hits, m.RouteHits.Load(), waits, m.RouteWaits.Load())
+		}
+		adm.Done()
+	}
+
+	// Ship in batches; every third round hard-kills a replica. Short mode
+	// ships a smaller stream, so batches shrink to keep enough rounds for
+	// the kills≥3 floor below.
+	batch := 8
+	if testing.Short() {
+		batch = 4
+	}
+	kills := 0
+	for i := 0; i < len(encs); i += batch {
+		end := i + batch
+		if end > len(encs) {
+			end = len(encs)
+		}
+		for j := i; j < end; j++ {
+			if err := fan.Send(&encs[j]); err != nil {
+				t.Fatalf("fan-out send epoch %d: %v", j, err)
+			}
+		}
+		sentTS := encs[end-1].LastCommitTS
+		round := i / batch
+
+		if round%3 == 1 {
+			// Hard-kill a random replica mid-stream, route around it,
+			// then bring it back through recovery.
+			victim := rng.Intn(len(reps))
+			reps[victim].kill(t, members)
+			kills++
+			// Query immediately, before the survivors have caught up: a
+			// qts ahead of their watermarks parks on the freshest replica
+			// (the wait path) and must still come back reference-equal.
+			verify(sentTS, 2)
+			waitCaughtUp(t, members, sentTS)
+			verify(sentTS, 4)
+			assertZeroBlock()
+			reps[victim].restart(t, members)
+		} else {
+			waitCaughtUp(t, members, sentTS)
+			verify(sentTS, 4)
+			assertZeroBlock()
+		}
+	}
+	if kills < 3 {
+		t.Fatalf("only %d kills; the chaos schedule is broken", kills)
+	}
+
+	// Full-stream convergence: every replica (including the survivors of
+	// every kill) must reach the final watermark and match the serial
+	// reference record-for-record.
+	lastTS := encs[len(encs)-1].LastCommitTS
+	waitCaughtUp(t, members, lastTS)
+	verify(lastTS, 8)
+	assertZeroBlock()
+
+	if err := fan.Close(); err != nil {
+		t.Fatalf("fan-out close: %v", err)
+	}
+	for _, cr := range reps {
+		cr.serveWG.Wait()
+		node := cr.sup.Node()
+		if node == nil {
+			t.Fatalf("%s: no live node at the end", cr.id)
+		}
+		node.Drain()
+		if err := node.Err(); err != nil {
+			t.Fatalf("%s: %v", cr.id, err)
+		}
+		if err := reference.Equal(want, node.Memtable(), tables); err != nil {
+			t.Fatalf("%s diverged from reference: %v", cr.id, err)
+		}
+		if err := cr.sup.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := cr.spool.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("chaos done: %d kills, hits=%d waits=%d failovers=%d",
+		kills, m.RouteHits.Load(), m.RouteWaits.Load(), m.RouteFailovers.Load())
+}

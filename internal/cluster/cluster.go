@@ -1,0 +1,186 @@
+// Package cluster generalizes the one-primary/one-backup replication
+// pair into a multi-replica topology. It has three parts:
+//
+//   - Fan-out shipping (Fanout): one epoch stream feeding N downstream
+//     replicas through independent ship.Senders — per-peer cursors,
+//     windows and reconnect state, so a slow or dead replica never
+//     stalls its siblings. A Relay lets a replica re-ship the stream it
+//     applies, turning the star into a tree.
+//
+//   - Membership: the roster of replicas with per-replica health
+//     (visible watermark, primary watermark, replay lag — the node's
+//     PrimaryTS/ReplayLag signals) and in-flight query load.
+//
+//   - Freshness-aware routing (Router): given a query's snapshot
+//     timestamp and table set, pick the least-loaded live replica whose
+//     visible watermark already satisfies the timestamp (a zero-block
+//     read), and only when none qualifies wait on the freshest replica —
+//     the paper's Algorithm 3 admission, lifted from a per-node block to
+//     a cluster routing input.
+//
+// The deterministic simulator (Simulator, SimReplica) scripts topologies
+// of tens of replicas with skewed lag distributions so routing invariants
+// are testable at scales CI hardware cannot run for real.
+package cluster
+
+import (
+	"sync/atomic"
+	"time"
+
+	"aets/internal/htap"
+	"aets/internal/query"
+	"aets/internal/recovery"
+	"aets/internal/wal"
+)
+
+// Replica is the routing view of one cluster member: identity, freshness
+// watermarks, liveness, and bounded visibility waiting. *NodeReplica,
+// *SupervisorReplica and *SimReplica satisfy it.
+type Replica interface {
+	// ID names the replica; unique within a Membership.
+	ID() string
+	// VisibleTS is the replica's global visible watermark: every commit
+	// at or below it is readable (Algorithm 3's global timestamp).
+	VisibleTS() int64
+	// PrimaryTS is the newest primary commit watermark the replica has
+	// seen; PrimaryTS-VisibleTS is its replay lag.
+	PrimaryTS() int64
+	// Healthy reports whether the replica can serve queries. Routing
+	// skips unhealthy replicas.
+	Healthy() bool
+	// WaitVisible blocks until the replica's visible watermark reaches
+	// qts for the given tables, returning true, or until the replica
+	// stops being a viable target (unhealthy), returning false so the
+	// router can fail over. Unlike the node-level Algorithm 3 wait it
+	// must not block forever on a dead replica.
+	WaitVisible(qts int64, tables []wal.TableID) bool
+}
+
+// Snapshotter is the query surface of a replica that can actually serve
+// reads (real nodes; the simulator's replicas cannot). The router's
+// Query path requires it.
+type Snapshotter interface {
+	Query(qts int64, tables ...wal.TableID) *query.Snapshot
+}
+
+// pollWait is the shared bounded-visibility wait: spin briefly, then back
+// off exponentially to a 500µs cadence, rechecking liveness each round so
+// a replica that dies mid-wait releases the waiter instead of hanging it.
+// Conservative by design: it admits on the global watermark; the node's
+// own per-group admission still applies inside the snapshot it serves.
+func pollWait(qts int64, visible func() int64, healthy func() bool) bool {
+	delay := time.Duration(0)
+	for {
+		if visible() >= qts {
+			return true
+		}
+		if !healthy() {
+			return false
+		}
+		if delay < 500*time.Microsecond {
+			delay = delay*2 + time.Microsecond
+		}
+		time.Sleep(delay)
+	}
+}
+
+// NodeReplica adapts an htap.Node to the Replica interface.
+type NodeReplica struct {
+	id string
+	n  *htap.Node
+}
+
+// NewNodeReplica wraps a node under the given replica ID.
+func NewNodeReplica(id string, n *htap.Node) *NodeReplica {
+	return &NodeReplica{id: id, n: n}
+}
+
+// ID implements Replica.
+func (r *NodeReplica) ID() string { return r.id }
+
+// Node returns the wrapped node.
+func (r *NodeReplica) Node() *htap.Node { return r.n }
+
+// VisibleTS implements Replica.
+func (r *NodeReplica) VisibleTS() int64 { return r.n.VisibleTS() }
+
+// PrimaryTS implements Replica.
+func (r *NodeReplica) PrimaryTS() int64 { return r.n.PrimaryTS() }
+
+// Healthy implements Replica: a node is routable until replay fails
+// fatally.
+func (r *NodeReplica) Healthy() bool { return r.n.Err() == nil }
+
+// WaitVisible implements Replica with a bounded poll over the node's
+// global watermark.
+func (r *NodeReplica) WaitVisible(qts int64, tables []wal.TableID) bool {
+	return pollWait(qts, r.n.VisibleTS, r.Healthy)
+}
+
+// Query implements Snapshotter.
+func (r *NodeReplica) Query(qts int64, tables ...wal.TableID) *query.Snapshot {
+	return r.n.Query(qts, tables...)
+}
+
+// SupervisorReplica adapts a recovery.Supervisor — a crash-recovering
+// replica whose inner node is rebuilt across failures — to the Replica
+// interface. Swap supports processes that replace the supervisor
+// wholesale (a hard restart restoring from spool + checkpoint): the
+// membership entry survives, only the backing supervisor changes.
+type SupervisorReplica struct {
+	id  string
+	sup atomic.Pointer[recovery.Supervisor]
+}
+
+// NewSupervisorReplica wraps a supervisor under the given replica ID.
+func NewSupervisorReplica(id string, sup *recovery.Supervisor) *SupervisorReplica {
+	r := &SupervisorReplica{id: id}
+	r.sup.Store(sup)
+	return r
+}
+
+// Swap replaces the backing supervisor after a restart.
+func (r *SupervisorReplica) Swap(sup *recovery.Supervisor) { r.sup.Store(sup) }
+
+// Supervisor returns the current backing supervisor.
+func (r *SupervisorReplica) Supervisor() *recovery.Supervisor { return r.sup.Load() }
+
+// ID implements Replica.
+func (r *SupervisorReplica) ID() string { return r.id }
+
+// VisibleTS implements Replica (0 while the supervisor has no live node,
+// e.g. mid-rebuild).
+func (r *SupervisorReplica) VisibleTS() int64 {
+	if n := r.sup.Load().Node(); n != nil {
+		return n.VisibleTS()
+	}
+	return 0
+}
+
+// PrimaryTS implements Replica.
+func (r *SupervisorReplica) PrimaryTS() int64 {
+	if n := r.sup.Load().Node(); n != nil {
+		return n.PrimaryTS()
+	}
+	return 0
+}
+
+// Healthy implements Replica: routable while the supervisor has a live
+// node and has not exhausted its retry budget. Degraded (quarantined
+// epochs) still serves — same policy as /healthz.
+func (r *SupervisorReplica) Healthy() bool {
+	sup := r.sup.Load()
+	return sup.State() != recovery.StateFatal && sup.Node() != nil
+}
+
+// WaitVisible implements Replica with a bounded poll.
+func (r *SupervisorReplica) WaitVisible(qts int64, tables []wal.TableID) bool {
+	return pollWait(qts, r.VisibleTS, r.Healthy)
+}
+
+// Query implements Snapshotter. It must only be called after a
+// successful admission (the router guarantees the node exists and the
+// watermark covers qts).
+func (r *SupervisorReplica) Query(qts int64, tables ...wal.TableID) *query.Snapshot {
+	return r.sup.Load().Node().Query(qts, tables...)
+}

@@ -1,0 +1,390 @@
+// End-to-end fan-out tests: one TPC-C epoch stream shipped over real
+// TCP to several htap.Nodes at once, compared record-for-record against
+// a directly fed reference node.
+package cluster_test
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aets/internal/cluster"
+	"aets/internal/epoch"
+	"aets/internal/grouping"
+	"aets/internal/htap"
+	"aets/internal/metrics"
+	"aets/internal/primary"
+	"aets/internal/reference"
+	"aets/internal/ship"
+	"aets/internal/workload"
+)
+
+const fanWarehouses = 2
+
+func fanEncoded(txns, epochSize int) []epoch.Encoded {
+	p := primary.New(workload.NewTPCC(fanWarehouses), 1)
+	return p.GenerateEncoded(txns, epochSize)
+}
+
+func fanPlan() *grouping.Plan {
+	gen := workload.NewTPCC(fanWarehouses)
+	return grouping.Build(htap.TPCCRates(1000), workload.TableIDs(gen.Tables()),
+		grouping.Options{Eps: 0.05, MinPts: 2})
+}
+
+func fanSchema() uint64 {
+	return ship.SchemaHash("tpcc", workload.TableIDs(workload.NewTPCC(fanWarehouses).Tables()))
+}
+
+func fanNode(t *testing.T) *htap.Node {
+	t.Helper()
+	n, err := htap.NewNode(htap.KindAETS, fanPlan(), htap.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func fanDirect(t *testing.T, encs []epoch.Encoded) *htap.Node {
+	t.Helper()
+	n := fanNode(t)
+	for i := range encs {
+		if err := n.Feed(&encs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Drain()
+	return n
+}
+
+func fanAssertSame(t *testing.T, got, want *htap.Node, who string) {
+	t.Helper()
+	got.Drain()
+	want.Drain()
+	tables := workload.TableIDs(workload.NewTPCC(fanWarehouses).Tables())
+	if err := reference.Equal(want.Memtable(), got.Memtable(), tables); err != nil {
+		t.Fatalf("%s diverged from reference: %v", who, err)
+	}
+}
+
+// fanReceiver stands up one backup node behind a real TCP listener,
+// serving connections until a clean end-of-stream.
+type fanReceiver struct {
+	node *htap.Node
+	addr string
+	done chan struct{}
+	errs []error
+	mu   sync.Mutex
+}
+
+func startFanReceiver(t *testing.T, node *htap.Node, reg *metrics.Registry, peer string) *fanReceiver {
+	t.Helper()
+	rcv, err := node.ShipReceiver(ship.ReceiverConfig{
+		Schema:  fanSchema(),
+		Drain:   func() error { node.Drain(); return node.Err() },
+		Metrics: ship.NewPeerMetrics(reg, peer),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := &fanReceiver{node: node, addr: ln.Addr().String(), done: make(chan struct{})}
+	go func() {
+		defer close(fr.done)
+		defer ln.Close()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			finished, err := rcv.Serve(conn)
+			if err != nil {
+				fr.mu.Lock()
+				fr.errs = append(fr.errs, err)
+				fr.mu.Unlock()
+			}
+			if finished {
+				return
+			}
+		}
+	}()
+	return fr
+}
+
+func (fr *fanReceiver) wait(t *testing.T) {
+	t.Helper()
+	select {
+	case <-fr.done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("receiver did not finish")
+	}
+}
+
+func fanDialer(addr string) func() (net.Conn, error) {
+	return func() (net.Conn, error) { return net.Dial("tcp", addr) }
+}
+
+// TestFanoutThreeReceivers: one stream, three replicas, all byte-equal
+// to the reference, with per-peer labelled ship metrics kept apart in
+// one registry.
+func TestFanoutThreeReceivers(t *testing.T) {
+	encs := fanEncoded(2048, 128)
+	want := fanDirect(t, encs)
+	reg := metrics.NewRegistry()
+
+	var peers []cluster.Peer
+	var rcvs []*fanReceiver
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("replica-%d", i)
+		node := fanNode(t)
+		fr := startFanReceiver(t, node, reg, id)
+		rcvs = append(rcvs, fr)
+		peers = append(peers, cluster.Peer{ID: id, Sender: ship.SenderConfig{
+			Dial:   fanDialer(fr.addr),
+			Schema: fanSchema(),
+			Window: 8,
+		}})
+	}
+
+	f, err := cluster.NewFanout(cluster.FanoutConfig{Peers: peers, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range encs {
+		if err := f.Send(&encs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.Live(); got != 3 {
+		t.Fatalf("live peers = %d, want 3", got)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("fan-out close: %v", err)
+	}
+	for i, fr := range rcvs {
+		fr.wait(t)
+		fanAssertSame(t, fr.node, want, fmt.Sprintf("replica-%d", i))
+	}
+
+	// Per-peer series are distinct and each counted the full stream.
+	for i := 0; i < 3; i++ {
+		name := metrics.WithLabel("ship_epochs_sent", "peer", fmt.Sprintf("replica-%d", i))
+		if got := reg.Counter(name).Load(); got != int64(len(encs)) {
+			t.Fatalf("%s = %d, want %d", name, got, len(encs))
+		}
+	}
+}
+
+// TestFanoutDeadPeerIsolation: one peer's dial always fails; its
+// siblings must finish the stream untouched while the dead peer reports
+// a terminal error through Stats and Close.
+func TestFanoutDeadPeerIsolation(t *testing.T) {
+	encs := fanEncoded(1024, 128)
+	want := fanDirect(t, encs)
+	reg := metrics.NewRegistry()
+
+	liveA := startFanReceiver(t, fanNode(t), reg, "a")
+	liveB := startFanReceiver(t, fanNode(t), reg, "b")
+	deadDial := func() (net.Conn, error) { return nil, errors.New("link severed") }
+
+	f, err := cluster.NewFanout(cluster.FanoutConfig{
+		Registry: reg,
+		Peers: []cluster.Peer{
+			{ID: "a", Sender: ship.SenderConfig{Dial: fanDialer(liveA.addr), Schema: fanSchema()}},
+			{ID: "dead", Sender: ship.SenderConfig{Dial: deadDial, Schema: fanSchema(),
+				MaxAttempts: 2, RetryBase: time.Millisecond, RetryMax: 2 * time.Millisecond}},
+			{ID: "b", Sender: ship.SenderConfig{Dial: fanDialer(liveB.addr), Schema: fanSchema()}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range encs {
+		if err := f.Send(&encs[i]); err != nil {
+			t.Fatalf("send with live siblings failed: %v", err)
+		}
+	}
+	err = f.Close()
+	if err == nil {
+		t.Fatal("close must surface the dead peer's error")
+	}
+	liveA.wait(t)
+	liveB.wait(t)
+	fanAssertSame(t, liveA.node, want, "peer a")
+	fanAssertSame(t, liveB.node, want, "peer b")
+
+	var deadErr error
+	for _, st := range f.Stats() {
+		switch st.ID {
+		case "dead":
+			deadErr = st.Err
+		case "a", "b":
+			if st.Err != nil {
+				t.Fatalf("live peer %s has error: %v", st.ID, st.Err)
+			}
+			if st.Acked != int64(len(encs)) {
+				t.Fatalf("peer %s acked %d, want %d", st.ID, st.Acked, len(encs))
+			}
+		}
+	}
+	if deadErr == nil {
+		t.Fatal("dead peer has no terminal error in Stats")
+	}
+}
+
+// TestFanoutQueueOverflow: a bounded divergence buffer drops a stuck
+// peer with ErrPeerOverflow instead of buffering without limit, and the
+// fan-out reports ErrAllPeersDown once its only peer is gone.
+func TestFanoutQueueOverflow(t *testing.T) {
+	encs := fanEncoded(1024, 64)
+	stuck := func() (net.Conn, error) { return nil, errors.New("no route") }
+	f, err := cluster.NewFanout(cluster.FanoutConfig{
+		Registry: metrics.NewRegistry(),
+		MaxQueue: 2,
+		Peers: []cluster.Peer{{ID: "stuck", Sender: ship.SenderConfig{
+			Dial: stuck, Schema: fanSchema(),
+			MaxAttempts: 1000, RetryBase: 50 * time.Millisecond, RetryMax: 50 * time.Millisecond}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sendErr error
+	for i := range encs {
+		if sendErr = f.Send(&encs[i]); sendErr != nil {
+			break
+		}
+	}
+	if !errors.Is(sendErr, cluster.ErrAllPeersDown) {
+		t.Fatalf("send error = %v, want ErrAllPeersDown", sendErr)
+	}
+	overflowed := false
+	for _, st := range f.Stats() {
+		if errors.Is(st.Err, cluster.ErrPeerOverflow) {
+			overflowed = true
+		}
+	}
+	if !overflowed {
+		t.Fatalf("no peer reports ErrPeerOverflow: %+v", f.Stats())
+	}
+	_ = f.Close()
+}
+
+// TestFanoutRelayTree: primary → relay → leaf. The relay applies the
+// stream to its own node and re-ships it downstream; both tiers end
+// reference-equal, and upstream heartbeats propagate through the relay
+// to advance the leaf's visible watermark past the last commit.
+func TestFanoutRelayTree(t *testing.T) {
+	encs := fanEncoded(2048, 128)
+	want := fanDirect(t, encs)
+	reg := metrics.NewRegistry()
+
+	// Leaf tier: an ordinary receiver node.
+	leaf := startFanReceiver(t, fanNode(t), reg, "leaf")
+
+	// Relay tier: applies locally, fans out to the leaf.
+	relayNode := fanNode(t)
+	downstream, err := cluster.NewFanout(cluster.FanoutConfig{
+		Registry: reg,
+		Peers: []cluster.Peer{{ID: "leaf", Sender: ship.SenderConfig{
+			Dial:           fanDialer(leaf.addr),
+			Schema:         fanSchema(),
+			HeartbeatEvery: 5 * time.Millisecond,
+		}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay := cluster.NewRelay(relayNode, downstream)
+	relayRcv, err := ship.NewReceiver(ship.ReceiverConfig{
+		Schema:  fanSchema(),
+		Applier: relay,
+		Drain:   func() error { relayNode.Drain(); return relayNode.Err() },
+		Metrics: ship.NewPeerMetrics(reg, "relay"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relayLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	relayDone := make(chan struct{})
+	go func() {
+		defer close(relayDone)
+		defer relayLn.Close()
+		for {
+			conn, err := relayLn.Accept()
+			if err != nil {
+				return
+			}
+			finished, _ := relayRcv.Serve(conn)
+			if finished {
+				return
+			}
+		}
+	}()
+
+	// Primary tier: one sender into the relay, heartbeating beyond the
+	// stream's last commit once everything has been handed off.
+	lastTS := encs[len(encs)-1].LastCommitTS
+	hbTarget := lastTS + 1000
+	var handedOff atomic.Bool
+	up, err := ship.NewSender(ship.SenderConfig{
+		Dial:           fanDialer(relayLn.Addr().String()),
+		Schema:         fanSchema(),
+		HeartbeatEvery: 5 * time.Millisecond,
+		HeartbeatTS: func() int64 {
+			// The stream is complete through hbTarget only after the last
+			// Send returned; before that, advertise nothing extra.
+			if handedOff.Load() {
+				return hbTarget
+			}
+			return 0
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range encs {
+		if err := up.Send(&encs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	handedOff.Store(true)
+
+	// The heartbeat must ripple primary → relay → leaf.
+	deadline := time.Now().Add(30 * time.Second)
+	for leaf.node.VisibleTS() < hbTarget || relayNode.VisibleTS() < hbTarget {
+		if time.Now().After(deadline) {
+			t.Fatalf("heartbeat did not propagate: relay=%d leaf=%d want ≥%d",
+				relayNode.VisibleTS(), leaf.node.VisibleTS(), hbTarget)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	if err := up.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-relayDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("relay receiver did not finish")
+	}
+	if err := relay.Err(); err != nil {
+		t.Fatalf("relay downstream error: %v", err)
+	}
+	if err := downstream.Close(); err != nil {
+		t.Fatal(err)
+	}
+	leaf.wait(t)
+
+	fanAssertSame(t, relayNode, want, "relay tier")
+	fanAssertSame(t, leaf.node, want, "leaf tier")
+}

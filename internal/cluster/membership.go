@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Membership is the roster of cluster replicas: who exists, whether the
+// operator (or a failure detector) has marked them down, how fresh each
+// one is, and how many routed queries each is currently serving. It is
+// the router's candidate source and the observability surface for
+// per-replica health.
+type Membership struct {
+	m *Metrics
+
+	mu      sync.RWMutex
+	members map[string]*member
+	order   []*member // sorted by ID: deterministic candidate iteration
+}
+
+// member pairs a replica with its membership-scoped state. Load is
+// tracked here, not on the replica, because it is a property of routing
+// (queries this cluster sent there), not of the replica itself.
+type member struct {
+	r    Replica
+	load atomic.Int64
+	down atomic.Bool
+}
+
+func (m *member) alive() bool { return !m.down.Load() && m.r.Healthy() }
+
+// Status is one replica's row in a membership snapshot.
+type Status struct {
+	ID        string
+	VisibleTS int64
+	PrimaryTS int64
+	ReplayLag int64 // PrimaryTS - VisibleTS, clamped at 0
+	Healthy   bool  // the replica's own report
+	Down      bool  // the membership-level override
+	Load      int64 // routed queries currently admitted and not yet done
+}
+
+// NewMembership returns an empty roster reporting into m (cluster
+// metrics registered in metrics.Default when nil).
+func NewMembership(m *Metrics) *Membership {
+	if m == nil {
+		m = NewMetrics(nil)
+	}
+	return &Membership{m: m, members: make(map[string]*member)}
+}
+
+// Add registers a replica. Duplicate IDs are an error: identity is the
+// join key between routing decisions, per-peer metrics and fan-out links.
+func (ms *Membership) Add(r Replica) error {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	id := r.ID()
+	if _, ok := ms.members[id]; ok {
+		return fmt.Errorf("cluster: duplicate replica %q", id)
+	}
+	m := &member{r: r}
+	ms.members[id] = m
+	ms.order = append(ms.order, m)
+	sort.Slice(ms.order, func(i, j int) bool { return ms.order[i].r.ID() < ms.order[j].r.ID() })
+	return nil
+}
+
+// Remove drops a replica from the roster. In-flight admissions against
+// it are unaffected (snapshots stay valid); it just stops receiving new
+// queries.
+func (ms *Membership) Remove(id string) bool {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if _, ok := ms.members[id]; !ok {
+		return false
+	}
+	delete(ms.members, id)
+	for i, m := range ms.order {
+		if m.r.ID() == id {
+			ms.order = append(ms.order[:i], ms.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// SetDown marks a replica administratively down (true) or back up
+// (false) without removing it: the failure-detector hook. A down replica
+// is skipped by routing even if it still reports healthy.
+func (ms *Membership) SetDown(id string, down bool) bool {
+	ms.mu.RLock()
+	m, ok := ms.members[id]
+	ms.mu.RUnlock()
+	if ok {
+		m.down.Store(down)
+	}
+	return ok
+}
+
+// Get returns the replica registered under id.
+func (ms *Membership) Get(id string) (Replica, bool) {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	m, ok := ms.members[id]
+	if !ok {
+		return nil, false
+	}
+	return m.r, true
+}
+
+// Size returns the roster size (live or not).
+func (ms *Membership) Size() int {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	return len(ms.members)
+}
+
+// Load returns the current routed-query load of one replica.
+func (ms *Membership) Load(id string) int64 {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	if m, ok := ms.members[id]; ok {
+		return m.load.Load()
+	}
+	return 0
+}
+
+// alive returns the routable members in ID order. The slice is freshly
+// allocated; callers may not mutate members through it beyond load
+// accounting.
+func (ms *Membership) alive() []*member {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	out := make([]*member, 0, len(ms.order))
+	for _, m := range ms.order {
+		if m.alive() {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Snapshot reports every member's freshness, health and load, sorted by
+// ID, and refreshes the cluster_replicas_live gauge.
+func (ms *Membership) Snapshot() []Status {
+	ms.mu.RLock()
+	order := append([]*member(nil), ms.order...)
+	ms.mu.RUnlock()
+	out := make([]Status, 0, len(order))
+	live := 0
+	for _, m := range order {
+		st := Status{
+			ID:        m.r.ID(),
+			VisibleTS: m.r.VisibleTS(),
+			PrimaryTS: m.r.PrimaryTS(),
+			Healthy:   m.r.Healthy(),
+			Down:      m.down.Load(),
+			Load:      m.load.Load(),
+		}
+		if lag := st.PrimaryTS - st.VisibleTS; lag > 0 {
+			st.ReplayLag = lag
+		}
+		if st.Healthy && !st.Down {
+			live++
+		}
+		out = append(out, st)
+	}
+	ms.m.ReplicasLive.Set(float64(live))
+	return out
+}

@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"sync"
+
+	"aets/internal/epoch"
+	"aets/internal/ship"
+)
+
+// Relay makes a replica an interior node of a replication tree: it
+// applies the incoming stream locally (to its node or recovery
+// supervisor) and re-ships every epoch downstream through a Fanout.
+// Wire it as the ship.Receiver's Applier in place of the node itself.
+//
+// An epoch is forwarded only after the local apply accepted it, so a
+// relay's ack upstream means "durable here", and its downstream cursor
+// can never run ahead of its own state. Downstream failures do not
+// poison the relay's own replication: they are recorded (Err, Fanout
+// stats) while the local apply keeps going — a leaf outage should not
+// sever the whole subtree's feed.
+type Relay struct {
+	inner ship.Applier
+	out   *Fanout
+
+	mu      sync.Mutex
+	downErr error
+}
+
+var _ ship.Applier = (*Relay)(nil)
+
+// NewRelay wraps the local applier with downstream re-shipping.
+func NewRelay(inner ship.Applier, out *Fanout) *Relay {
+	return &Relay{inner: inner, out: out}
+}
+
+// Feed implements ship.Applier: apply locally, then forward.
+func (r *Relay) Feed(enc *epoch.Encoded) error {
+	if err := r.inner.Feed(enc); err != nil {
+		return err
+	}
+	if err := r.out.Send(enc); err != nil {
+		r.mu.Lock()
+		if r.downErr == nil {
+			r.downErr = err
+		}
+		r.mu.Unlock()
+	}
+	return nil
+}
+
+// Heartbeat implements ship.Applier: advance local visibility, then let
+// downstream heartbeats advertise the watermark. The upstream heartbeat
+// contract (stream complete through ts) carries through Fanout.Heartbeat
+// unchanged.
+func (r *Relay) Heartbeat(ts int64) error {
+	if err := r.inner.Heartbeat(ts); err != nil {
+		return err
+	}
+	r.out.Heartbeat(ts)
+	return nil
+}
+
+// Err returns the first downstream delivery failure (all peers down),
+// nil while the subtree is reachable.
+func (r *Relay) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.downErr
+}
+
+// Fanout returns the downstream fan-out (stats, Close).
+func (r *Relay) Fanout() *Fanout { return r.out }

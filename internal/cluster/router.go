@@ -1,0 +1,241 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"aets/internal/query"
+	"aets/internal/wal"
+)
+
+// ErrNoReplicas is returned by Admit when no live replica exists.
+var ErrNoReplicas = errors.New("cluster: no live replicas")
+
+// RouterConfig configures a Router.
+type RouterConfig struct {
+	// Members is the replica roster. Required.
+	Members *Membership
+	// Metrics receives the routing counters; nil registers the default
+	// names in metrics.Default.
+	Metrics *Metrics
+	// MaxFailovers bounds mid-admission re-picks after the chosen
+	// replica dies; the admission fails once exceeded. Default 8.
+	MaxFailovers int
+}
+
+// Router implements freshness-aware query admission over a Membership.
+//
+// The decision rule (per query, given snapshot timestamp qts and table
+// set):
+//
+//  1. qts ≤ 0 ("freshest currently visible") never blocks anywhere:
+//     route to the least-loaded live replica and pin the snapshot to its
+//     current visible watermark.
+//  2. Otherwise prefer a zero-block read: among live replicas whose
+//     visible watermark already covers qts, pick the least loaded
+//     (cluster_route_hits).
+//  3. Only when no live replica satisfies qts, wait on the freshest live
+//     replica — the one that will satisfy it soonest
+//     (cluster_route_waits). A replica dying mid-wait fails over to a
+//     re-pick (cluster_route_failovers) under the MaxFailovers budget.
+//
+// Load ties rotate round-robin across the tied replicas, so an idle or
+// lightly loaded fleet still spreads reads instead of herding every
+// query onto one replica; watermark ties (the wait path) break toward
+// the smallest replica ID.
+//
+// Router also satisfies query.Visibility, so code written against a
+// single node's Algorithm 3 admission can run unchanged against a
+// cluster; prefer Admit/Query, which name the replica and account load.
+type Router struct {
+	cfg RouterConfig
+	m   *Metrics
+	rr  atomic.Uint64
+}
+
+var _ query.Visibility = (*Router)(nil)
+
+// NewRouter returns a Router over the given roster.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if cfg.Members == nil {
+		return nil, fmt.Errorf("cluster: RouterConfig.Members is required")
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewMetrics(nil)
+	}
+	if cfg.MaxFailovers <= 0 {
+		cfg.MaxFailovers = 8
+	}
+	return &Router{cfg: cfg, m: cfg.Metrics}, nil
+}
+
+// Admission is one granted routing decision: the chosen replica, the
+// pinned snapshot timestamp, and how the decision was reached. The
+// caller owns it until Done, which releases the replica's load slot.
+type Admission struct {
+	// Replica is the chosen target; its visible watermark covered TS at
+	// admission time (and watermarks are monotone, so it still does).
+	Replica Replica
+	// TS is the pinned snapshot timestamp: the query's qts, or the
+	// chosen replica's visible watermark when the query asked for
+	// "freshest" (qts ≤ 0).
+	TS int64
+	// Waited reports a blocked admission (the RouteWaits path).
+	Waited bool
+	// Failovers counts replicas abandoned mid-admission before this one.
+	Failovers int
+
+	mem  *member
+	done atomic.Bool
+}
+
+// Done releases the admission's load slot. Idempotent.
+func (a *Admission) Done() {
+	if a.mem != nil && a.done.CompareAndSwap(false, true) {
+		a.mem.load.Add(-1)
+	}
+}
+
+// Admit routes one query: it picks a replica per the routing rule,
+// blocks only when no live replica already satisfies qts, and returns an
+// Admission whose replica's visible watermark is at least the pinned TS
+// — never a replica below the query's snapshot. The caller must call
+// Done when the query finishes so load balancing sees true in-flight
+// counts.
+func (r *Router) Admit(qts int64, tables ...wal.TableID) (*Admission, error) {
+	failovers := 0
+	for {
+		cands := r.cfg.Members.alive()
+		if len(cands) == 0 {
+			r.m.RouteErrors.Inc()
+			return nil, ErrNoReplicas
+		}
+
+		if qts <= 0 {
+			// Freshest-visible read: any live replica serves it without
+			// blocking at whatever watermark it has; spread by load.
+			m := r.leastLoaded(cands)
+			m.load.Add(1)
+			r.m.RouteHits.Inc()
+			return &Admission{Replica: m.r, TS: m.r.VisibleTS(), Failovers: failovers, mem: m}, nil
+		}
+
+		// Zero-block path: a replica already covering qts.
+		var satisfied []*member
+		for _, m := range cands {
+			if m.r.VisibleTS() >= qts {
+				satisfied = append(satisfied, m)
+			}
+		}
+		if len(satisfied) > 0 {
+			m := r.leastLoaded(satisfied)
+			m.load.Add(1)
+			r.m.RouteHits.Inc()
+			return &Admission{Replica: m.r, TS: qts, Failovers: failovers, mem: m}, nil
+		}
+
+		// Wait path: the freshest live replica reaches qts soonest.
+		m := freshest(cands)
+		m.load.Add(1)
+		r.m.RouteWaits.Inc()
+		t0 := time.Now()
+		ok := m.r.WaitVisible(qts, tables)
+		r.m.AdmitWait.Observe(time.Since(t0))
+		if ok && m.alive() {
+			return &Admission{Replica: m.r, TS: qts, Waited: true, Failovers: failovers, mem: m}, nil
+		}
+		// The replica died (or was marked down) mid-wait: fail over.
+		m.load.Add(-1)
+		r.m.RouteFailovers.Inc()
+		failovers++
+		if failovers > r.cfg.MaxFailovers {
+			r.m.RouteErrors.Inc()
+			return nil, fmt.Errorf("cluster: admission failed after %d failovers (qts %d)", failovers, qts)
+		}
+	}
+}
+
+// Query admits and begins a snapshot read in one step. The chosen
+// replica must implement Snapshotter (real nodes do; simulator replicas
+// do not). The returned Admission is already load-accounted; call Done
+// when the snapshot is no longer in use.
+func (r *Router) Query(qts int64, tables ...wal.TableID) (*query.Snapshot, *Admission, error) {
+	adm, err := r.Admit(qts, tables...)
+	if err != nil {
+		return nil, nil, err
+	}
+	sn, ok := adm.Replica.(Snapshotter)
+	if !ok {
+		adm.Done()
+		return nil, nil, fmt.Errorf("cluster: replica %q cannot serve snapshots", adm.Replica.ID())
+	}
+	// The watermark already covers adm.TS, so Begin's own Algorithm 3
+	// wait is a no-op: this is the zero-block read the routing promised.
+	return sn.Query(adm.TS, tables...), adm, nil
+}
+
+// GlobalTS implements query.Visibility: the cluster-wide freshest
+// visible watermark (the maximum over live replicas; 0 when none).
+func (r *Router) GlobalTS() int64 {
+	var max int64
+	for _, m := range r.cfg.Members.alive() {
+		if ts := m.r.VisibleTS(); ts > max {
+			max = ts
+		}
+	}
+	return max
+}
+
+// WaitVisible implements query.Visibility: block until some live replica
+// makes qts visible for the tables. It admits and immediately releases;
+// callers that need the replica (to actually read) should use Admit.
+func (r *Router) WaitVisible(qts int64, tables []wal.TableID) {
+	for {
+		adm, err := r.Admit(qts, tables...)
+		if err == nil {
+			adm.Done()
+			return
+		}
+		// No live replicas right now: a Visibility wait has no error
+		// channel, so hold on until membership recovers.
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// leastLoaded picks the member with the smallest in-flight load. Ties
+// rotate round-robin (r.rr) so equal-load replicas — the common case on
+// an idle fleet, where every load is zero — share the traffic instead
+// of the smallest ID absorbing all of it.
+func (r *Router) leastLoaded(cands []*member) *member {
+	ties := make([]*member, 0, len(cands))
+	var bestLoad int64
+	for i, m := range cands {
+		l := m.load.Load()
+		switch {
+		case i == 0 || l < bestLoad:
+			bestLoad = l
+			ties = append(ties[:0], m)
+		case l == bestLoad:
+			ties = append(ties, m)
+		}
+	}
+	if len(ties) == 1 {
+		return ties[0]
+	}
+	return ties[int(r.rr.Add(1)%uint64(len(ties)))]
+}
+
+// freshest picks the member with the highest visible watermark; ties go
+// to the smallest ID.
+func freshest(cands []*member) *member {
+	best := cands[0]
+	bestTS := best.r.VisibleTS()
+	for _, m := range cands[1:] {
+		if ts := m.r.VisibleTS(); ts > bestTS {
+			best, bestTS = m, ts
+		}
+	}
+	return best
+}

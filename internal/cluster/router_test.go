@@ -1,0 +1,345 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"aets/internal/epoch"
+	"aets/internal/grouping"
+	"aets/internal/htap"
+	"aets/internal/metrics"
+	"aets/internal/wal"
+)
+
+// testRouter builds a router over n sim replicas with fresh metrics.
+func testRouter(t *testing.T, n int) (*Router, []*SimReplica, *Metrics) {
+	t.Helper()
+	m := NewMetrics(metrics.NewRegistry())
+	members := NewMembership(m)
+	reps := make([]*SimReplica, n)
+	for i := range reps {
+		reps[i] = NewSimReplica(string(rune('a' + i)))
+		if err := members.Add(reps[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := NewRouter(RouterConfig{Members: members, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, reps, m
+}
+
+func TestAdmitZeroBlockPicksSatisfiedLeastLoaded(t *testing.T) {
+	r, reps, m := testRouter(t, 3)
+	reps[0].AdvanceTo(100)
+	reps[1].AdvanceTo(200)
+	reps[2].AdvanceTo(50)
+
+	// Only a and b satisfy qts=80; c (watermark 50) must never serve it.
+	adm, err := r.Admit(80, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id := adm.Replica.ID(); id == "c" || adm.Waited || adm.TS != 80 {
+		t.Fatalf("admission %+v on %s, want zero-block hit on a or b at ts 80", adm, id)
+	}
+	// The first pick now carries load 1: the next query must spread to
+	// the other satisfied replica.
+	adm2, err := r.Admit(80, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id := adm2.Replica.ID(); id == "c" || id == adm.Replica.ID() {
+		t.Fatalf("second admission went to %s (first took %s), want the other satisfied replica", id, adm.Replica.ID())
+	}
+	adm.Done()
+	adm2.Done()
+	if got := m.RouteHits.Load(); got != 2 {
+		t.Fatalf("hits %d, want 2", got)
+	}
+	if got := m.RouteWaits.Load(); got != 0 {
+		t.Fatalf("waits %d, want 0", got)
+	}
+	// Done released the load slots: both satisfied replicas are candidates
+	// again, and c is still excluded.
+	adm3, _ := r.Admit(80, 1)
+	if adm3.Replica.ID() == "c" {
+		t.Fatal("post-release admission went to c, whose watermark is below qts")
+	}
+	adm3.Done()
+}
+
+func TestAdmitFreshestRead(t *testing.T) {
+	r, reps, m := testRouter(t, 2)
+	reps[0].AdvanceTo(10)
+	reps[1].AdvanceTo(500)
+
+	// qts ≤ 0 never blocks: least-loaded live replica, snapshot pinned to
+	// its current watermark.
+	adm, err := r.Admit(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adm.Done()
+	if adm.Waited {
+		t.Fatal("freshest read must not wait")
+	}
+	if adm.TS != adm.Replica.VisibleTS() && adm.TS > adm.Replica.VisibleTS() {
+		t.Fatalf("pinned ts %d ahead of replica watermark %d", adm.TS, adm.Replica.VisibleTS())
+	}
+	if m.RouteHits.Load() != 1 {
+		t.Fatalf("hits %d, want 1", m.RouteHits.Load())
+	}
+}
+
+func TestAdmitWaitsOnFreshestWhenNoneSatisfies(t *testing.T) {
+	r, reps, m := testRouter(t, 3)
+	reps[0].AdvanceTo(10)
+	reps[1].AdvanceTo(40) // freshest: the wait lands here
+	reps[2].AdvanceTo(20)
+
+	done := make(chan *Admission, 1)
+	go func() {
+		adm, err := r.Admit(100, 1)
+		if err != nil {
+			t.Error(err)
+			close(done)
+			return
+		}
+		done <- adm
+	}()
+	// The admission must be parked, not failed.
+	select {
+	case <-done:
+		t.Fatal("admission returned before the watermark covered qts")
+	case <-time.After(20 * time.Millisecond):
+	}
+	reps[1].AdvanceTo(100)
+	select {
+	case adm := <-done:
+		if adm == nil {
+			t.Fatal("admission failed")
+		}
+		if adm.Replica.ID() != "b" || !adm.Waited {
+			t.Fatalf("admission %+v, want wait on b", adm)
+		}
+		if adm.Replica.VisibleTS() < adm.TS {
+			t.Fatalf("invariant broken: watermark %d < ts %d", adm.Replica.VisibleTS(), adm.TS)
+		}
+		adm.Done()
+	case <-time.After(5 * time.Second):
+		t.Fatal("admission never woke after the advance")
+	}
+	if m.RouteWaits.Load() != 1 || m.RouteHits.Load() != 0 {
+		t.Fatalf("waits=%d hits=%d, want 1/0", m.RouteWaits.Load(), m.RouteHits.Load())
+	}
+}
+
+func TestAdmitFailsOverWhenWaitTargetDies(t *testing.T) {
+	r, reps, m := testRouter(t, 2)
+	reps[0].AdvanceTo(50) // freshest: first wait target
+	reps[1].AdvanceTo(10)
+
+	done := make(chan *Admission, 1)
+	go func() {
+		adm, err := r.Admit(100, 1)
+		if err != nil {
+			t.Error(err)
+			close(done)
+			return
+		}
+		done <- adm
+	}()
+	time.Sleep(10 * time.Millisecond)
+	// Kill the wait target: the admission must fail over to b and park
+	// there, then admit when b advances.
+	reps[0].SetHealthy(false)
+	time.Sleep(10 * time.Millisecond)
+	reps[1].AdvanceTo(100)
+	select {
+	case adm := <-done:
+		if adm == nil {
+			t.Fatal("admission failed")
+		}
+		if adm.Replica.ID() != "b" || adm.Failovers == 0 {
+			t.Fatalf("admission %+v, want failover to b", adm)
+		}
+		adm.Done()
+	case <-time.After(5 * time.Second):
+		t.Fatal("admission hung on a dead replica")
+	}
+	if m.RouteFailovers.Load() == 0 {
+		t.Fatal("failover not counted")
+	}
+}
+
+func TestAdmitNoReplicas(t *testing.T) {
+	r, reps, m := testRouter(t, 1)
+	reps[0].SetHealthy(false)
+	if _, err := r.Admit(10, 1); !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("err %v, want ErrNoReplicas", err)
+	}
+	if m.RouteErrors.Load() != 1 {
+		t.Fatalf("errors %d, want 1", m.RouteErrors.Load())
+	}
+}
+
+func TestMembershipSetDownSkipsRouting(t *testing.T) {
+	r, reps, _ := testRouter(t, 2)
+	reps[0].AdvanceTo(100)
+	reps[1].AdvanceTo(100)
+	if !r.cfg.Members.SetDown("a", true) {
+		t.Fatal("SetDown(a) did not find the member")
+	}
+	for i := 0; i < 4; i++ {
+		adm, err := r.Admit(50, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if adm.Replica.ID() == "a" {
+			t.Fatal("routed to a down replica")
+		}
+		adm.Done()
+	}
+	r.cfg.Members.SetDown("a", false)
+	snap := r.cfg.Members.Snapshot()
+	if len(snap) != 2 || snap[0].ID != "a" || snap[0].Down {
+		t.Fatalf("snapshot %+v, want a back up", snap)
+	}
+}
+
+func TestMembershipSnapshotLag(t *testing.T) {
+	m := NewMetrics(metrics.NewRegistry())
+	members := NewMembership(m)
+	rep := NewSimReplica("r")
+	if err := members.Add(rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := members.Add(rep); err == nil {
+		t.Fatal("duplicate Add must fail")
+	}
+	rep.SetPrimaryTS(100)
+	rep.AdvanceTo(60)
+	snap := members.Snapshot()
+	if len(snap) != 1 || snap[0].ReplayLag != 40 {
+		t.Fatalf("snapshot %+v, want lag 40", snap)
+	}
+	if m.ReplicasLive.Load() != 1 {
+		t.Fatalf("live gauge %v, want 1", m.ReplicasLive.Load())
+	}
+	if !members.Remove("r") || members.Size() != 0 {
+		t.Fatal("Remove failed")
+	}
+}
+
+// TestRouterQueryEndToEnd routes real snapshot reads over two live
+// htap.Nodes at different replay points and checks the rows come from a
+// replica that satisfies the snapshot.
+func TestRouterQueryEndToEnd(t *testing.T) {
+	mk := func(id uint64, ts int64, key uint64, val byte) wal.Txn {
+		return wal.Txn{ID: id, CommitTS: ts, Entries: []wal.Entry{{
+			Type: wal.TypeUpdate, TxnID: id, Timestamp: ts, Table: 1, RowKey: key,
+			Columns: []wal.Column{{ID: 1, Value: []byte{val}}},
+		}}}
+	}
+	txns := []wal.Txn{mk(1, 10, 1, 'x'), mk(2, 20, 2, 'y'), mk(3, 30, 1, 'z')}
+	encs := epoch.EncodeAll(epoch.MustSplit(txns, 1))
+
+	newNode := func(upTo int) *htap.Node {
+		n, err := htap.NewNode(htap.KindAETS, grouping.SingleGroup([]wal.TableID{1}),
+			htap.Options{Workers: 2, Metrics: metrics.NewRegistry()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		for i := 0; i < upTo; i++ {
+			enc := encs[i]
+			if err := n.Feed(&enc); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n.Drain()
+		return n
+	}
+	// fresh has the whole history, stale only the first epoch.
+	fresh := newNode(len(encs))
+	stale := newNode(1)
+
+	m := NewMetrics(metrics.NewRegistry())
+	members := NewMembership(m)
+	if err := members.Add(NewNodeReplica("fresh", fresh)); err != nil {
+		t.Fatal(err)
+	}
+	if err := members.Add(NewNodeReplica("stale", stale)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(RouterConfig{Members: members, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// qts=30 is only visible on fresh: the router must not pick stale.
+	s, adm, err := r.Query(30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm.Replica.ID() != "fresh" {
+		t.Fatalf("routed to %s, want fresh", adm.Replica.ID())
+	}
+	row, ok, err := s.Get(1, 1)
+	if err != nil || !ok || row.Columns[1][0] != 'z' {
+		t.Fatalf("row %+v ok=%v err=%v, want z", row, ok, err)
+	}
+	adm.Done()
+
+	// qts=10 is visible on both: load spreading may pick either, but the
+	// snapshot must read the ts-10 version wherever it lands.
+	s2, adm2, err := r.Query(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, ok, err = s2.Get(1, 1)
+	if err != nil || !ok || row.Columns[1][0] != 'x' {
+		t.Fatalf("row %+v ok=%v err=%v, want x at ts 10", row, ok, err)
+	}
+	adm2.Done()
+	if m.RouteHits.Load() != 2 || m.RouteWaits.Load() != 0 {
+		t.Fatalf("hits=%d waits=%d, want 2/0", m.RouteHits.Load(), m.RouteWaits.Load())
+	}
+	// SimReplicas cannot serve snapshots: Query must reject, not panic.
+	// The sim is advanced past both real nodes, so a qts only it
+	// satisfies routes there regardless of the load-tie rotation.
+	if err := members.Add(NewSimReplica("0sim")); err != nil {
+		t.Fatal(err)
+	}
+	sim, _ := members.Get("0sim")
+	sim.(*SimReplica).AdvanceTo(1000)
+	if _, _, err := r.Query(500, 1); err == nil {
+		t.Fatal("Query on a non-Snapshotter replica must fail")
+	}
+}
+
+// TestRouterVisibilityInterface drives the Router through the
+// query.Visibility surface it promises to be compatible with.
+func TestRouterVisibilityInterface(t *testing.T) {
+	r, reps, _ := testRouter(t, 2)
+	reps[0].AdvanceTo(70)
+	reps[1].AdvanceTo(30)
+	if got := r.GlobalTS(); got != 70 {
+		t.Fatalf("GlobalTS %d, want 70 (max over live replicas)", got)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r.WaitVisible(90, []wal.TableID{1})
+	}()
+	reps[1].AdvanceTo(95)
+	wg.Wait()
+	if got := r.GlobalTS(); got < 90 {
+		t.Fatalf("GlobalTS %d after WaitVisible(90)", got)
+	}
+}

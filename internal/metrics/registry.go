@@ -32,6 +32,30 @@ func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 // Load returns the current value.
 func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
 
+// WithLabel renders a metric name carrying one label dimension in the
+// Prometheus series syntax: WithLabel("ship_connected", "peer", "r1") is
+// "ship_connected{peer=\"r1\"}". Labelled series are ordinary registry
+// entries — the registry stays a flat name space — but the exposition
+// layer (obsrv) groups series of one family under a single TYPE line by
+// splitting on BaseName. An empty value returns name unchanged, so
+// single-link callers keep the unlabelled series.
+func WithLabel(name, key, value string) string {
+	if value == "" {
+		return name
+	}
+	return fmt.Sprintf("%s{%s=%q}", name, key, value)
+}
+
+// BaseName strips a label block from a registry name: the family name
+// Prometheus TYPE lines are declared for. Names without labels pass
+// through unchanged.
+func BaseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
 // Registry names counters and gauges so subsystems can register their
 // operational metrics once and reporting loops can snapshot them all.
 // Lookups are get-or-create, so independent components naming the same

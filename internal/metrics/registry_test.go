@@ -39,6 +39,31 @@ func TestRegistryLine(t *testing.T) {
 	}
 }
 
+func TestWithLabelAndBaseName(t *testing.T) {
+	got := WithLabel("ship_connected", "peer", "r1")
+	if got != `ship_connected{peer="r1"}` {
+		t.Fatalf("WithLabel: %q", got)
+	}
+	if WithLabel("ship_connected", "peer", "") != "ship_connected" {
+		t.Fatal("empty label value must keep the plain name")
+	}
+	if BaseName(got) != "ship_connected" {
+		t.Fatalf("BaseName(%q) = %q", got, BaseName(got))
+	}
+	if BaseName("plain") != "plain" {
+		t.Fatalf("BaseName(plain) = %q", BaseName("plain"))
+	}
+	// Labelled and unlabelled series are distinct registry entries.
+	r := NewRegistry()
+	r.Counter("ship_epochs_sent").Add(1)
+	r.Counter(WithLabel("ship_epochs_sent", "peer", "a")).Add(2)
+	r.Counter(WithLabel("ship_epochs_sent", "peer", "b")).Add(3)
+	snap := r.Snapshot()
+	if snap["ship_epochs_sent"] != 1 || snap[`ship_epochs_sent{peer="a"}`] != 2 || snap[`ship_epochs_sent{peer="b"}`] != 3 {
+		t.Fatalf("labelled series collided: %v", snap)
+	}
+}
+
 func TestRegistryConcurrent(t *testing.T) {
 	r := NewRegistry()
 	var wg sync.WaitGroup

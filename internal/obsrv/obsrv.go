@@ -150,11 +150,25 @@ func writeJSON(w io.Writer, v any) {
 // rendered too (healthz over scrape, the Kubernetes idiom) so alerting
 // needs only this endpoint.
 func writePrometheus(w io.Writer, snap metrics.Snapshot, h *Health) {
-	for _, name := range sortedKeys(snap.Counters) {
-		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, snap.Counters[name])
+	// Labelled series (ship_connected{peer="r1"}) share one family with
+	// their unlabelled siblings; TYPE is declared once per family. Sorted
+	// names keep a family's series adjacent, so tracking the last emitted
+	// base name suffices.
+	lastType := ""
+	typeLine := func(name, kind string) {
+		if base := metrics.BaseName(name); base != lastType {
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+			lastType = base
+		}
 	}
+	for _, name := range sortedKeys(snap.Counters) {
+		typeLine(name, "counter")
+		fmt.Fprintf(w, "%s %d\n", name, snap.Counters[name])
+	}
+	lastType = ""
 	for _, name := range sortedKeys(snap.Gauges) {
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, snap.Gauges[name])
+		typeLine(name, "gauge")
+		fmt.Fprintf(w, "%s %g\n", name, snap.Gauges[name])
 	}
 	for _, name := range sortedKeys(snap.Histograms) {
 		hs := snap.Histograms[name]

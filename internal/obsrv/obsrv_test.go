@@ -71,6 +71,37 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+func TestMetricsLabelledSeriesShareOneTypeLine(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter(metrics.WithLabel("ship_epochs_sent", "peer", "r1")).Add(3)
+	reg.Counter(metrics.WithLabel("ship_epochs_sent", "peer", "r2")).Add(5)
+	reg.Gauge(metrics.WithLabel("ship_connected", "peer", "r1")).Set(1)
+	reg.Gauge("ship_connected").Set(1) // unlabelled sibling in the same family
+	srv := httptest.NewServer(NewHandler(Options{Registry: reg}))
+	defer srv.Close()
+
+	_, body, _ := get(t, srv, "/metrics")
+	for _, want := range []string{
+		`ship_epochs_sent{peer="r1"} 3`,
+		`ship_epochs_sent{peer="r2"} 5`,
+		`ship_connected{peer="r1"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+	// One TYPE declaration per family, no matter how many peers.
+	if n := strings.Count(body, "# TYPE ship_epochs_sent counter"); n != 1 {
+		t.Fatalf("ship_epochs_sent TYPE lines = %d, want 1:\n%s", n, body)
+	}
+	if n := strings.Count(body, "# TYPE ship_connected gauge"); n != 1 {
+		t.Fatalf("ship_connected TYPE lines = %d, want 1:\n%s", n, body)
+	}
+	if strings.Contains(body, "# TYPE ship_epochs_sent{") {
+		t.Fatalf("TYPE line leaked a label block:\n%s", body)
+	}
+}
+
 func TestHealthzStatusCodes(t *testing.T) {
 	for _, tc := range []struct {
 		h    Health

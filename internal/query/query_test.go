@@ -1,6 +1,9 @@
 package query
 
 import (
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"aets/internal/epoch"
@@ -115,6 +118,101 @@ func TestBeginFreshest(t *testing.T) {
 	s := ex.Begin(0, 1) // freshest visible, never blocks
 	if s.TS < last {
 		t.Fatalf("freshest snapshot at %d, want ≥ %d", s.TS, last)
+	}
+}
+
+// TestBeginFreshestRacesFeeds pins the qts ≤ 0 contract while the
+// replayer is actively advancing: Begin(0) must return without blocking
+// and its snapshot timestamp must never run ahead of the visible
+// watermark — neither at admission (TS ≤ GlobalTS read afterwards, by
+// monotonicity) nor in the data (no readable version newer than TS).
+// Run under -race this also shakes out unsynchronised state between
+// Begin and the replay workers.
+func TestBeginFreshestRacesFeeds(t *testing.T) {
+	const (
+		txnCount  = 4096
+		epochSize = 64
+		readers   = 4
+	)
+	txns := make([]wal.Txn, txnCount)
+	for i := range txns {
+		ts := int64(i+1) * 10
+		txns[i] = wal.Txn{ID: uint64(i + 1), CommitTS: ts, Entries: []wal.Entry{{
+			Type: wal.TypeUpdate, TxnID: uint64(i + 1), Timestamp: ts,
+			Table: 1, RowKey: uint64(i%64) + 1,
+			Columns: []wal.Column{{ID: 1, Value: []byte(fmt.Sprintf("v%d", i))}},
+		}}}
+	}
+	encs := epoch.EncodeAll(epoch.MustSplit(txns, epochSize))
+
+	mt := memtable.New()
+	eng := replay.New("AETS", mt, grouping.SingleGroup([]wal.TableID{1}), replay.Config{Workers: 4})
+	eng.Start()
+	t.Cleanup(eng.Stop)
+	ex := NewExecutor(mt, eng)
+
+	var fed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := range encs {
+			eng.Feed(&encs[i])
+		}
+		eng.Drain()
+		fed.Store(true)
+	}()
+
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastTS int64
+			for !fed.Load() {
+				s := ex.Begin(0, 1)
+				// The watermark is monotone, so a GlobalTS read after
+				// Begin is ≥ the one Begin pinned; TS exceeding it means
+				// Begin admitted a snapshot ahead of visibility.
+				if wm := eng.GlobalTS(); s.TS > wm {
+					errs <- fmt.Errorf("Begin(0) pinned ts %d ahead of visible watermark %d", s.TS, wm)
+					return
+				}
+				if s.TS < lastTS {
+					errs <- fmt.Errorf("freshest snapshot ts went backwards: %d after %d", s.TS, lastTS)
+					return
+				}
+				lastTS = s.TS
+				max, err := s.MaxCommitTS(1)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if max > s.TS {
+					errs <- fmt.Errorf("snapshot at %d read a version committed at %d", s.TS, max)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if err := eng.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// After the drain the freshest snapshot sits exactly at the last
+	// commit and sees the final version of every key.
+	s := ex.Begin(0, 1)
+	if want := txns[txnCount-1].CommitTS; s.TS < want {
+		t.Fatalf("post-drain freshest snapshot at %d, want ≥ %d", s.TS, want)
+	}
+	n, err := s.Count(1)
+	if err != nil || n != 64 {
+		t.Fatalf("post-drain count %d err %v, want 64", n, err)
 	}
 }
 

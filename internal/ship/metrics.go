@@ -31,16 +31,26 @@ type Metrics struct {
 // NewMetrics registers the shipping metrics in r (metrics.Default when
 // nil) under their canonical names and returns the handle.
 func NewMetrics(r *metrics.Registry) *Metrics {
+	return NewPeerMetrics(r, "")
+}
+
+// NewPeerMetrics registers the shipping metrics with a `peer` label, so a
+// process driving several replication links (cluster fan-out: one sender
+// per replica) exposes each link's connection state, acks and resumes as
+// its own series instead of one aggregate. An empty peer keeps the
+// unlabelled canonical names — single-link deployments are unchanged.
+func NewPeerMetrics(r *metrics.Registry, peer string) *Metrics {
 	if r == nil {
 		r = metrics.Default
 	}
+	name := func(base string) string { return metrics.WithLabel(base, "peer", peer) }
 	return &Metrics{
-		EpochsSent:  r.Counter("ship_epochs_sent"),
-		EpochsAcked: r.Counter("ship_epochs_acked"),
-		Inflight:    r.Gauge("ship_inflight"),
-		Reconnects:  r.Counter("ship_reconnects_total"),
-		LagSeconds:  r.Gauge("ship_lag_seconds"),
-		Duplicates:  r.Counter("ship_duplicates_total"),
-		Connected:   r.Gauge("ship_connected"),
+		EpochsSent:  r.Counter(name("ship_epochs_sent")),
+		EpochsAcked: r.Counter(name("ship_epochs_acked")),
+		Inflight:    r.Gauge(name("ship_inflight")),
+		Reconnects:  r.Counter(name("ship_reconnects_total")),
+		LagSeconds:  r.Gauge(name("ship_lag_seconds")),
+		Duplicates:  r.Counter(name("ship_duplicates_total")),
+		Connected:   r.Gauge(name("ship_connected")),
 	}
 }

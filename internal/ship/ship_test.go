@@ -676,3 +676,26 @@ func TestFreshCheckpointRestoreResumesFromEpochZero(t *testing.T) {
 	}
 	assertSameState(t, node, want)
 }
+
+// Per-peer metrics: two senders sharing one registry but labelled with
+// distinct peers must not collide — a fan-out primary's links are
+// distinguishable series, not one aggregate.
+func TestPeerMetricsDistinctSeries(t *testing.T) {
+	reg := metrics.NewRegistry()
+	a := ship.NewPeerMetrics(reg, "r1")
+	b := ship.NewPeerMetrics(reg, "r2")
+	a.EpochsSent.Add(3)
+	b.EpochsSent.Add(5)
+	a.Connected.Set(1)
+	snap := reg.Snapshot()
+	if snap[`ship_epochs_sent{peer="r1"}`] != 3 || snap[`ship_epochs_sent{peer="r2"}`] != 5 {
+		t.Fatalf("per-peer counters collided: %v", snap)
+	}
+	if snap[`ship_connected{peer="r1"}`] != 1 || snap[`ship_connected{peer="r2"}`] != 0 {
+		t.Fatalf("per-peer gauges collided: %v", snap)
+	}
+	// The unlabelled canonical names stay available for single-link use.
+	if ship.NewPeerMetrics(reg, "").EpochsSent != reg.Counter("ship_epochs_sent") {
+		t.Fatal("empty peer must register the canonical unlabelled series")
+	}
+}
