@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz chaos chaos-cluster smoke bench-smoke ci bench-json
+.PHONY: all build vet test race fuzz chaos chaos-cluster smoke bench-smoke ci bench-json bench-diff
 
 all: ci
 
@@ -14,16 +14,19 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrency-heavy packages: the replication transport,
-# the replay engine, the epoch batcher, the sharded memtable index, the
-# query admission path, and the cluster router/fan-out (its chaos e2e
-# runs separately under chaos-cluster).
+# the replay engine, the epoch batcher, the sharded memtable index
+# (including TestScanParallelStress — ScanParallel racing GetOrCreate and
+# Vacuum), the query admission path, and the cluster router/fan-out (its
+# chaos e2e runs separately under chaos-cluster).
 race:
 	$(GO) test -race ./internal/ship/... ./internal/replay/... ./internal/epoch/... ./internal/memtable/... ./internal/query/...
 	$(GO) test -race -skip 'TestClusterChaos' ./internal/cluster/
 
-# Short fuzz smoke of the wire-format decoder.
+# Short fuzz smoke: the wire-format decoder and the memtable scan
+# variants (Scan/ScanAny/ScanParallel vs a flat-map reference).
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadFrame -fuzztime=10s ./internal/ship/
+	$(GO) test -run='^$$' -fuzz=FuzzScanVariants -fuzztime=10s ./internal/memtable/
 
 # Chaos e2e in short mode under the race detector: repeated hard
 # restarts at random points under transport faults plus an injected
@@ -50,14 +53,30 @@ smoke:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
+# The memtable benchmark set archived in BENCH_memtable.json and diffed
+# by bench-diff: the index scaling curve plus every scan variant.
+MEMTABLE_BENCH = BenchmarkGetOrCreateParallel|BenchmarkScanMerged|BenchmarkScanCascade|BenchmarkScanAny|BenchmarkScanParallel
+
 # Serial-vs-pipelined replay throughput and memtable index benchmarks,
 # archived as JSON for diffing.
 bench-json:
 	$(GO) test -run='^$$' -bench=BenchmarkReplayPipeline -benchmem ./internal/replay/ \
 		| $(GO) run ./tools/benchjson > BENCH_replay.json
-	$(GO) test -run='^$$' -bench='BenchmarkGetOrCreateParallel|BenchmarkScanMerged' -benchmem ./internal/memtable/ \
+	$(GO) test -run='^$$' -bench='$(MEMTABLE_BENCH)' -benchmem ./internal/memtable/ \
 		| $(GO) run ./tools/benchjson > BENCH_memtable.json
 	$(GO) test -run='^$$' -bench=BenchmarkRouteQuery -benchmem ./internal/cluster/ \
 		| $(GO) run ./tools/benchjson > BENCH_cluster.json
+
+# Re-run the archived benchmarks and print per-benchmark deltas against
+# the checked-in BENCH_*.json — old → new ns/op, B/op and allocs/op with
+# relative change. Informational: regressions are flagged inline, not
+# failed, because shared CI hosts are too noisy for a hard perf gate.
+bench-diff:
+	$(GO) test -run='^$$' -bench=BenchmarkReplayPipeline -benchmem ./internal/replay/ \
+		| $(GO) run ./tools/benchjson -diff BENCH_replay.json
+	$(GO) test -run='^$$' -bench='$(MEMTABLE_BENCH)' -benchmem ./internal/memtable/ \
+		| $(GO) run ./tools/benchjson -diff BENCH_memtable.json
+	$(GO) test -run='^$$' -bench=BenchmarkRouteQuery -benchmem ./internal/cluster/ \
+		| $(GO) run ./tools/benchjson -diff BENCH_cluster.json
 
 ci: build vet test race chaos chaos-cluster bench-smoke smoke

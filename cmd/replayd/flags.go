@@ -235,6 +235,7 @@ type routeFlags struct {
 	concurrency     int
 	delay           time.Duration
 	stale           int64
+	ordered         bool
 	applyProfiles   func()
 }
 
@@ -253,6 +254,7 @@ func parseRouteFlags(args []string) (*routeFlags, error) {
 	fs.IntVar(&c.concurrency, "concurrency", 8, "concurrent query workers")
 	fs.DurationVar(&c.delay, "delay", 0, "per-link replication delay: link i gets i×delay (ship.FaultConn latency)")
 	fs.Int64Var(&c.stale, "stale", 1_000_000, "query timestamps trail the shipped watermark by up to this many commit-ts units (0 = always query the head)")
+	fs.BoolVar(&c.ordered, "ordered", false, "routed reads demand global key order (merged Scan); default reads are order-insensitive aggregates (ScanAny)")
 	c.applyProfiles = contentionProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err

@@ -61,23 +61,129 @@ func BenchmarkGetOrCreateParallel(b *testing.B) {
 	}
 }
 
-// BenchmarkScanMerged prices the k-way merge against the single-tree fast
-// path: a full-table ordered scan of 1<<16 records through 1 shard (no
-// merge) and through 8 shards (heap-stitched).
+// benchTable builds the shared scan-benchmark fixture: 1<<16 records with
+// random keys below 1<<20 through the given shard count.
+func benchTable(shards int) *Table {
+	tab := NewWithShards(shards).Table(1)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1<<16; i++ {
+		tab.GetOrCreate(rng.Uint64() % (1 << 20))
+	}
+	return tab
+}
+
+// scanBenchShards is the shard axis of the scan benchmarks: the full
+// scaling curve from the single-tree fast path to 16-way merging.
+var scanBenchShards = []int{1, 2, 4, 8, 16}
+
+// BenchmarkScanMerged prices ordered scans across the shard scaling
+// curve: full-range scans (which materialize and then ride the merged-scan
+// view, the steady state of repeated analytical reads over a quiesced
+// table) and narrow ~1/64th-range scans (which hit the merge cascade cold:
+// a narrow scan does not materialize the view).
 func BenchmarkScanMerged(b *testing.B) {
-	for _, shards := range []int{1, 8} {
+	for _, shards := range scanBenchShards {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			tab := NewWithShards(shards).Table(1)
-			rng := rand.New(rand.NewSource(3))
-			for i := 0; i < 1<<16; i++ {
-				tab.GetOrCreate(rng.Uint64() % (1 << 20))
-			}
+			tab := benchTable(shards)
 			n := tab.Len()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				seen := 0
 				tab.Scan(0, ^uint64(0), func(uint64, *Record) bool {
+					seen++
+					return true
+				})
+				if seen != n {
+					b.Fatalf("scan saw %d of %d records", seen, n)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("shards=%d/narrow", shards), func(b *testing.B) {
+			tab := benchTable(shards)
+			const lo, hi = uint64(1) << 19, uint64(1)<<19 + uint64(1)<<14
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tab.Scan(lo, hi, func(uint64, *Record) bool { return true })
+			}
+		})
+	}
+}
+
+// BenchmarkScanCascade pins the raw merge cascade (mergeScan) with the
+// view bypassed — the cost an ordered scan pays when the table changed
+// since the last materialization. This is the number that regresses if
+// the branchless merge loops do.
+func BenchmarkScanCascade(b *testing.B) {
+	for _, shards := range scanBenchShards {
+		if shards == 1 {
+			continue // no merge on the single-tree path
+		}
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			tab := benchTable(shards)
+			n := tab.Len()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				seen := 0
+				for j := range tab.shards {
+					tab.shards[j].mu.RLock()
+				}
+				m := tab.merge.Get().(*mergeScratch)
+				tab.mergeScan(m, 0, ^uint64(0), func(uint64, *Record) bool {
+					seen++
+					return true
+				})
+				tab.putMerge(m)
+				tab.runlockAll()
+				if seen != n {
+					b.Fatalf("scan saw %d of %d records", seen, n)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScanAny prices the unordered variant: per-shard sequential
+// walks, no merge, no view — the fast path for order-insensitive
+// aggregates regardless of table churn.
+func BenchmarkScanAny(b *testing.B) {
+	for _, shards := range scanBenchShards {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			tab := benchTable(shards)
+			n := tab.Len()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				seen := 0
+				tab.ScanAny(0, ^uint64(0), func(uint64, *Record) bool {
+					seen++
+					return true
+				})
+				if seen != n {
+					b.Fatalf("scan saw %d of %d records", seen, n)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScanParallel prices the concurrent ordered scan (producers +
+// loser-tree consumer). The fixture table is never fully Scan()ed, so the
+// view stays unmaterialized and the parallel machinery itself is
+// measured; on a single hardware thread it degrades to roughly the
+// sequential cascade plus scheduling overhead.
+func BenchmarkScanParallel(b *testing.B) {
+	for _, shards := range []int{8, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			tab := benchTable(shards)
+			n := tab.Len()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				seen := 0
+				tab.ScanParallel(0, ^uint64(0), func(uint64, *Record) bool {
 					seen++
 					return true
 				})

@@ -109,8 +109,10 @@ func (t *tree) insert(key uint64, rec *Record) {
 }
 
 // scan visits records with from ≤ key ≤ to in ascending key order until fn
-// returns false.
-func (t *tree) scan(from, to uint64, fn func(key uint64, rec *Record) bool) {
+// returns false. It reports whether the range was exhausted (false means
+// fn stopped the scan early) so multi-shard callers can propagate early
+// stop without a wrapper closure.
+func (t *tree) scan(from, to uint64, fn func(key uint64, rec *Record) bool) bool {
 	n := t.root
 	for !n.leaf {
 		n = n.children[n.childIndex(from)]
@@ -122,14 +124,15 @@ func (t *tree) scan(from, to uint64, fn func(key uint64, rec *Record) bool) {
 				continue
 			}
 			if k > to {
-				return
+				return true
 			}
 			if !fn(k, n.values[i]) {
-				return
+				return false
 			}
 		}
 		n = n.next
 	}
+	return true
 }
 
 // len returns the number of records in the tree.

@@ -8,8 +8,11 @@
 // every table into N key-hash shards (N = next power of two ≥ GOMAXPROCS),
 // each with its own B+Tree and read/write mutex. Concurrent GetOrCreate
 // calls on different shards never touch the same mutex; Scan stitches the
-// shard iterators back together with a k-way merge so analytics queries
-// keep seeing global key order.
+// shard iterators back together with a loser-tree merge (merge.go) so
+// analytics queries keep seeing global key order, ScanAny visits shards
+// one by one with zero merge cost for order-insensitive aggregates, and
+// ScanParallel overlaps the shard walks with an order-preserving
+// consumer (parallel.go).
 package memtable
 
 import (
@@ -210,6 +213,17 @@ type Table struct {
 	mask   uint64
 	shards []shard
 	obs    *obsHook
+
+	// merge and par pool the scratch state of Scan and ScanParallel
+	// (iterators, loser-tree nodes, chunk rings) so repeated scans run
+	// allocation-free. Per-table pools keep the scratch sized to this
+	// table's shard count.
+	merge sync.Pool // *mergeScratch
+	par   sync.Pool // *parScratch
+
+	// view caches the merged key order of all shards between table
+	// growths; see view.go.
+	view atomic.Pointer[mergedView]
 }
 
 // newTable builds a table with n shards (n must be a power of two).
@@ -218,6 +232,8 @@ func newTable(id wal.TableID, n int, obs *obsHook) *Table {
 	for i := range t.shards {
 		t.shards[i].t = newTree()
 	}
+	t.merge.New = func() any { return newMergeScratch(len(t.shards)) }
+	t.par.New = func() any { return newParScratch(len(t.shards)) }
 	return t
 }
 
@@ -264,79 +280,8 @@ func (t *Table) GetOrCreate(key uint64) *Record {
 	return rec
 }
 
-// Scan visits records with from ≤ key ≤ to in global key order until fn
-// returns false. Shard iterators are stitched with a k-way merge: shards
-// partition the key space by hash, so ascending order within each shard
-// plus a smallest-head merge yields ascending order overall. Records
-// created concurrently may or may not be observed. All shard read locks
-// are held for the duration of the scan — the same writer-blocking window
-// the previous table-wide lock imposed, now split per shard.
-func (t *Table) Scan(from, to uint64, fn func(key uint64, rec *Record) bool) {
-	if len(t.shards) == 1 {
-		s := &t.shards[0]
-		t.obs.rlock(&s.mu)
-		defer s.mu.RUnlock()
-		s.t.scan(from, to, fn)
-		return
-	}
-	for i := range t.shards {
-		t.obs.rlock(&t.shards[i].mu)
-		defer t.shards[i].mu.RUnlock()
-	}
-
-	// Min-heap of shard iterators keyed by their current key. Keys are
-	// unique across shards (the hash partition is disjoint), so no
-	// tie-break is needed.
-	h := make([]treeIter, 0, len(t.shards))
-	for i := range t.shards {
-		it := t.shards[i].t.seek(from)
-		if it.valid() && it.key() <= to {
-			h = append(h, it)
-			siftUp(h, len(h)-1)
-		}
-	}
-	for len(h) > 0 {
-		it := &h[0]
-		if !fn(it.key(), it.rec()) {
-			return
-		}
-		it.next()
-		if !it.valid() || it.key() > to {
-			h[0] = h[len(h)-1]
-			h = h[:len(h)-1]
-		}
-		siftDown(h, 0)
-	}
-}
-
-func siftUp(h []treeIter, i int) {
-	for i > 0 {
-		p := (i - 1) / 2
-		if h[p].key() <= h[i].key() {
-			return
-		}
-		h[p], h[i] = h[i], h[p]
-		i = p
-	}
-}
-
-func siftDown(h []treeIter, i int) {
-	for {
-		l, r := 2*i+1, 2*i+2
-		min := i
-		if l < len(h) && h[l].key() < h[min].key() {
-			min = l
-		}
-		if r < len(h) && h[r].key() < h[min].key() {
-			min = r
-		}
-		if min == i {
-			return
-		}
-		h[i], h[min] = h[min], h[i]
-		i = min
-	}
-}
+// Scan (ordered), ScanAny (unordered) and ScanParallel (ordered,
+// concurrent shard walks) live in merge.go and parallel.go.
 
 // Len returns the number of records in the table.
 func (t *Table) Len() int {

@@ -7,6 +7,7 @@
 package query
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"aets/internal/memtable"
@@ -102,26 +103,89 @@ func (s *Snapshot) Scan(table wal.TableID, from, to uint64, fn func(Row) bool) e
 	return nil
 }
 
+// ScanAny visits all visible rows with from ≤ key ≤ to in NO particular
+// key order — shards of the underlying table are walked one after another,
+// each in its own ascending order, with zero merge cost. fn returning
+// false stops the scan early. Aggregations that do not care about key
+// order (counts, sums, freshness probes) should prefer this over Scan;
+// queries whose consumer needs globally sorted keys (merge joins, ordered
+// pagination) must use Scan.
+func (s *Snapshot) ScanAny(table wal.TableID, from, to uint64, fn func(Row) bool) error {
+	if err := s.check(table); err != nil {
+		return err
+	}
+	s.ex.mt.Table(table).ScanAny(from, to, func(key uint64, rec *memtable.Record) bool {
+		v := rec.Visible(s.TS)
+		if v == nil || v.Deleted {
+			return true
+		}
+		return fn(Row{Key: key, CommitTS: v.CommitTS, Columns: rec.ReadRow(s.TS)})
+	})
+	return nil
+}
+
 // Count returns the number of rows visible in the table at the snapshot.
+// Order-insensitive, so it rides the unordered shard walk and skips Row
+// materialization entirely — no per-row map allocation, no merge.
 func (s *Snapshot) Count(table wal.TableID) (int, error) {
+	if err := s.check(table); err != nil {
+		return 0, err
+	}
 	n := 0
-	err := s.Scan(table, 0, ^uint64(0), func(Row) bool {
-		n++
+	s.ex.mt.Table(table).ScanAny(0, ^uint64(0), func(_ uint64, rec *memtable.Record) bool {
+		if v := rec.Visible(s.TS); v != nil && !v.Deleted {
+			n++
+		}
 		return true
 	})
-	return n, err
+	return n, nil
 }
 
 // MaxCommitTS returns the newest commit timestamp visible in the table at
 // the snapshot — a freshness probe: how recent is the data this query can
-// actually see.
+// actually see. Order-insensitive and allocation-free like Count.
 func (s *Snapshot) MaxCommitTS(table wal.TableID) (int64, error) {
+	if err := s.check(table); err != nil {
+		return 0, err
+	}
 	var max int64
-	err := s.Scan(table, 0, ^uint64(0), func(r Row) bool {
-		if r.CommitTS > max {
-			max = r.CommitTS
+	s.ex.mt.Table(table).ScanAny(0, ^uint64(0), func(_ uint64, rec *memtable.Record) bool {
+		if v := rec.Visible(s.TS); v != nil && !v.Deleted && v.CommitTS > max {
+			max = v.CommitTS
 		}
 		return true
 	})
-	return max, err
+	return max, nil
+}
+
+// SumInt64 sums column col over all rows visible at the snapshot,
+// interpreting each value as a little-endian 64-bit integer (the WAL's
+// integer convention). A row contributes its newest visible value of col
+// under ReadRow semantics — the first version at or below the snapshot
+// that carries the column, never reaching past a delete. Rows without the
+// column, or whose value is not exactly 8 bytes, contribute nothing.
+// Order-insensitive: rides the unordered shard walk with no per-row
+// allocation.
+func (s *Snapshot) SumInt64(table wal.TableID, col uint32) (int64, error) {
+	if err := s.check(table); err != nil {
+		return 0, err
+	}
+	var sum int64
+	s.ex.mt.Table(table).ScanAny(0, ^uint64(0), func(_ uint64, rec *memtable.Record) bool {
+		for v := rec.Visible(s.TS); v != nil; v = v.Next() {
+			if v.Deleted {
+				return true // older versions belong to a prior row
+			}
+			for _, c := range v.Columns {
+				if c.ID == col {
+					if len(c.Value) == 8 {
+						sum += int64(binary.LittleEndian.Uint64(c.Value))
+					}
+					return true
+				}
+			}
+		}
+		return true
+	})
+	return sum, nil
 }

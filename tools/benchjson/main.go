@@ -4,13 +4,24 @@
 // lines (goos, goarch, pkg, cpu) are captured alongside the per-benchmark
 // metric pairs; any "<value> <unit>" pair emitted via b.ReportMetric comes
 // through untouched.
+//
+// With -diff OLD.json the fresh run on stdin is instead compared against
+// the archived document: one line per benchmark with old → new ns/op,
+// B/op and allocs/op and the relative change (`make bench-diff` pipes the
+// live benchmarks through this against the checked-in BENCH_*.json).
+// Benchmark names are matched with any trailing -N GOMAXPROCS suffix
+// stripped, so runs from hosts with different core counts still line up.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -26,9 +37,10 @@ type doc struct {
 	Results []result          `json:"results"`
 }
 
-func main() {
+// parse reads `go test -bench` text output into a doc.
+func parse(r io.Reader) (doc, error) {
 	out := doc{Context: map[string]string{}, Results: []result{}}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -57,13 +69,122 @@ func main() {
 			out.Results = append(out.Results, r)
 		}
 	}
-	if err := sc.Err(); err != nil {
+	return out, sc.Err()
+}
+
+// gomaxprocsSuffix is the trailing -N the bench runner appends to names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func normalize(name string) string {
+	return gomaxprocsSuffix.ReplaceAllString(name, "")
+}
+
+// delta formats "old → new (±x%)" for one metric, or a placeholder when a
+// side is missing. Integral metrics print without decimals.
+func delta(oldM, newM map[string]float64, unit string) string {
+	ov, ook := oldM[unit]
+	nv, nok := newM[unit]
+	fmtv := func(v float64) string {
+		if v == float64(int64(v)) {
+			return strconv.FormatInt(int64(v), 10)
+		}
+		return strconv.FormatFloat(v, 'f', 1, 64)
+	}
+	switch {
+	case !ook && !nok:
+		return "-"
+	case !ook:
+		return fmtv(nv) + " (new)"
+	case !nok:
+		return fmtv(ov) + " (gone)"
+	}
+	var rel string
+	switch {
+	case ov == nv:
+		rel = "±0%"
+	case ov == 0:
+		rel = "+inf"
+	default:
+		rel = fmt.Sprintf("%+.1f%%", (nv-ov)/ov*100)
+	}
+	return fmt.Sprintf("%s → %s (%s)", fmtv(ov), fmtv(nv), rel)
+}
+
+// diff prints a per-benchmark comparison of fresh against the archive and
+// reports whether any benchmark regressed ns/op by more than warnPct.
+func diff(w io.Writer, archived, fresh doc, warnPct float64) bool {
+	old := make(map[string]result, len(archived.Results))
+	for _, r := range archived.Results {
+		old[normalize(r.Name)] = r
+	}
+	width := len("benchmark")
+	for _, r := range fresh.Results {
+		if n := len(normalize(r.Name)); n > width {
+			width = n
+		}
+	}
+	regressed := false
+	seen := make(map[string]bool, len(fresh.Results))
+	for _, r := range fresh.Results {
+		name := normalize(r.Name)
+		seen[name] = true
+		o := old[name] // zero value (nil Metrics) when new: delta says "(new)"
+		mark := ""
+		if ov, nv := o.Metrics["ns/op"], r.Metrics["ns/op"]; ov > 0 && nv > ov*(1+warnPct/100) {
+			mark = "  <-- regression"
+			regressed = true
+		}
+		fmt.Fprintf(w, "%-*s  ns/op %s  B/op %s  allocs/op %s%s\n",
+			width, name,
+			delta(o.Metrics, r.Metrics, "ns/op"),
+			delta(o.Metrics, r.Metrics, "B/op"),
+			delta(o.Metrics, r.Metrics, "allocs/op"),
+			mark)
+	}
+	var gone []string
+	for name := range old {
+		if !seen[name] {
+			gone = append(gone, name)
+		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Fprintf(w, "%-*s  not in this run\n", width, name)
+	}
+	return regressed
+}
+
+func main() {
+	diffPath := flag.String("diff", "", "archived benchjson JSON to compare the run on stdin against")
+	warnPct := flag.Float64("warn", 25, "with -diff, flag benchmarks whose ns/op grew by more than this percentage")
+	flag.Parse()
+
+	fresh, err := parse(os.Stdin)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+
+	if *diffPath != "" {
+		raw, err := os.ReadFile(*diffPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var archived doc
+		if err := json.Unmarshal(raw, &archived); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *diffPath, err)
+			os.Exit(1)
+		}
+		// Regressions are flagged inline but do not fail the command:
+		// bench numbers on shared CI hosts are too noisy for a hard gate.
+		diff(os.Stdout, archived, fresh, *warnPct)
+		return
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
+	if err := enc.Encode(fresh); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
