@@ -32,15 +32,22 @@ fuzz:
 # restarts at random points under transport faults plus an injected
 # spool bit-flip must converge to reference-equal state, and a poison
 # epoch must be quarantined instead of crash-looping the replica.
+# The second leg reruns the restart chaos with negotiated flate
+# compression on every link, so compressed frames cross the faulty wire
+# and land in the spool as received.
 chaos:
 	$(GO) test -race -short -run 'TestChaos' -count=1 ./internal/recovery/
+	AETS_CHAOS_COMPRESS=1 $(GO) test -race -short -run 'TestChaosRestartsConvergeToReference' -count=1 ./internal/recovery/
 
 # Cluster chaos e2e in short mode under the race detector: a 3-replica
 # fan-out where replicas hard-crash mid-stream and recover through the
 # supervisor while routed queries stay reference-equal and satisfied
-# queries admit without blocking.
+# queries admit without blocking. The second leg runs a mixed-capability
+# fleet — one replica pinned to wire v1, the rest negotiating flate — to
+# prove one stale peer cannot disable compression for its siblings.
 chaos-cluster:
 	$(GO) test -race -short -run 'TestClusterChaos' -count=1 ./internal/cluster/
+	AETS_CHAOS_COMPRESS=1 $(GO) test -race -short -run 'TestClusterChaos' -count=1 ./internal/cluster/
 
 # Boot `replayd backup -http`, scrape /metrics and /healthz, fail on
 # non-200 responses or missing replay_* series.
@@ -57,6 +64,11 @@ bench-smoke:
 # by bench-diff: the index scaling curve plus every scan variant.
 MEMTABLE_BENCH = BenchmarkGetOrCreateParallel|BenchmarkScanMerged|BenchmarkScanCascade|BenchmarkScanAny|BenchmarkScanParallel
 
+# The ship benchmark set archived in BENCH_ship.json: the compression
+# path per workload (with its wire/raw ratio metric) and the raw-encode
+# baseline it is diffed against.
+SHIP_BENCH = BenchmarkShipCompress|BenchmarkShipEncodeRaw
+
 # Serial-vs-pipelined replay throughput and memtable index benchmarks,
 # archived as JSON for diffing.
 bench-json:
@@ -66,6 +78,8 @@ bench-json:
 		| $(GO) run ./tools/benchjson > BENCH_memtable.json
 	$(GO) test -run='^$$' -bench=BenchmarkRouteQuery -benchmem ./internal/cluster/ \
 		| $(GO) run ./tools/benchjson > BENCH_cluster.json
+	$(GO) test -run='^$$' -bench='$(SHIP_BENCH)' -benchmem ./internal/ship/ \
+		| $(GO) run ./tools/benchjson > BENCH_ship.json
 
 # Re-run the archived benchmarks and print per-benchmark deltas against
 # the checked-in BENCH_*.json — old → new ns/op, B/op and allocs/op with
@@ -78,5 +92,7 @@ bench-diff:
 		| $(GO) run ./tools/benchjson -diff BENCH_memtable.json
 	$(GO) test -run='^$$' -bench=BenchmarkRouteQuery -benchmem ./internal/cluster/ \
 		| $(GO) run ./tools/benchjson -diff BENCH_cluster.json
+	$(GO) test -run='^$$' -bench='$(SHIP_BENCH)' -benchmem ./internal/ship/ \
+		| $(GO) run ./tools/benchjson -diff BENCH_ship.json
 
 ci: build vet test race chaos chaos-cluster bench-smoke smoke

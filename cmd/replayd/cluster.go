@@ -40,6 +40,7 @@ func runCluster(args []string) error {
 			Window:         c.window,
 			HeartbeatEvery: c.hb,
 			MaxAttempts:    c.retries,
+			Compress:       c.compress,
 		}})
 	}
 	fan, err := cluster.NewFanout(cluster.FanoutConfig{
@@ -100,8 +101,12 @@ func runCluster(args []string) error {
 		if st.Err != nil {
 			status = st.Err.Error()
 		}
-		fmt.Printf("peer %-24s acked %d/%d, reconnects %d — %s\n",
-			st.ID, st.Acked, len(encs), st.Reconnects, status)
+		ratio := ""
+		if st.BytesRaw > 0 && st.BytesWire != st.BytesRaw {
+			ratio = fmt.Sprintf(", wire/raw %.3f", float64(st.BytesWire)/float64(st.BytesRaw))
+		}
+		fmt.Printf("peer %-24s acked %d/%d, reconnects %d%s — %s\n",
+			st.ID, st.Acked, len(encs), st.Reconnects, ratio, status)
 	}
 	fmt.Printf("fanned out %d epochs (%d txns) to %d replicas in %v\n",
 		len(encs), c.txns, len(c.connects), elapsed)

@@ -52,6 +52,7 @@ type primaryFlags struct {
 	rate, window, retries int
 	hb                    time.Duration
 	httpAddr              string
+	compress              bool
 	applyProfiles         func()
 }
 
@@ -68,6 +69,7 @@ func parsePrimaryFlags(args []string) (*primaryFlags, error) {
 	fs.DurationVar(&c.hb, "hb", 500*time.Millisecond, "heartbeat interval (0 disables)")
 	fs.IntVar(&c.retries, "retries", 8, "consecutive reconnect attempts before giving up")
 	fs.StringVar(&c.httpAddr, "http", "", "serve /metrics /healthz /varz /debug/pprof on this address (empty disables)")
+	fs.BoolVar(&c.compress, "compress", false, "negotiate flate frame compression (falls back to raw against peers that lack it)")
 	c.applyProfiles = contentionProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -104,6 +106,7 @@ type backupFlags struct {
 	ckptEvery              int
 	ckptInterval           time.Duration
 	syncPolicy             string
+	compress               bool
 	applyProfiles          func()
 }
 
@@ -128,6 +131,7 @@ func parseBackupFlags(args []string) (*backupFlags, error) {
 	fs.IntVar(&c.ckptEvery, "ckpt-every", 0, "supervisor: checkpoint after this many applied epochs (0 disables)")
 	fs.DurationVar(&c.ckptInterval, "ckpt-interval", 30*time.Second, "supervisor: checkpoint at least this often while epochs arrive (0 disables)")
 	fs.StringVar(&c.syncPolicy, "sync", "always", "spool sync policy: always, interval, never")
+	fs.BoolVar(&c.compress, "compress", false, "advertise flate frame compression to senders (raw frames still accepted)")
 	c.applyProfiles = contentionProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -174,6 +178,7 @@ type clusterFlags struct {
 	hb                    time.Duration
 	maxQueue              int
 	httpAddr              string
+	compress              bool
 	applyProfiles         func()
 }
 
@@ -191,6 +196,7 @@ func parseClusterFlags(args []string) (*clusterFlags, error) {
 	fs.IntVar(&c.retries, "retries", 8, "per-link consecutive reconnect attempts before the peer is dropped")
 	fs.IntVar(&c.maxQueue, "max-queue", 0, "per-peer divergence buffer in epochs; a peer further behind is dropped (0 = unbounded)")
 	fs.StringVar(&c.httpAddr, "http", "", "serve /metrics /healthz /varz /debug/pprof on this address (empty disables)")
+	fs.BoolVar(&c.compress, "compress", false, "negotiate flate frame compression per peer (a v1 peer still gets raw frames)")
 	c.applyProfiles = contentionProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -236,6 +242,7 @@ type routeFlags struct {
 	delay           time.Duration
 	stale           int64
 	ordered         bool
+	compress        bool
 	applyProfiles   func()
 }
 
@@ -255,6 +262,7 @@ func parseRouteFlags(args []string) (*routeFlags, error) {
 	fs.DurationVar(&c.delay, "delay", 0, "per-link replication delay: link i gets i×delay (ship.FaultConn latency)")
 	fs.Int64Var(&c.stale, "stale", 1_000_000, "query timestamps trail the shipped watermark by up to this many commit-ts units (0 = always query the head)")
 	fs.BoolVar(&c.ordered, "ordered", false, "routed reads demand global key order (merged Scan); default reads are order-insensitive aggregates (ScanAny)")
+	fs.BoolVar(&c.compress, "compress", false, "negotiate flate frame compression on every replication link")
 	c.applyProfiles = contentionProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err

@@ -167,6 +167,7 @@ func runPrimary(args []string) error {
 		HeartbeatEvery: c.hb,
 		MaxAttempts:    c.retries,
 		Metrics:        m,
+		Compress:       c.compress,
 	})
 	if err != nil {
 		return err
@@ -214,6 +215,10 @@ func runPrimary(args []string) error {
 	st := s.Stats()
 	fmt.Printf("shipped %d epochs (%d txns) in %v — acked %d, reconnects %d\n",
 		len(encs), c.txns, time.Since(start).Round(time.Millisecond), st.Acked, st.Reconnects)
+	if st.BytesRaw > 0 && st.BytesWire != st.BytesRaw {
+		fmt.Printf("  wire %d / raw %d bytes — ratio %.3f\n",
+			st.BytesWire, st.BytesRaw, float64(st.BytesWire)/float64(st.BytesRaw))
+	}
 	return nil
 }
 
@@ -238,7 +243,7 @@ func runBackup(args []string) error {
 			spoolDir: c.spoolDir, ckptDir: c.ckptDir,
 			ckptEvery: c.ckptEvery, ckptInterval: c.ckptInterval,
 			syncPolicy: c.syncPolicy, once: c.once, gcEvery: c.gcEvery,
-			httpAddr: c.httpAddr,
+			httpAddr: c.httpAddr, compress: c.compress,
 		})
 	}
 	var node *htap.Node
@@ -270,9 +275,10 @@ func runBackup(args []string) error {
 
 	m := ship.NewMetrics(metrics.Default)
 	rcv, err := node.ShipReceiver(ship.ReceiverConfig{
-		Schema:  ship.SchemaHash(c.workload, workload.TableIDs(gen.Tables())),
-		Metrics: m,
-		Drain:   func() error { node.Drain(); return node.Err() },
+		Schema:   ship.SchemaHash(c.workload, workload.TableIDs(gen.Tables())),
+		Metrics:  m,
+		Drain:    func() error { node.Drain(); return node.Err() },
+		Compress: c.compress,
 	})
 	if err != nil {
 		return err
@@ -356,6 +362,7 @@ type supervisedConfig struct {
 	once               bool
 	gcEvery            time.Duration
 	httpAddr           string
+	compress           bool
 }
 
 // runSupervised is the crash-tolerant backup: every received epoch is
@@ -403,11 +410,12 @@ func runSupervised(c supervisedConfig) error {
 
 	m := ship.NewMetrics(metrics.Default)
 	rcv, err := ship.NewReceiver(ship.ReceiverConfig{
-		Schema:  ship.SchemaHash(c.name, workload.TableIDs(c.gen.Tables())),
-		Resume:  sup.NextSeq(),
-		Applier: sup,
-		Metrics: m,
-		Drain:   sup.Checkpoint,
+		Schema:   ship.SchemaHash(c.name, workload.TableIDs(c.gen.Tables())),
+		Resume:   sup.NextSeq(),
+		Applier:  sup,
+		Metrics:  m,
+		Drain:    sup.Checkpoint,
+		Compress: c.compress,
 	})
 	if err != nil {
 		return err

@@ -34,6 +34,7 @@ func TestFlagValidation(t *testing.T) {
 		{"primary zero retries", "primary", []string{"-retries", "0"}, "-retries must be positive"},
 		{"primary negative rate", "primary", []string{"-rate", "-1"}, "must not be negative"},
 		{"primary negative hb", "primary", []string{"-hb", "-1s"}, "must not be negative"},
+		{"primary compress", "primary", []string{"-compress"}, ""},
 
 		// backup
 		{"backup defaults", "backup", nil, ""},
@@ -51,6 +52,7 @@ func TestFlagValidation(t *testing.T) {
 		{"backup checkpoint under supervisor", "backup",
 			[]string{"-spool-dir", "s", "-ckpt-dir", "c", "-checkpoint", "x.ckpt"}, "-checkpoint conflicts"},
 		{"backup bad sync policy", "backup", []string{"-spool-dir", "s", "-ckpt-dir", "c", "-sync", "maybe"}, "maybe"},
+		{"backup supervised compress", "backup", []string{"-spool-dir", "s", "-ckpt-dir", "c", "-compress"}, ""},
 
 		// cluster
 		{"cluster three peers", "cluster", []string{"-connect", "a:1,b:2,c:3"}, ""},
@@ -61,6 +63,7 @@ func TestFlagValidation(t *testing.T) {
 		{"cluster zero epoch", "cluster", []string{"-connect", "a:1", "-epoch", "0"}, "-txns and -epoch must be positive"},
 		{"cluster zero window", "cluster", []string{"-connect", "a:1", "-window", "0"}, "-window and -retries must be positive"},
 		{"cluster negative max-queue", "cluster", []string{"-connect", "a:1", "-max-queue", "-1"}, "must not be negative"},
+		{"cluster compress", "cluster", []string{"-connect", "a:1,b:2", "-compress"}, ""},
 
 		// route
 		{"route defaults", "route", nil, ""},
@@ -72,6 +75,7 @@ func TestFlagValidation(t *testing.T) {
 		{"route negative delay", "route", []string{"-delay", "-1ms"}, "must not be negative"},
 		{"route negative stale", "route", []string{"-stale", "-1"}, "must not be negative"},
 		{"route zero concurrency", "route", []string{"-concurrency", "0"}, "-concurrency must be positive"},
+		{"route compress", "route", []string{"-compress"}, ""},
 	}
 
 	for _, tc := range cases {

@@ -57,9 +57,10 @@ func runRoute(args []string) error {
 			return err
 		}
 		rcv, err := node.ShipReceiver(ship.ReceiverConfig{
-			Schema:  schema,
-			Metrics: ship.NewPeerMetrics(metrics.Default, id),
-			Drain:   func() error { node.Drain(); return node.Err() },
+			Schema:   schema,
+			Metrics:  ship.NewPeerMetrics(metrics.Default, id),
+			Drain:    func() error { node.Drain(); return node.Err() },
+			Compress: c.compress,
 		})
 		if err != nil {
 			return err
@@ -106,6 +107,7 @@ func runRoute(args []string) error {
 			Schema:         schema,
 			Window:         32,
 			HeartbeatEvery: 5 * time.Millisecond,
+			Compress:       c.compress,
 		}}
 	}
 

@@ -76,6 +76,12 @@ type chaosReplica struct {
 	reg      *metrics.Registry
 	rep      *cluster.SupervisorReplica
 
+	// Receiver capability knobs, fixed for all of the replica's lives:
+	// compress advertises CapFlate; maxVersion 1 emulates a legacy v1
+	// peer that rejects v2 HELLOs outright.
+	compress   bool
+	maxVersion byte
+
 	addr atomic.Value // string: current listener address ("" while down)
 
 	ln      *chaosListener
@@ -84,13 +90,15 @@ type chaosReplica struct {
 	serveWG sync.WaitGroup
 }
 
-func newChaosReplica(t *testing.T, id string) *chaosReplica {
+func newChaosReplica(t *testing.T, id string, compress bool, maxVersion byte) *chaosReplica {
 	t.Helper()
 	cr := &chaosReplica{
-		id:       id,
-		spoolDir: filepath.Join(t.TempDir(), "spool"),
-		ckptDir:  filepath.Join(t.TempDir(), "ckpt"),
-		reg:      metrics.NewRegistry(),
+		id:         id,
+		spoolDir:   filepath.Join(t.TempDir(), "spool"),
+		ckptDir:    filepath.Join(t.TempDir(), "ckpt"),
+		reg:        metrics.NewRegistry(),
+		compress:   compress,
+		maxVersion: maxVersion,
 	}
 	if err := os.MkdirAll(cr.spoolDir, 0o755); err != nil {
 		t.Fatal(err)
@@ -134,10 +142,12 @@ func (cr *chaosReplica) start(t *testing.T) {
 		t.Fatal(err)
 	}
 	rcv, err := ship.NewReceiver(ship.ReceiverConfig{
-		Schema:  fanSchema(),
-		Resume:  sup.NextSeq(),
-		Applier: sup,
-		Metrics: ship.NewPeerMetrics(cr.reg, cr.id),
+		Schema:     fanSchema(),
+		Resume:     sup.NextSeq(),
+		Applier:    sup,
+		Metrics:    ship.NewPeerMetrics(cr.reg, cr.id),
+		Compress:   cr.compress,
+		MaxVersion: cr.maxVersion,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -280,13 +290,25 @@ func TestClusterChaosRoutedQueriesStayCorrect(t *testing.T) {
 		return d
 	}
 
-	// The cluster: three crash-recovering replicas, one router.
+	// The cluster: three crash-recovering replicas, one router. With
+	// AETS_CHAOS_COMPRESS set the fleet is capability-mixed: every sender
+	// offers flate, r0 is pinned to legacy v1 (it must keep receiving raw
+	// frames through the v1 fallback), r1/r2 negotiate compression —
+	// proving one stale peer cannot disable compression for its siblings.
+	mixed := os.Getenv("AETS_CHAOS_COMPRESS") != ""
+	if mixed {
+		t.Log("chaos leg: mixed-capability fleet (r0 legacy v1, r1/r2 flate)")
+	}
 	m := cluster.NewMetrics(metrics.NewRegistry())
 	members := cluster.NewMembership(m)
 	reps := make([]*chaosReplica, 3)
 	peers := make([]cluster.Peer, 3)
 	for i := range reps {
-		cr := newChaosReplica(t, fmt.Sprintf("r%d", i))
+		var maxVer byte
+		if mixed && i == 0 {
+			maxVer = 1
+		}
+		cr := newChaosReplica(t, fmt.Sprintf("r%d", i), mixed && i > 0, maxVer)
 		reps[i] = cr
 		if err := members.Add(cr.rep); err != nil {
 			t.Fatal(err)
@@ -299,6 +321,7 @@ func TestClusterChaosRoutedQueriesStayCorrect(t *testing.T) {
 			RetryBase:      time.Millisecond,
 			RetryMax:       10 * time.Millisecond,
 			MaxAttempts:    1 << 30, // a dead replica is retried until it returns
+			Compress:       mixed,
 		}}
 	}
 	router, err := cluster.NewRouter(cluster.RouterConfig{Members: members, Metrics: m})
@@ -424,6 +447,25 @@ func TestClusterChaosRoutedQueriesStayCorrect(t *testing.T) {
 	waitCaughtUp(t, members, lastTS)
 	verify(lastTS, 8)
 	assertZeroBlock()
+
+	// Per-peer byte accounting before Close tears the links down: the v1
+	// peer must have shipped raw, the flate peers measurably less.
+	if mixed {
+		for _, st := range fan.Stats() {
+			switch st.ID {
+			case "r0":
+				if st.BytesWire != st.BytesRaw {
+					t.Fatalf("v1 peer r0 wire %d ≠ raw %d", st.BytesWire, st.BytesRaw)
+				}
+			default:
+				if st.BytesWire >= st.BytesRaw {
+					t.Fatalf("flate peer %s did not compress: wire %d ≥ raw %d", st.ID, st.BytesWire, st.BytesRaw)
+				}
+				t.Logf("%s wire/raw: %.3f (%d/%d)", st.ID,
+					float64(st.BytesWire)/float64(st.BytesRaw), st.BytesWire, st.BytesRaw)
+			}
+		}
+	}
 
 	if err := fan.Close(); err != nil {
 		t.Fatalf("fan-out close: %v", err)

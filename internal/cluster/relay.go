@@ -26,7 +26,10 @@ type Relay struct {
 	downErr error
 }
 
-var _ ship.Applier = (*Relay)(nil)
+var (
+	_ ship.Applier      = (*Relay)(nil)
+	_ ship.FrameApplier = (*Relay)(nil)
+)
 
 // NewRelay wraps the local applier with downstream re-shipping.
 func NewRelay(inner ship.Applier, out *Fanout) *Relay {
@@ -38,6 +41,34 @@ func (r *Relay) Feed(enc *epoch.Encoded) error {
 	if err := r.inner.Feed(enc); err != nil {
 		return err
 	}
+	r.forward(enc)
+	return nil
+}
+
+// FeedFrame implements ship.FrameApplier: a frame-aware inner applier
+// (a recovery supervisor spooling wire frames) gets the frame as
+// received; downstream forwarding always uses the decoded epoch, since
+// each peer's sender negotiates its own capabilities and re-frames —
+// one stale downstream peer must not force the whole subtree raw.
+// Retaining enc is safe: the receiver allocates the frame payload (and
+// thus enc.Buf) fresh per frame.
+func (r *Relay) FeedFrame(flags byte, payload []byte, enc *epoch.Encoded) error {
+	var err error
+	if fa, ok := r.inner.(ship.FrameApplier); ok {
+		err = fa.FeedFrame(flags, payload, enc)
+	} else {
+		err = r.inner.Feed(enc)
+	}
+	if err != nil {
+		return err
+	}
+	r.forward(enc)
+	return nil
+}
+
+// forward re-ships one locally-applied epoch downstream, recording (not
+// propagating) a subtree-wide delivery failure.
+func (r *Relay) forward(enc *epoch.Encoded) {
 	if err := r.out.Send(enc); err != nil {
 		r.mu.Lock()
 		if r.downErr == nil {
@@ -45,7 +76,6 @@ func (r *Relay) Feed(enc *epoch.Encoded) error {
 		}
 		r.mu.Unlock()
 	}
-	return nil
 }
 
 // Heartbeat implements ship.Applier: advance local visibility, then let

@@ -63,6 +63,13 @@ func TestChaosRestartsConvergeToReference(t *testing.T) {
 	if testing.Short() {
 		txnCount, epochSize = 2000, 64
 	}
+	// AETS_CHAOS_COMPRESS=1 runs the same chaos with negotiated frame
+	// compression on every link: compressed frames then cross the faulty
+	// wire, land in the spool as received, and survive the restarts.
+	compress := os.Getenv("AETS_CHAOS_COMPRESS") != ""
+	if compress {
+		t.Log("chaos leg: flate compression negotiated on all links")
+	}
 	txns, encs := supStream(t, txnCount, epochSize)
 	want := memtable.New()
 	reference.Apply(want, txns)
@@ -85,10 +92,11 @@ func TestChaosRestartsConvergeToReference(t *testing.T) {
 		}
 		ln := &trackingListener{Listener: base}
 		rcv, err := ship.NewReceiver(ship.ReceiverConfig{
-			Schema:  chaosSchema(),
-			Resume:  env.sup.NextSeq(),
-			Applier: env.sup,
-			Metrics: ship.NewMetrics(metrics.NewRegistry()),
+			Schema:   chaosSchema(),
+			Resume:   env.sup.NextSeq(),
+			Applier:  env.sup,
+			Metrics:  ship.NewMetrics(metrics.NewRegistry()),
+			Compress: compress,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -130,6 +138,7 @@ func TestChaosRestartsConvergeToReference(t *testing.T) {
 			RetryMax:    5 * time.Millisecond,
 			MaxAttempts: 2, // every attempt is cut: the sender dies quickly
 			Metrics:     ship.NewMetrics(metrics.NewRegistry()),
+			Compress:    compress,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -185,11 +194,12 @@ func TestChaosRestartsConvergeToReference(t *testing.T) {
 	}
 	defer base.Close()
 	rcv, err := ship.NewReceiver(ship.ReceiverConfig{
-		Schema:  chaosSchema(),
-		Resume:  env.sup.NextSeq(),
-		Applier: env.sup,
-		Drain:   env.sup.Checkpoint,
-		Metrics: ship.NewMetrics(metrics.NewRegistry()),
+		Schema:   chaosSchema(),
+		Resume:   env.sup.NextSeq(),
+		Applier:  env.sup,
+		Drain:    env.sup.Checkpoint,
+		Metrics:  ship.NewMetrics(metrics.NewRegistry()),
+		Compress: compress,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -214,10 +224,11 @@ func TestChaosRestartsConvergeToReference(t *testing.T) {
 		}
 	}()
 	s, err := ship.NewSender(ship.SenderConfig{
-		Dial:    func() (net.Conn, error) { return net.Dial("tcp", base.Addr().String()) },
-		Schema:  chaosSchema(),
-		Window:  8,
-		Metrics: ship.NewMetrics(metrics.NewRegistry()),
+		Dial:     func() (net.Conn, error) { return net.Dial("tcp", base.Addr().String()) },
+		Schema:   chaosSchema(),
+		Window:   8,
+		Metrics:  ship.NewMetrics(metrics.NewRegistry()),
+		Compress: compress,
 	})
 	if err != nil {
 		t.Fatal(err)

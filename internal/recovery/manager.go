@@ -124,6 +124,9 @@ func (m *Manager) Write(cut func(w io.Writer) error) (string, error) {
 	return final, nil
 }
 
+// Retain returns how many checkpoints the manager keeps.
+func (m *Manager) Retain() int { return m.retain }
+
 // List returns the retained checkpoint paths, newest first.
 func (m *Manager) List() ([]string, error) {
 	m.mu.Lock()

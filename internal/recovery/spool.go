@@ -10,6 +10,7 @@
 package recovery
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -103,13 +104,19 @@ type SpoolConfig struct {
 
 // Spool is an append-only, file-backed archive of CRC-framed encoded
 // epochs: the backup's local replication log. Each record is one ship
-// EPOCH frame (magic, version, length, CRC32C), appended to segment
-// files named spool-<firstSeq>.seg. On open the spool scans its
+// EPOCH frame (magic, version, length, CRC32C) stored exactly as it
+// arrived — a compressed v2 frame is spooled compressed (AppendWire)
+// and only inflated when replayed. Frames are appended to segment
+// files named spool-<seq>.seg, where seq is a lower bound on the first
+// epoch the file contains: exact at creation, and raised in place by
+// Compact, which rewrites the oldest segment dropping epochs below the
+// checkpoint cursor without renaming it. On open the spool scans its
 // segments, truncates a torn or corrupt tail at the last valid frame
 // boundary, and exposes the replayable range [First, End).
 //
-// Append and TruncateBefore are safe for concurrent use; Replay must
-// not run concurrently with Append (the supervisor serializes them).
+// Append, AppendWire, TruncateBefore and Compact are safe for
+// concurrent use; Replay must not run concurrently with Append or
+// Compact (the supervisor serializes them).
 type Spool struct {
 	cfg SpoolConfig
 
@@ -128,6 +135,8 @@ type Spool struct {
 	cTruncated *metrics.Counter
 	cAppended  *metrics.Counter
 	cSyncs     *metrics.Counter
+	cCompacts  *metrics.Counter
+	cReclaimed *metrics.Counter
 	gEnd       *metrics.Gauge
 	gSegments  *metrics.Gauge
 }
@@ -156,6 +165,8 @@ func (cfg SpoolConfig) open() (*Spool, error) {
 		cTruncated: cfg.Metrics.Counter("recovery_spool_truncated_total"),
 		cAppended:  cfg.Metrics.Counter("recovery_spool_epochs_total"),
 		cSyncs:     cfg.Metrics.Counter("recovery_spool_syncs_total"),
+		cCompacts:  cfg.Metrics.Counter("recovery_spool_compactions_total"),
+		cReclaimed: cfg.Metrics.Counter("recovery_spool_compact_reclaimed_bytes_total"),
 		gEnd:       cfg.Metrics.Gauge("recovery_spool_end"),
 		gSegments:  cfg.Metrics.Gauge("recovery_spool_segments"),
 	}
@@ -176,16 +187,29 @@ func OpenSpool(cfg SpoolConfig) (*Spool, error) {
 	return cfg.open()
 }
 
-// recover scans segments, truncating the log at the first invalid frame.
+// recover scans segments, truncating the log at the first invalid
+// frame. Leftover .tmp files from a compaction that died before its
+// rename are discarded first — the original segment is still intact.
 func (sp *Spool) recover() error {
+	ents, err := os.ReadDir(sp.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	for _, de := range ents {
+		if strings.HasSuffix(de.Name(), spoolSuffix+compactTmpSuffix) {
+			if err := os.Remove(filepath.Join(sp.cfg.Dir, de.Name())); err != nil {
+				return err
+			}
+		}
+	}
 	segs, err := sp.segments()
 	if err != nil {
 		return err
 	}
 	expect := uint64(0)
 	haveAny := false
-	for i, firstSeq := range segs {
-		good, lastSeq, n, serr := scanSegment(sp.path(firstSeq), firstSeq, haveAny, expect)
+	for i, nameSeq := range segs {
+		good, firstSeq, lastSeq, n, serr := scanSegment(sp.path(nameSeq), nameSeq, haveAny, expect)
 		if n > 0 {
 			if !haveAny {
 				sp.first, sp.have, haveAny = firstSeq, true, true
@@ -195,7 +219,7 @@ func (sp *Spool) recover() error {
 		if serr != nil {
 			// Torn or corrupt tail: keep the valid prefix, drop the rest of
 			// this segment and every later one (they would be a gap).
-			if err := os.Truncate(sp.path(firstSeq), good); err != nil {
+			if err := os.Truncate(sp.path(nameSeq), good); err != nil {
 				return fmt.Errorf("recovery: truncating torn spool segment: %w", err)
 			}
 			for _, later := range segs[i+1:] {
@@ -207,7 +231,7 @@ func (sp *Spool) recover() error {
 			if n == 0 && !haveAny {
 				// The whole first segment was bad; nothing replayable in it.
 				if good == 0 {
-					_ = os.Remove(sp.path(firstSeq))
+					_ = os.Remove(sp.path(nameSeq))
 				}
 			}
 			break
@@ -221,38 +245,49 @@ func (sp *Spool) recover() error {
 	return nil
 }
 
-// scanSegment walks one segment's frames. It returns the byte offset of
-// the end of the last valid frame, the last epoch seq read, the number
-// of valid frames, and the error that ended the scan (nil at clean EOF).
-// The first frame must carry seq firstSeq; subsequent frames must be
-// consecutive (a mismatch is treated as corruption at that frame).
-func scanSegment(path string, firstSeq uint64, haveAny bool, expect uint64) (good int64, lastSeq uint64, n int, err error) {
+// scanSegment walks one segment's frames. It returns the byte offset
+// of the end of the last valid frame, the first and last epoch seqs
+// read, the number of valid frames, and the error that ended the scan
+// (nil at clean EOF). A compressed frame is inflated here purely to
+// validate it — the spooled bytes stay as received. The segment's
+// leading frame must carry a seq at or above nameSeq (the file name is
+// a lower bound; compaction raises the content floor in place), and in
+// a non-leading segment it must continue the previous segment exactly;
+// subsequent frames must be consecutive. Any mismatch is treated as
+// corruption at that frame.
+func scanSegment(path string, nameSeq uint64, haveAny bool, expect uint64) (good int64, firstSeq, lastSeq uint64, n int, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, 0, err
 	}
 	defer f.Close()
-	if !haveAny {
-		expect = firstSeq
-	}
 	cr := &countingReader{r: f}
 	for {
-		kind, payload, rerr := ship.ReadFrame(cr)
+		_, kind, flags, payload, rerr := ship.ReadFrameFlags(cr)
 		if rerr == io.EOF {
-			return good, lastSeq, n, nil
+			return good, firstSeq, lastSeq, n, nil
 		}
 		if rerr != nil {
-			return good, lastSeq, n, rerr
+			return good, firstSeq, lastSeq, n, rerr
 		}
 		if kind != ship.KindEpoch {
-			return good, lastSeq, n, fmt.Errorf("%w: unexpected frame kind %d in spool", ship.ErrCorrupt, kind)
+			return good, firstSeq, lastSeq, n, fmt.Errorf("%w: unexpected frame kind %d in spool", ship.ErrCorrupt, kind)
 		}
-		enc, derr := ship.DecodeEpoch(payload)
+		enc, derr := ship.DecodeEpochFrame(flags, payload)
 		if derr != nil {
-			return good, lastSeq, n, derr
+			return good, firstSeq, lastSeq, n, derr
+		}
+		if n == 0 && !haveAny {
+			if enc.Seq < nameSeq {
+				return good, firstSeq, lastSeq, n, fmt.Errorf("%w: spool seq %d below segment floor %d", ship.ErrCorrupt, enc.Seq, nameSeq)
+			}
+			expect = enc.Seq
 		}
 		if enc.Seq != expect {
-			return good, lastSeq, n, fmt.Errorf("%w: spool seq %d, want %d", ship.ErrCorrupt, enc.Seq, expect)
+			return good, firstSeq, lastSeq, n, fmt.Errorf("%w: spool seq %d, want %d", ship.ErrCorrupt, enc.Seq, expect)
+		}
+		if n == 0 {
+			firstSeq = enc.Seq
 		}
 		good, lastSeq = cr.n, enc.Seq
 		expect++
@@ -297,31 +332,47 @@ func (sp *Spool) End() uint64 {
 func (sp *Spool) Append(enc *epoch.Encoded) error {
 	sp.mu.Lock()
 	defer sp.mu.Unlock()
+	sp.buf = ship.AppendFrame(sp.buf[:0], ship.KindEpoch, ship.EncodeEpoch(enc))
+	return sp.appendFrameLocked(enc.Seq, sp.buf)
+}
+
+// AppendWire persists one epoch exactly as it crossed the wire: the
+// raw EPOCH frame payload plus its header flags, so a compressed frame
+// is spooled compressed instead of being inflated and re-deflated.
+// Same contiguity contract as Append.
+func (sp *Spool) AppendWire(seq uint64, flags byte, payload []byte) error {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	sp.buf = ship.AppendFrameFlags(sp.buf[:0], ship.KindEpoch, flags, payload)
+	return sp.appendFrameLocked(seq, sp.buf)
+}
+
+// appendFrameLocked writes one already-framed epoch record.
+func (sp *Spool) appendFrameLocked(seq uint64, frame []byte) error {
 	if sp.closed {
 		return ErrSpoolClosed
 	}
 	if sp.have || sp.next > 0 {
-		if enc.Seq < sp.next {
+		if seq < sp.next {
 			return nil // already durable
 		}
-		if enc.Seq > sp.next {
-			return fmt.Errorf("%w: appending %d, spool ends at %d", ErrSpoolGap, enc.Seq, sp.next)
+		if seq > sp.next {
+			return fmt.Errorf("%w: appending %d, spool ends at %d", ErrSpoolGap, seq, sp.next)
 		}
 	}
 	if sp.f == nil || sp.size >= int64(sp.cfg.MaxSegmentBytes) {
-		if err := sp.rotateLocked(enc.Seq); err != nil {
+		if err := sp.rotateLocked(seq); err != nil {
 			return err
 		}
 	}
-	sp.buf = ship.AppendFrame(sp.buf[:0], ship.KindEpoch, ship.EncodeEpoch(enc))
-	if _, err := sp.f.Write(sp.buf); err != nil {
+	if _, err := sp.f.Write(frame); err != nil {
 		return err
 	}
-	sp.size += int64(len(sp.buf))
+	sp.size += int64(len(frame))
 	if !sp.have {
-		sp.first, sp.have = enc.Seq, true
+		sp.first, sp.have = seq, true
 	}
-	sp.next = enc.Seq + 1
+	sp.next = seq + 1
 	sp.dirty = true
 	sp.cAppended.Inc()
 	sp.publishGauges()
@@ -467,9 +518,211 @@ func (sp *Spool) TruncateBefore(keep uint64) (int, error) {
 	return removed, nil
 }
 
+// compactTmpSuffix marks a boundary segment mid-rewrite; recover()
+// discards leftovers (the original is intact until the rename).
+const compactTmpSuffix = ".tmp"
+
+// Compact drops every spooled epoch below keep (typically the
+// checkpoint cursor NextEpochSeq): segments wholly below it are
+// removed — including the active one — and the boundary segment
+// containing keep is rewritten in place without the dead prefix.
+// Unlike TruncateBefore it reclaims disk as soon as the cursor moves,
+// not only when a whole 16MB segment falls under it.
+//
+// Crash safety: whole-segment removals preserve contiguity at any
+// prefix, and the boundary rewrite goes through write-tmp, fsync,
+// rename, fsync-dir under the segment's existing name (which is why
+// segment names are a lower bound, not the exact first seq). A crash
+// at any point leaves either the old or the new content, never a gap;
+// stale .tmp files are discarded on open. Safe with concurrent
+// Append/AppendWire; must not run concurrently with Replay.
+//
+// Returns the bytes reclaimed.
+func (sp *Spool) Compact(keep uint64) (int64, error) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.closed {
+		return 0, ErrSpoolClosed
+	}
+	if !sp.have || keep <= sp.first {
+		return 0, nil
+	}
+	if keep > sp.next {
+		keep = sp.next
+	}
+	segs, err := sp.segments()
+	if err != nil {
+		return 0, err
+	}
+	// Content starts are read from the files themselves (the name is
+	// only a floor); content end of segment i is the start of i+1, and
+	// sp.next for the last.
+	starts := make([]uint64, len(segs))
+	for i, nameSeq := range segs {
+		s, err := segmentFirstSeq(sp.path(nameSeq))
+		if err != nil {
+			return 0, err
+		}
+		starts[i] = s
+	}
+	var reclaimed int64
+	worked := false
+	for i, nameSeq := range segs {
+		end := sp.next
+		if i+1 < len(segs) {
+			end = starts[i+1]
+		}
+		switch {
+		case end <= keep:
+			// Wholly dead: remove. The active segment is closed first so
+			// the next append rotates to a fresh file.
+			path := sp.path(nameSeq)
+			st, err := os.Stat(path)
+			if err != nil {
+				return reclaimed, err
+			}
+			if i == len(segs)-1 && sp.f != nil {
+				sp.f.Close()
+				sp.f = nil
+				sp.size = 0
+				sp.dirty = false
+			}
+			if err := os.Remove(path); err != nil {
+				return reclaimed, err
+			}
+			reclaimed += st.Size()
+			worked = true
+		case starts[i] < keep:
+			// Boundary: rewrite in place without the dead prefix.
+			active := i == len(segs)-1 && sp.f != nil
+			if active {
+				if err := sp.syncLocked(); err != nil {
+					return reclaimed, err
+				}
+				sp.f.Close()
+				sp.f = nil
+			}
+			newSize, oldSize, err := sp.rewriteSegment(nameSeq, keep)
+			if err != nil {
+				return reclaimed, err
+			}
+			reclaimed += oldSize - newSize
+			worked = true
+			if active {
+				f, err := os.OpenFile(sp.path(nameSeq), os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					return reclaimed, err
+				}
+				sp.f = f
+				sp.size = newSize
+			}
+		}
+	}
+	if keep == sp.next {
+		sp.have = false
+		sp.first = 0
+	} else if sp.first < keep {
+		sp.first = keep
+	}
+	if worked {
+		sp.cCompacts.Inc()
+		sp.cReclaimed.Add(reclaimed)
+	}
+	if err := syncDir(sp.cfg.Dir); err != nil {
+		return reclaimed, err
+	}
+	sp.publishGauges()
+	return reclaimed, nil
+}
+
+// rewriteSegment streams the segment named nameSeq into a tmp file,
+// keeping only frames with seq ≥ keep (stored bytes pass through
+// unchanged, compressed frames included), then atomically replaces the
+// original. Returns the new and old sizes.
+func (sp *Spool) rewriteSegment(nameSeq, keep uint64) (newSize, oldSize int64, err error) {
+	path := sp.path(nameSeq)
+	st, err := os.Stat(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	oldSize = st.Size()
+	src, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer src.Close()
+	tmpPath := path + compactTmpSuffix
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			_ = os.Remove(tmpPath)
+		}
+	}()
+	var frame []byte
+	for {
+		_, kind, flags, payload, rerr := ship.ReadFrameFlags(src)
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return 0, 0, fmt.Errorf("recovery: compacting spool segment: %w", rerr)
+		}
+		if kind != ship.KindEpoch || len(payload) < 8 {
+			return 0, 0, fmt.Errorf("%w: unexpected frame in spool during compaction", ship.ErrCorrupt)
+		}
+		if seq := binary.LittleEndian.Uint64(payload); seq < keep {
+			continue
+		}
+		frame = ship.AppendFrameFlags(frame[:0], kind, flags, payload)
+		n, werr := tmp.Write(frame)
+		if werr != nil {
+			return 0, 0, werr
+		}
+		newSize += int64(n)
+	}
+	if err = tmp.Sync(); err != nil {
+		return 0, 0, err
+	}
+	if err = tmp.Close(); err != nil {
+		return 0, 0, err
+	}
+	if err = os.Rename(tmpPath, path); err != nil {
+		return 0, 0, err
+	}
+	return newSize, oldSize, nil
+}
+
+// segmentFirstSeq reads the seq of a segment's leading frame. An empty
+// segment (possible after a recovery truncated it to zero) reports the
+// maximum seq so callers treat it as containing nothing below any
+// cursor.
+func segmentFirstSeq(path string) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	_, kind, _, payload, err := ship.ReadFrameFlags(f)
+	if err == io.EOF {
+		return ^uint64(0), nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	if kind != ship.KindEpoch || len(payload) < 8 {
+		return 0, fmt.Errorf("%w: unexpected frame at spool segment head", ship.ErrCorrupt)
+	}
+	return binary.LittleEndian.Uint64(payload), nil
+}
+
 // Replay streams every spooled epoch with seq ≥ from through fn, in
-// order. It must not run concurrently with Append. fn's epoch (and its
-// Buf) is freshly allocated per call and may be retained.
+// order. It must not run concurrently with Append or Compact. fn's
+// epoch (and its Buf) is freshly allocated per call and may be
+// retained — spooled compressed frames are inflated here.
 func (sp *Spool) Replay(from uint64, fn func(*epoch.Encoded) error) error {
 	sp.mu.Lock()
 	if sp.closed {
@@ -507,7 +760,7 @@ func replaySegment(path string, from uint64, fn func(*epoch.Encoded) error) erro
 	}
 	defer f.Close()
 	for {
-		kind, payload, err := ship.ReadFrame(f)
+		_, kind, flags, payload, err := ship.ReadFrameFlags(f)
 		if err == io.EOF {
 			return nil
 		}
@@ -517,7 +770,7 @@ func replaySegment(path string, from uint64, fn func(*epoch.Encoded) error) erro
 		if kind != ship.KindEpoch {
 			return fmt.Errorf("%w: unexpected frame kind %d in spool", ship.ErrCorrupt, kind)
 		}
-		enc, err := ship.DecodeEpoch(payload)
+		enc, err := ship.DecodeEpochFrame(flags, payload)
 		if err != nil {
 			return err
 		}

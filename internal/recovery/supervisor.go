@@ -124,9 +124,10 @@ type Supervisor struct {
 	closed        bool
 	sinceCkpt     int
 	lastCkpt      time.Time
-	failSeq       uint64 // last sequence replay failed on (valid when failCount > 0)
-	failCount     int    // consecutive failures at failSeq
-	forcePinpoint bool   // an unattributed failure demands per-epoch drains
+	ckptCursors   []uint64 // NextEpochSeq of checkpoints cut this lifetime (≤ retain)
+	failSeq       uint64   // last sequence replay failed on (valid when failCount > 0)
+	failCount     int      // consecutive failures at failSeq
+	forcePinpoint bool     // an unattributed failure demands per-epoch drains
 	quarantined   map[uint64]bool
 	lastErr       error
 
@@ -221,12 +222,28 @@ func (s *Supervisor) Start() error {
 	return nil
 }
 
+// Supervisor persists wire frames as received (compressed epochs are
+// spooled compressed) — see FeedFrame.
+var _ ship.FrameApplier = (*Supervisor)(nil)
+
 // Feed implements ship.Applier: the epoch is made durable in the spool
 // first (the ack the receiver sends after Feed returns is a durability
 // promise), then applied to the node. A node failure triggers an
 // in-line rebuild; only a fatal supervisor returns an error, which
 // terminates the replication connection unacknowledged.
 func (s *Supervisor) Feed(enc *epoch.Encoded) error {
+	return s.feed(enc, func() error { return s.cfg.Spool.Append(enc) })
+}
+
+// FeedFrame implements ship.FrameApplier: identical to Feed, but the
+// epoch is spooled as the exact frame that crossed the wire, so a
+// compressed epoch stays compressed on disk and is only inflated when
+// the spool replays it.
+func (s *Supervisor) FeedFrame(flags byte, payload []byte, enc *epoch.Encoded) error {
+	return s.feed(enc, func() error { return s.cfg.Spool.AppendWire(enc.Seq, flags, payload) })
+}
+
+func (s *Supervisor) feed(enc *epoch.Encoded, spool func() error) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -235,7 +252,7 @@ func (s *Supervisor) Feed(enc *epoch.Encoded) error {
 	if s.State() == StateFatal {
 		return ErrFatal
 	}
-	if err := s.cfg.Spool.Append(enc); err != nil {
+	if err := spool(); err != nil {
 		return err
 	}
 	if err := s.applyLocked(enc); err != nil {
@@ -340,9 +357,10 @@ func (s *Supervisor) Probe() error {
 	return s.recoverLocked(false)
 }
 
-// Checkpoint quiesces replay, cuts an atomic checkpoint and prunes the
-// spool below the new cursor. Wire it to ship.ReceiverConfig.Drain so a
-// clean end-of-stream leaves a durable resume point.
+// Checkpoint quiesces replay, cuts an atomic checkpoint and compacts
+// the spool below the oldest retained checkpoint's cursor. Wire it to
+// ship.ReceiverConfig.Drain so a clean end-of-stream leaves a durable
+// resume point.
 func (s *Supervisor) Checkpoint() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -367,8 +385,24 @@ func (s *Supervisor) checkpointLocked() error {
 	}
 	s.sinceCkpt = 0
 	s.lastCkpt = time.Now()
-	if _, err := s.cfg.Spool.TruncateBefore(meta.NextEpochSeq()); err != nil {
-		return err
+	// Compact, not TruncateBefore: the spool drops dead epochs as soon as
+	// the cursor moves — including the active segment's prefix — instead
+	// of waiting for whole segments to age out. But only below the OLDEST
+	// retained checkpoint's cursor: restore falls back across corrupt
+	// checkpoints, and an older checkpoint is only usable while the spool
+	// still covers [its cursor, End). Cursors of checkpoints written
+	// before this process started are unknown, so compaction waits until
+	// this lifetime has cut a full retention window (then the retained
+	// set is exactly s.ckptCursors).
+	retain := s.cfg.Checkpoints.Retain()
+	s.ckptCursors = append(s.ckptCursors, meta.NextEpochSeq())
+	if len(s.ckptCursors) > retain {
+		s.ckptCursors = s.ckptCursors[len(s.ckptCursors)-retain:]
+	}
+	if len(s.ckptCursors) == retain {
+		if _, err := s.cfg.Spool.Compact(s.ckptCursors[0]); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -636,12 +670,11 @@ func (s *Supervisor) setState(st State) {
 }
 
 // backoff returns the jittered exponential rebuild delay. Called with
-// s.mu held (the rng is guarded by it).
+// s.mu held (the rng is guarded by it). ship.Backoff clamps the shift
+// so a long outage's retry count cannot overflow the duration back
+// into a tiny (or negative-masked) delay.
 func (s *Supervisor) backoff(retry int) time.Duration {
-	d := s.cfg.RetryBase << uint(retry)
-	if d > s.cfg.RetryMax || d <= 0 {
-		d = s.cfg.RetryMax
-	}
+	d := ship.Backoff(s.cfg.RetryBase, s.cfg.RetryMax, retry)
 	half := int64(d / 2)
 	return time.Duration(half + s.rng.Int63n(half+1))
 }

@@ -156,10 +156,13 @@ func TestSupervisorQuarantinesPoisonEpoch(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Counts stay within the wire-level bounds (≤ len(Buf)) so the frame
+	// survives transport and spool validation; the garbage buf fails only
+	// when the node decodes its WAL entries.
 	poison := &epoch.Encoded{
 		Seq:          uint64(k),
 		TxnCount:     3,
-		EntryCount:   9,
+		EntryCount:   7,
 		Buf:          []byte{0xde, 0xad, 0xbe, 0xef, 0x00, 0x13, 0x37},
 		LastCommitTS: encs[k-1].LastCommitTS,
 	}
@@ -276,6 +279,59 @@ func TestSupervisorFallsBackAcrossCorruptCheckpoint(t *testing.T) {
 	}
 	if st := env.sup.State(); st != StateRunning {
 		t.Fatalf("state %s, want running", st)
+	}
+	env.assertReference(t, txns)
+}
+
+// TestSupervisorCheckpointCompactsSpool cuts more checkpoints than the
+// retention count: once a full retention window of cursors is known,
+// the scheduler compacts the spool up to the OLDEST retained cursor —
+// reclaiming disk without waiting for whole segments to age out, while
+// keeping exactly the range a fallback across corrupt checkpoints
+// could still need. A restart must then replay from the compacted
+// spool and stay reference-equal.
+func TestSupervisorCheckpointCompactsSpool(t *testing.T) {
+	spoolDir, ckptDir := t.TempDir(), t.TempDir()
+	txns, encs := supStream(t, 1500, 100)
+	retain := 0
+	var cursors []uint64
+
+	env := openSup(t, spoolDir, ckptDir, nil)
+	retain = env.mgr.Retain()
+	rounds := retain + 2 // strictly more checkpoints than retained
+	per := len(encs) / rounds
+	for r := 0; r < rounds; r++ {
+		for i := r * per; i < (r+1)*per; i++ {
+			if err := env.sup.Feed(&encs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := env.sup.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		cursors = append(cursors, env.sup.NextSeq())
+	}
+	// The spool floor must sit at the oldest RETAINED checkpoint's
+	// cursor: compacting further would strand the fallback checkpoints,
+	// compacting less would leak disk.
+	wantFirst := cursors[len(cursors)-retain]
+	first, next, ok := env.spool.Range()
+	if !ok || first != wantFirst || next != uint64(rounds*per) {
+		t.Fatalf("spool range [%d,%d) ok=%v, want [%d,%d)", first, next, ok, wantFirst, rounds*per)
+	}
+	// Feed the remaining tail (not checkpointed) and restart: restore is
+	// newest checkpoint + compacted spool tail.
+	for i := rounds * per; i < len(encs); i++ {
+		if err := env.sup.Feed(&encs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	env.close(t)
+
+	env = openSup(t, spoolDir, ckptDir, nil)
+	defer env.close(t)
+	if got := env.sup.NextSeq(); got != uint64(len(encs)) {
+		t.Fatalf("resume cursor %d, want %d", got, len(encs))
 	}
 	env.assertReference(t, txns)
 }

@@ -1,0 +1,84 @@
+package ship
+
+import (
+	"compress/flate"
+	"math/bits"
+	"time"
+
+	"aets/internal/epoch"
+)
+
+// DefaultCompressThreshold is the smallest epoch buf, in bytes, a
+// sender compresses by default. Below it the flate stream overhead and
+// CPU outweigh the savings.
+const DefaultCompressThreshold = 512
+
+// epochCompressor builds compressed EPOCH payloads, reusing one flate
+// writer and one output buffer across frames. Not safe for concurrent
+// use; the Sender guards it with its mutex.
+type epochCompressor struct {
+	fw *flate.Writer
+	sw sliceWriter
+}
+
+type sliceWriter struct{ b []byte }
+
+func (s *sliceWriter) Write(p []byte) (int, error) {
+	s.b = append(s.b, p...)
+	return len(p), nil
+}
+
+// payload returns the compressed EPOCH payload for enc — the clear
+// 36-byte epoch header followed by flate(enc.Buf) — or nil when
+// compression fails to shrink the payload (incompressible buf), in
+// which case the caller ships the raw encoding. The returned slice is
+// reused by the next call: frame-encode it before calling again.
+//
+// flate.BestSpeed is deliberate: WAL entry streams are highly
+// repetitive (shared key prefixes, monotone LSNs), so the fast level
+// already captures most of the win at a fraction of the CPU.
+func (c *epochCompressor) payload(enc *epoch.Encoded) []byte {
+	c.sw.b = appendEpochHdr(c.sw.b[:0], enc)
+	if c.fw == nil {
+		c.fw, _ = flate.NewWriter(&c.sw, flate.BestSpeed)
+	} else {
+		c.fw.Reset(&c.sw)
+	}
+	if _, err := c.fw.Write(enc.Buf); err != nil {
+		return nil
+	}
+	if err := c.fw.Close(); err != nil {
+		return nil
+	}
+	if len(c.sw.b) >= epochHdrSize+len(enc.Buf) {
+		return nil
+	}
+	return c.sw.b
+}
+
+// Backoff returns the exponential reconnect delay base<<retry clamped
+// to max, saturating instead of overflowing: at high retry counts the
+// naive shift wraps through int64 and can land on a small positive
+// value that slips past a "d > max" clamp, turning backoff into a hot
+// reconnect loop. Callers add their own jitter.
+func Backoff(base, max time.Duration, retry int) time.Duration {
+	if max <= 0 {
+		max = base
+	}
+	if base <= 0 || base >= max {
+		return max
+	}
+	if retry < 0 {
+		retry = 0
+	}
+	// bits.Len64(max/base) is the number of doublings that stays ≤ max:
+	// for retry below it, base<<retry ≤ base·(max/base) ≤ max, so the
+	// shift cannot overflow; at or above it the result saturates.
+	if uint(retry) >= uint(bits.Len64(uint64(max/base))) {
+		return max
+	}
+	if d := base << uint(retry); d <= max {
+		return d
+	}
+	return max
+}

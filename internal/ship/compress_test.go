@@ -1,0 +1,172 @@
+// Mixed-version interop and compression end-to-end tests: every
+// pairing of v1/v2 peers must converge to reference-equal state, with
+// compression engaged exactly when both ends negotiated it.
+package ship_test
+
+import (
+	"errors"
+	"testing"
+
+	"aets/internal/metrics"
+	"aets/internal/ship"
+)
+
+// interopResult captures one matrix cell's outcome.
+type interopResult struct {
+	sender   ship.SenderStats
+	receiver ship.ReceiverStats
+	// handshake errors the serve loop saw before the stream settled
+	// (a v1 receiver rejecting a v2 HELLO, answered by the sender's
+	// fallback redial).
+	connErrs []error
+}
+
+// runShipInterop ships a TPC-C stream through one sender/receiver
+// pairing over real TCP, asserts the backup converges to the directly
+// fed reference, and returns the link's stats.
+func runShipInterop(t *testing.T, mutSender func(*ship.SenderConfig), mutReceiver func(*ship.ReceiverConfig)) interopResult {
+	t.Helper()
+	encs := tpccEncoded(2048, 128) // 16 epochs, bufs well above any threshold
+	want := directNode(t, encs)
+	defer want.Close()
+
+	ln := listen(t)
+	defer ln.Close()
+	node := newNode(t)
+	defer node.Close()
+	reg := metrics.NewRegistry()
+	rcfg := ship.ReceiverConfig{
+		Schema:  tpccSchema(),
+		Metrics: ship.NewMetrics(reg),
+		Drain:   func() error { node.Drain(); return node.Err() },
+	}
+	if mutReceiver != nil {
+		mutReceiver(&rcfg)
+	}
+	rcv := mustShipReceiver(t, node, rcfg)
+	done, errs := serveLoop(ln, rcv)
+
+	scfg := ship.SenderConfig{
+		Dial:    dialer(ln.Addr().String()),
+		Schema:  tpccSchema(),
+		Window:  4,
+		Metrics: ship.NewMetrics(reg),
+	}
+	if mutSender != nil {
+		mutSender(&scfg)
+	}
+	s := mustSender(t, scfg)
+	for i := range encs {
+		if err := s.Send(&encs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats() // before Close tears the link down
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, done, "serve loop")
+	assertSameState(t, node, want)
+	return interopResult{sender: st, receiver: rcv.Stats(), connErrs: errs.all()}
+}
+
+func assertNoConnErrs(t *testing.T, res interopResult) {
+	t.Helper()
+	for _, err := range res.connErrs {
+		t.Fatalf("unexpected connection error: %v", err)
+	}
+}
+
+func TestInteropBothV2Compressed(t *testing.T) {
+	res := runShipInterop(t,
+		func(c *ship.SenderConfig) { c.Compress = true },
+		func(c *ship.ReceiverConfig) { c.Compress = true })
+	assertNoConnErrs(t, res)
+	if !res.sender.Compressing {
+		t.Fatal("both ends v2+compress but the link did not negotiate CapFlate")
+	}
+	if res.sender.BytesWire >= res.sender.BytesRaw {
+		t.Fatalf("compressed link did not shrink the stream: wire %d ≥ raw %d",
+			res.sender.BytesWire, res.sender.BytesRaw)
+	}
+	ratio := float64(res.sender.BytesWire) / float64(res.sender.BytesRaw)
+	t.Logf("tpcc wire/raw ratio: %.3f (%d / %d bytes)", ratio, res.sender.BytesWire, res.sender.BytesRaw)
+}
+
+func TestInteropV2SenderV1Receiver(t *testing.T) {
+	res := runShipInterop(t,
+		func(c *ship.SenderConfig) { c.Compress = true },
+		func(c *ship.ReceiverConfig) { c.MaxVersion = 1 })
+	// The v1 receiver rejects the v2 HELLO once; the sender's fallback
+	// redial carries the stream uncompressed. Any other error is real.
+	sawVersionReject := false
+	for _, err := range res.connErrs {
+		if errors.Is(err, ship.ErrVersion) {
+			sawVersionReject = true
+			continue
+		}
+		t.Fatalf("unexpected connection error: %v", err)
+	}
+	if !sawVersionReject {
+		t.Fatal("v1 receiver never rejected the v2 HELLO — was the downgrade even exercised?")
+	}
+	if res.sender.Compressing {
+		t.Fatal("sender claims compression against a v1 receiver")
+	}
+	if res.sender.BytesWire != res.sender.BytesRaw {
+		t.Fatalf("v1 link must ship raw bytes: wire %d, raw %d", res.sender.BytesWire, res.sender.BytesRaw)
+	}
+}
+
+func TestInteropV1SenderV2Receiver(t *testing.T) {
+	res := runShipInterop(t,
+		func(c *ship.SenderConfig) { c.MaxVersion = 1; c.Compress = true },
+		func(c *ship.ReceiverConfig) { c.Compress = true })
+	assertNoConnErrs(t, res)
+	if res.sender.Compressing {
+		t.Fatal("v1-pinned sender claims compression")
+	}
+	if res.sender.BytesWire != res.sender.BytesRaw {
+		t.Fatalf("v1 link must ship raw bytes: wire %d, raw %d", res.sender.BytesWire, res.sender.BytesRaw)
+	}
+}
+
+func TestInteropCompressionRequiresBothEnds(t *testing.T) {
+	// Receiver is v2 but does not advertise CapFlate: a v2 handshake
+	// succeeds, yet the stream must stay uncompressed.
+	res := runShipInterop(t,
+		func(c *ship.SenderConfig) { c.Compress = true },
+		nil)
+	assertNoConnErrs(t, res)
+	if res.sender.Compressing {
+		t.Fatal("sender compressing without the receiver advertising CapFlate")
+	}
+	if res.sender.BytesWire != res.sender.BytesRaw {
+		t.Fatalf("unnegotiated link must ship raw bytes: wire %d, raw %d", res.sender.BytesWire, res.sender.BytesRaw)
+	}
+}
+
+func TestCompressThresholdBoundary(t *testing.T) {
+	// A threshold above every epoch buf keeps the negotiated link
+	// shipping raw frames.
+	res := runShipInterop(t,
+		func(c *ship.SenderConfig) { c.Compress = true; c.CompressThreshold = 1 << 30 },
+		func(c *ship.ReceiverConfig) { c.Compress = true })
+	assertNoConnErrs(t, res)
+	if !res.sender.Compressing {
+		t.Fatal("capability should negotiate regardless of threshold")
+	}
+	if res.sender.BytesWire != res.sender.BytesRaw {
+		t.Fatalf("every buf below threshold must ship raw: wire %d, raw %d",
+			res.sender.BytesWire, res.sender.BytesRaw)
+	}
+
+	// Threshold 1 compresses everything compressible.
+	res = runShipInterop(t,
+		func(c *ship.SenderConfig) { c.Compress = true; c.CompressThreshold = 1 },
+		func(c *ship.ReceiverConfig) { c.Compress = true })
+	assertNoConnErrs(t, res)
+	if res.sender.BytesWire >= res.sender.BytesRaw {
+		t.Fatalf("threshold 1 did not compress: wire %d ≥ raw %d", res.sender.BytesWire, res.sender.BytesRaw)
+	}
+}

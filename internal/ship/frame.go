@@ -9,10 +9,10 @@
 //
 // Wire format, all little endian. Every message is one frame:
 //
-//	magic 0xA7 | version u8 | kind u8 | flags u8 (0) | payloadLen u32 |
+//	magic 0xA7 | version u8 | kind u8 | flags u8 | payloadLen u32 |
 //	payload | crc32c(header‖payload) u32
 //
-// Frame kinds and payloads (version 1):
+// Frame kinds and payloads (version 1; flags must be 0):
 //
 //	HELLO     sender→receiver  schemaHash u64
 //	WELCOME   receiver→sender  schemaHash u64 | cursor u64
@@ -23,24 +23,66 @@
 //	HEARTBEAT sender→receiver  ts i64
 //	EOS       sender→receiver  cursor u64 (clean end of stream)
 //
+// Version 2 adds capability negotiation and per-frame compression.
+// A v2 HELLO/WELCOME carries a trailing caps u64 bitset:
+//
+//	HELLO     sender→receiver  schemaHash u64 | caps u64
+//	WELCOME   receiver→sender  schemaHash u64 | cursor u64 | caps u64
+//
+// When both ends advertise CapFlate, the sender may set FlagCompressed
+// (header flags bit 0) on EPOCH frames: the 36-byte epoch header stays
+// in the clear (bufLen holds the RAW buf length, so seq and the counts
+// are readable without inflating) and the buf bytes that follow are a
+// flate stream. All other frame kinds, and EPOCH frames below the
+// sender's size threshold or that flate fails to shrink, keep version
+// byte 1 with zero flags — so a v1 peer that never sees a v2 frame
+// interoperates untouched, and a v1 receiver that is offered a v2
+// HELLO rejects it with ErrVersion, which the sender answers by
+// redialing at version 1.
+//
 // A cursor is always "the next epoch sequence number expected": epoch
 // seqs start at 0, so a cursor of n means epochs [0, n) are applied.
 package ship
 
 import (
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"hash/fnv"
 	"io"
+	"sync"
 
 	"aets/internal/epoch"
 	"aets/internal/wal"
 )
 
-// Version is the protocol version carried in every frame header.
+// Version is the baseline protocol version; every frame that carries no
+// v2-only feature (nonzero flags, caps handshake) still uses it on the
+// wire so v1 peers can read it.
 const Version = 1
+
+// Version2 marks frames that use v2 features: the caps handshake and
+// compressed EPOCH payloads.
+const Version2 = 2
+
+// maxKnownVersion is the highest version this build speaks.
+const maxKnownVersion = Version2
+
+// Frame header flag bits (version 2; must be zero in version 1).
+const (
+	// FlagCompressed marks an EPOCH frame whose buf bytes (after the
+	// clear 36-byte epoch header) are a flate stream.
+	FlagCompressed byte = 1 << 0
+)
+
+// Capability bits exchanged in the v2 handshake.
+const (
+	// CapFlate advertises per-frame flate compression of EPOCH bufs.
+	CapFlate uint64 = 1 << 0
+)
 
 const (
 	frameMagic   = 0xA7
@@ -82,10 +124,11 @@ var (
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// AppendFrame appends one encoded frame to dst and returns the result.
-func AppendFrame(dst []byte, kind byte, payload []byte) []byte {
+// appendFrameV appends one frame with an explicit version byte and
+// header flags.
+func appendFrameV(dst []byte, ver, kind, flags byte, payload []byte) []byte {
 	off := len(dst)
-	dst = append(dst, frameMagic, Version, kind, 0)
+	dst = append(dst, frameMagic, ver, kind, flags)
 	var n [4]byte
 	binary.LittleEndian.PutUint32(n[:], uint32(len(payload)))
 	dst = append(dst, n[:]...)
@@ -95,75 +138,150 @@ func AppendFrame(dst []byte, kind byte, payload []byte) []byte {
 	return append(dst, crc[:]...)
 }
 
-// WriteFrame writes one frame to w as a single Write call, so
+// AppendFrame appends one encoded v1 frame to dst and returns the
+// result.
+func AppendFrame(dst []byte, kind byte, payload []byte) []byte {
+	return appendFrameV(dst, Version, kind, 0, payload)
+}
+
+// AppendFrameFlags appends one encoded frame carrying the given header
+// flags. Zero flags produce a v1 frame (readable by any peer); nonzero
+// flags force the version byte to Version2.
+func AppendFrameFlags(dst []byte, kind, flags byte, payload []byte) []byte {
+	ver := byte(Version)
+	if flags != 0 {
+		ver = Version2
+	}
+	return appendFrameV(dst, ver, kind, flags, payload)
+}
+
+// WriteFrame writes one v1 frame to w as a single Write call, so
 // conn-level fault injection (and packet captures) see whole frames.
 func WriteFrame(w io.Writer, kind byte, payload []byte) error {
 	_, err := w.Write(AppendFrame(nil, kind, payload))
 	return err
 }
 
-// ReadFrame reads one frame from r and verifies its CRC. A clean EOF at
-// a frame boundary is io.EOF; truncation inside a frame is
-// ErrShortFrame; structural damage is ErrCorrupt; a foreign version is
-// ErrVersion. It never panics on malformed input.
-func ReadFrame(r io.Reader) (kind byte, payload []byte, err error) {
+// writeFrameV writes one frame with an explicit version and flags as a
+// single Write call.
+func writeFrameV(w io.Writer, ver, kind, flags byte, payload []byte) error {
+	_, err := w.Write(appendFrameV(nil, ver, kind, flags, payload))
+	return err
+}
+
+// ReadFrameFlags reads one frame from r and verifies its CRC,
+// returning the header's version and flags alongside kind and payload.
+// A clean EOF at a frame boundary is io.EOF; truncation inside a frame
+// is ErrShortFrame; structural damage is ErrCorrupt; an unknown version
+// is ErrVersion. It never panics on malformed input. The payload slice
+// is freshly allocated per call and never shares memory with a
+// previously returned one.
+func ReadFrameFlags(r io.Reader) (ver, kind, flags byte, payload []byte, err error) {
 	var hdr [frameHdrSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.EOF {
-			return 0, nil, io.EOF
+			return 0, 0, 0, nil, io.EOF
 		}
-		return 0, nil, fmt.Errorf("%w: header: %v", ErrShortFrame, err)
+		return 0, 0, 0, nil, fmt.Errorf("%w: header: %v", ErrShortFrame, err)
 	}
 	if hdr[0] != frameMagic {
-		return 0, nil, fmt.Errorf("%w: bad magic 0x%02x", ErrCorrupt, hdr[0])
+		return 0, 0, 0, nil, fmt.Errorf("%w: bad magic 0x%02x", ErrCorrupt, hdr[0])
 	}
-	if hdr[1] != Version {
-		return 0, nil, fmt.Errorf("%w: %d", ErrVersion, hdr[1])
+	ver, flags = hdr[1], hdr[3]
+	if ver < Version || ver > maxKnownVersion {
+		return 0, 0, 0, nil, fmt.Errorf("%w: %d", ErrVersion, ver)
 	}
-	if hdr[3] != 0 {
-		return 0, nil, fmt.Errorf("%w: nonzero flags", ErrCorrupt)
+	if ver == Version && flags != 0 {
+		return 0, 0, 0, nil, fmt.Errorf("%w: nonzero flags on v1 frame", ErrCorrupt)
+	}
+	if flags&^FlagCompressed != 0 {
+		return 0, 0, 0, nil, fmt.Errorf("%w: unknown frame flags 0x%02x", ErrCorrupt, flags)
 	}
 	n := binary.LittleEndian.Uint32(hdr[4:])
 	if n > MaxPayload {
-		return 0, nil, fmt.Errorf("%w: payload length %d", ErrCorrupt, n)
+		return 0, 0, 0, nil, fmt.Errorf("%w: payload length %d", ErrCorrupt, n)
 	}
 	body := make([]byte, int(n)+4)
 	if _, err := io.ReadFull(r, body); err != nil {
-		return 0, nil, fmt.Errorf("%w: body: %v", ErrShortFrame, err)
+		return 0, 0, 0, nil, fmt.Errorf("%w: body: %v", ErrShortFrame, err)
 	}
 	payload = body[:n]
 	sum := crc32.Update(crc32.Checksum(hdr[:], castagnoli), castagnoli, payload)
 	if sum != binary.LittleEndian.Uint32(body[n:]) {
-		return 0, nil, fmt.Errorf("%w: crc mismatch", ErrCorrupt)
+		return 0, 0, 0, nil, fmt.Errorf("%w: crc mismatch", ErrCorrupt)
 	}
-	return hdr[2], payload, nil
+	return ver, hdr[2], flags, payload, nil
+}
+
+// ReadFrame reads one frame from r and verifies its CRC. It accepts
+// both protocol versions but rejects frames with nonzero flags — use
+// ReadFrameFlags on paths (the receiver's epoch loop, the spool scan)
+// where compressed frames may appear.
+func ReadFrame(r io.Reader) (kind byte, payload []byte, err error) {
+	_, kind, flags, payload, err := ReadFrameFlags(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	if flags != 0 {
+		return 0, nil, fmt.Errorf("%w: unexpected compressed frame", ErrCorrupt)
+	}
+	return kind, payload, nil
 }
 
 // epochHdrSize is the fixed prefix of an EPOCH payload (the summary
-// fields available without parsing the log buffer).
+// fields available without parsing — or inflating — the log buffer).
 const epochHdrSize = 36
 
-// EncodeEpoch returns the EPOCH frame payload for enc.
-func EncodeEpoch(enc *epoch.Encoded) []byte {
-	p := make([]byte, epochHdrSize, epochHdrSize+len(enc.Buf))
+// appendEpochHdr appends the 36-byte EPOCH payload header for enc.
+// The bufLen field always holds the raw (uncompressed) buf length.
+func appendEpochHdr(dst []byte, enc *epoch.Encoded) []byte {
+	var p [epochHdrSize]byte
 	binary.LittleEndian.PutUint64(p[0:], enc.Seq)
 	binary.LittleEndian.PutUint32(p[8:], uint32(enc.TxnCount))
 	binary.LittleEndian.PutUint64(p[12:], enc.LastTxnID)
 	binary.LittleEndian.PutUint64(p[20:], uint64(enc.LastCommitTS))
 	binary.LittleEndian.PutUint32(p[28:], uint32(enc.EntryCount))
 	binary.LittleEndian.PutUint32(p[32:], uint32(len(enc.Buf)))
+	return append(dst, p[:]...)
+}
+
+// EncodeEpoch returns the uncompressed EPOCH frame payload for enc.
+func EncodeEpoch(enc *epoch.Encoded) []byte {
+	p := appendEpochHdr(make([]byte, 0, epochHdrSize+len(enc.Buf)), enc)
 	return append(p, enc.Buf...)
 }
 
-// DecodeEpoch parses an EPOCH frame payload. Malformed payloads return
-// ErrCorrupt, never panic.
+// DecodeEpoch parses an uncompressed EPOCH frame payload. Malformed
+// payloads return ErrCorrupt, never panic.
+//
+// Ownership: the returned enc.Buf ALIASES p — no copy is made on this
+// hot path. The caller must not reuse or mutate p while the epoch is
+// retained. Both wire paths uphold this: ReadFrameFlags allocates a
+// fresh payload per frame, and spool replay allocates per epoch.
 func DecodeEpoch(p []byte) (*epoch.Encoded, error) {
+	return DecodeEpochFrame(0, p)
+}
+
+// flateReaders pools flate decompressors across frames; inflating
+// allocates ~45KB of window state otherwise.
+var flateReaders sync.Pool
+
+// DecodeEpochFrame parses an EPOCH frame payload under the frame's
+// header flags. With FlagCompressed set, the buf bytes after the clear
+// epoch header are inflated into a freshly allocated buffer (which
+// therefore never aliases p); the bufLen header field must match the
+// inflated size exactly. Malformed or truncated compressed payloads
+// return ErrCorrupt, never panic.
+func DecodeEpochFrame(flags byte, p []byte) (*epoch.Encoded, error) {
+	if flags&^FlagCompressed != 0 {
+		return nil, fmt.Errorf("%w: unknown frame flags 0x%02x", ErrCorrupt, flags)
+	}
 	if len(p) < epochHdrSize {
 		return nil, fmt.Errorf("%w: epoch payload %d bytes", ErrCorrupt, len(p))
 	}
 	n := binary.LittleEndian.Uint32(p[32:])
-	if int(n) != len(p)-epochHdrSize {
-		return nil, fmt.Errorf("%w: epoch buf length %d, have %d", ErrCorrupt, n, len(p)-epochHdrSize)
+	if n > MaxPayload {
+		return nil, fmt.Errorf("%w: epoch buf length %d", ErrCorrupt, n)
 	}
 	enc := &epoch.Encoded{
 		Seq:          binary.LittleEndian.Uint64(p[0:]),
@@ -172,12 +290,46 @@ func DecodeEpoch(p []byte) (*epoch.Encoded, error) {
 		LastCommitTS: int64(binary.LittleEndian.Uint64(p[20:])),
 		EntryCount:   int(binary.LittleEndian.Uint32(p[28:])),
 	}
-	if enc.TxnCount < 0 || enc.EntryCount < 0 {
-		return nil, fmt.Errorf("%w: epoch counts", ErrCorrupt)
+	// Counts must be sane relative to the buf: every transaction and
+	// every entry occupies at least one buf byte (a wal entry frame is
+	// ≥12 bytes), so a hostile header claiming ~4B entries over a tiny
+	// buf is rejected here instead of poisoning consumers that trust
+	// EntryCount for preallocation or accounting.
+	if uint64(enc.TxnCount) > uint64(n) || uint64(enc.EntryCount) > uint64(n) {
+		return nil, fmt.Errorf("%w: epoch counts %d/%d exceed buf length %d",
+			ErrCorrupt, enc.TxnCount, enc.EntryCount, n)
 	}
-	if n > 0 {
-		enc.Buf = p[epochHdrSize:]
+	if flags&FlagCompressed == 0 {
+		if int(n) != len(p)-epochHdrSize {
+			return nil, fmt.Errorf("%w: epoch buf length %d, have %d", ErrCorrupt, n, len(p)-epochHdrSize)
+		}
+		if n > 0 {
+			enc.Buf = p[epochHdrSize:]
+		}
+		return enc, nil
 	}
+	// Compressed: bufLen is the raw length, the rest of the payload is a
+	// flate stream that must inflate to exactly that many bytes.
+	if n == 0 || len(p) == epochHdrSize {
+		return nil, fmt.Errorf("%w: empty compressed epoch buf", ErrCorrupt)
+	}
+	fr, _ := flateReaders.Get().(io.ReadCloser)
+	src := bytes.NewReader(p[epochHdrSize:])
+	if fr == nil {
+		fr = flate.NewReader(src)
+	} else if err := fr.(flate.Resetter).Reset(src, nil); err != nil {
+		return nil, fmt.Errorf("%w: flate reset: %v", ErrCorrupt, err)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(fr, buf); err != nil {
+		return nil, fmt.Errorf("%w: inflate: %v", ErrCorrupt, err)
+	}
+	var extra [1]byte
+	if m, err := fr.Read(extra[:]); m != 0 || (err != nil && err != io.EOF) {
+		return nil, fmt.Errorf("%w: compressed epoch buf longer than header claims", ErrCorrupt)
+	}
+	flateReaders.Put(fr)
+	enc.Buf = buf
 	return enc, nil
 }
 
@@ -211,6 +363,18 @@ func parseHello(p []byte) (schema uint64, err error) {
 	return v[0], nil
 }
 
+func appendHello2(dst []byte, schema, caps uint64) []byte {
+	return appendU64(dst, schema, caps)
+}
+
+func parseHello2(p []byte) (schema, caps uint64, err error) {
+	v, err := parseU64(p, "HELLO", 2)
+	if err != nil {
+		return 0, 0, err
+	}
+	return v[0], v[1], nil
+}
+
 func appendWelcome(dst []byte, schema, cursor uint64) []byte {
 	return appendU64(dst, schema, cursor)
 }
@@ -221,6 +385,18 @@ func parseWelcome(p []byte) (schema, cursor uint64, err error) {
 		return 0, 0, err
 	}
 	return v[0], v[1], nil
+}
+
+func appendWelcome2(dst []byte, schema, cursor, caps uint64) []byte {
+	return appendU64(dst, schema, cursor, caps)
+}
+
+func parseWelcome2(p []byte) (schema, cursor, caps uint64, err error) {
+	v, err := parseU64(p, "WELCOME", 3)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return v[0], v[1], v[2], nil
 }
 
 func appendCursor(dst []byte, cursor uint64) []byte { return appendU64(dst, cursor) }
@@ -245,14 +421,19 @@ func parseHeartbeat(p []byte) (int64, error) {
 
 // SchemaHash fingerprints a workload schema (name plus table IDs) for
 // the handshake: both ends must replay the same schema or grouping
-// plans and table IDs would silently disagree.
+// plans and table IDs would silently disagree. The name is
+// length-prefixed before hashing so the (name, tables) encoding is
+// injective — without it, a name whose UTF-8 tail equals another
+// schema's first ID bytes would collide and pass the handshake.
 func SchemaHash(name string, tables []wal.TableID) uint64 {
 	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(len(name)))
+	_, _ = h.Write(b[:])
 	_, _ = io.WriteString(h, name)
-	var b [4]byte
 	for _, t := range tables {
-		binary.LittleEndian.PutUint32(b[:], uint32(t))
-		_, _ = h.Write(b[:])
+		binary.LittleEndian.PutUint32(b[:4], uint32(t))
+		_, _ = h.Write(b[:4])
 	}
 	return h.Sum64()
 }

@@ -2,10 +2,12 @@ package ship
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"math/rand"
 	"testing"
+	"time"
 
 	"aets/internal/epoch"
 	"aets/internal/wal"
@@ -14,11 +16,13 @@ import (
 func testEpoch(rng *rand.Rand, seq uint64) *epoch.Encoded {
 	buf := make([]byte, 10+rng.Intn(200))
 	rng.Read(buf)
+	// Counts stay ≤ len(buf): DecodeEpoch rejects epochs claiming more
+	// transactions or entries than the buf could possibly hold.
 	return &epoch.Encoded{
 		Seq:          seq,
 		Buf:          buf,
-		TxnCount:     1 + rng.Intn(100),
-		EntryCount:   1 + rng.Intn(1000),
+		TxnCount:     1 + rng.Intn(len(buf)),
+		EntryCount:   1 + rng.Intn(len(buf)),
 		FirstTxnID:   uint64(rng.Int63()),
 		LastTxnID:    uint64(rng.Int63()),
 		LastCommitTS: rng.Int63(),
@@ -113,10 +117,17 @@ func TestReadFrameRejectsDamage(t *testing.T) {
 		t.Fatalf("bad magic: %v", err)
 	}
 
+	// Version2 with zero flags is a valid header but a foreign CRC (the
+	// version byte is covered), so damage there still surfaces.
 	bad = append([]byte(nil), valid...)
-	bad[1] = Version + 1
+	bad[1] = maxKnownVersion + 1
 	if _, _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrVersion) {
 		t.Fatalf("bad version: %v", err)
+	}
+	bad = append([]byte(nil), valid...)
+	bad[1] = Version2
+	if _, _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("version flip without CRC: %v", err)
 	}
 
 	bad = append([]byte(nil), valid...)
@@ -158,5 +169,239 @@ func TestSchemaHashSensitivity(t *testing.T) {
 	}
 	if a == SchemaHash("chbench", []wal.TableID{1, 2, 3}) {
 		t.Fatal("hash ignores name")
+	}
+}
+
+// Regression: without a length prefix on the name, distinct (name,
+// tables) pairs whose concatenated byte streams coincide hashed
+// identically and passed the handshake. ("a", [0x62]) fed the hasher
+// 'a' 'b' 0 0 0 — exactly what ("ab\x00\x00\x00", []) fed it.
+func TestSchemaHashNameTableBoundary(t *testing.T) {
+	a := SchemaHash("a", []wal.TableID{0x62})
+	b := SchemaHash("ab\x00\x00\x00", nil)
+	if a == b {
+		t.Fatalf("schema hash collides across the name/table boundary: %016x", a)
+	}
+	// The shifted-boundary family more generally.
+	c := SchemaHash("ab", []wal.TableID{0x63, 0x64})
+	d := SchemaHash("abc", []wal.TableID{0x64000000, 0})
+	if c == d {
+		t.Fatalf("schema hash collides when ID bytes slide into the name: %016x", c)
+	}
+}
+
+// Regression: the old `TxnCount < 0 || EntryCount < 0` check was dead
+// code (uint32→int is never negative on 64-bit), so a hostile frame
+// could claim ~4 billion entries over an empty buf and poison
+// consumers that trust EntryCount. Counts must be sane relative to the
+// buf they describe.
+func TestDecodeEpochRejectsAbsurdCounts(t *testing.T) {
+	base := testEpoch(rand.New(rand.NewSource(9)), 5)
+	for _, tc := range []struct {
+		name       string
+		txns, ents uint32
+		ok         bool
+	}{
+		{"max-entries-empty-ish-buf", 1, 0xffffffff, false},
+		{"max-txns", 0xffffffff, 1, false},
+		{"counts-at-buf-len", uint32(len(base.Buf)), uint32(len(base.Buf)), true},
+		{"counts-past-buf-len", uint32(len(base.Buf)) + 1, 1, false},
+	} {
+		p := EncodeEpoch(base)
+		binary.LittleEndian.PutUint32(p[8:], tc.txns)
+		binary.LittleEndian.PutUint32(p[28:], tc.ents)
+		_, err := DecodeEpoch(p)
+		if tc.ok && err != nil {
+			t.Fatalf("%s: unexpected reject: %v", tc.name, err)
+		}
+		if !tc.ok && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: got %v, want ErrCorrupt", tc.name, err)
+		}
+	}
+	// A zero-buf epoch claiming entries must die too.
+	empty := &epoch.Encoded{Seq: 1, LastCommitTS: 1}
+	p := EncodeEpoch(empty)
+	binary.LittleEndian.PutUint32(p[28:], 4_000_000_000)
+	if _, err := DecodeEpoch(p); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("entries over empty buf: %v", err)
+	}
+}
+
+// DecodeEpoch's documented sharp edge: the decoded Buf aliases the
+// frame payload (no copy on the hot path). Retention sites rely on
+// ReadFrameFlags allocating a fresh payload per frame; both contracts
+// are pinned here so a "harmless" buffer-reuse optimization cannot
+// silently corrupt a queued epoch.
+func TestDecodeEpochAliasingContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	enc := testEpoch(rng, 0)
+	p := EncodeEpoch(enc)
+	got, err := DecodeEpoch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p[epochHdrSize] ^= 0xff
+	if got.Buf[0] != p[epochHdrSize] {
+		t.Fatal("DecodeEpoch no longer aliases the payload; update the ownership docs and retention-site audit")
+	}
+
+	// Two frames read from one stream must not share backing memory.
+	var stream bytes.Buffer
+	e0, e1 := testEpoch(rng, 0), testEpoch(rng, 1)
+	stream.Write(AppendFrame(nil, KindEpoch, EncodeEpoch(e0)))
+	stream.Write(AppendFrame(nil, KindEpoch, EncodeEpoch(e1)))
+	_, _, _, p0, err := ReadFrameFlags(&stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0, err := DecodeEpoch(p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := append([]byte(nil), d0.Buf...)
+	if _, _, _, _, err := ReadFrameFlags(&stream); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(keep, d0.Buf) {
+		t.Fatal("reading the next frame mutated a retained epoch's Buf")
+	}
+
+	// The compressed path inflates into fresh memory: never aliases.
+	big := testEpoch(rng, 2)
+	big.Buf = bytes.Repeat([]byte("aliascheck"), 200)
+	var comp epochCompressor
+	cp := append([]byte(nil), comp.payload(big)...)
+	dc, err := DecodeEpochFrame(FlagCompressed, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cp {
+		cp[i] = 0
+	}
+	if !bytes.Equal(dc.Buf, big.Buf) {
+		t.Fatal("compressed decode aliases the wire payload")
+	}
+}
+
+func TestCompressedEpochRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var comp epochCompressor
+	for i := 0; i < 20; i++ {
+		want := testEpoch(rng, uint64(i))
+		// Make it compressible: repeat a motif (and rebound the counts to
+		// the new buf).
+		motif := append([]byte(nil), want.Buf[:10]...)
+		want.Buf = bytes.Repeat(motif, 8+rng.Intn(64))
+		want.TxnCount, want.EntryCount = 1+rng.Intn(8), 1+rng.Intn(64)
+		p := comp.payload(want)
+		if p == nil {
+			t.Fatalf("epoch %d: repetitive buf did not compress", i)
+		}
+		if len(p) >= epochHdrSize+len(want.Buf) {
+			t.Fatalf("epoch %d: compressed payload not smaller (%d vs %d)", i, len(p), epochHdrSize+len(want.Buf))
+		}
+		got, err := DecodeEpochFrame(FlagCompressed, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Seq != want.Seq || got.TxnCount != want.TxnCount ||
+			got.EntryCount != want.EntryCount || got.LastTxnID != want.LastTxnID ||
+			got.LastCommitTS != want.LastCommitTS || !bytes.Equal(got.Buf, want.Buf) {
+			t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", got, want)
+		}
+	}
+	// Incompressible input (random bytes): payload reports nil and the
+	// caller ships raw.
+	inc := testEpoch(rng, 100)
+	inc.Buf = make([]byte, 4096)
+	rng.Read(inc.Buf)
+	if p := comp.payload(inc); p != nil {
+		t.Fatalf("random buf claimed compressible: %d vs %d", len(p), epochHdrSize+len(inc.Buf))
+	}
+}
+
+func TestCorruptCompressedEpochIsErrCorruptNotPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	enc := testEpoch(rng, 7)
+	enc.Buf = bytes.Repeat([]byte("payload"), 300)
+	var comp epochCompressor
+	good := append([]byte(nil), comp.payload(enc)...)
+
+	// Every single-byte corruption of the flate stream must surface as
+	// ErrCorrupt (or, rarely, decode to different bytes of the correct
+	// length — flate has no integrity check of its own; the frame CRC
+	// covers that on the wire).
+	for off := epochHdrSize; off < len(good); off++ {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0xff
+		if _, err := DecodeEpochFrame(FlagCompressed, bad); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("offset %d: got %v, want ErrCorrupt", off, err)
+		}
+	}
+	// Truncations.
+	for _, cut := range []int{epochHdrSize, epochHdrSize + 1, len(good) - 1} {
+		if _, err := DecodeEpochFrame(FlagCompressed, good[:cut]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated at %d: got %v, want ErrCorrupt", cut, err)
+		}
+	}
+	// Declared raw length shorter than the stream inflates to.
+	bad := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(bad[32:], uint32(len(enc.Buf)-1))
+	if _, err := DecodeEpochFrame(FlagCompressed, bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short declared length: %v", err)
+	}
+	// And longer.
+	bad = append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(bad[32:], uint32(len(enc.Buf)+1))
+	if _, err := DecodeEpochFrame(FlagCompressed, bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("long declared length: %v", err)
+	}
+	// Unknown flag bits are rejected outright.
+	if _, err := DecodeEpochFrame(0x02, good); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unknown flags: %v", err)
+	}
+}
+
+func TestBackoffSaturatesAtHighRetryCounts(t *testing.T) {
+	base, max := 25*time.Millisecond, time.Second
+	prev := time.Duration(0)
+	for retry := 0; retry <= 200; retry++ {
+		d := Backoff(base, max, retry)
+		if d <= 0 {
+			t.Fatalf("retry %d: non-positive delay %v (hot reconnect loop)", retry, d)
+		}
+		if d > max {
+			t.Fatalf("retry %d: delay %v exceeds max %v", retry, d, max)
+		}
+		if d < prev {
+			t.Fatalf("retry %d: delay %v below previous %v (overflow wrap)", retry, d, prev)
+		}
+		prev = d
+	}
+	for _, tc := range []struct {
+		base, max time.Duration
+		retry     int
+		want      time.Duration
+	}{
+		{25 * time.Millisecond, time.Second, 0, 25 * time.Millisecond},
+		{25 * time.Millisecond, time.Second, 3, 200 * time.Millisecond},
+		{25 * time.Millisecond, time.Second, 5, 800 * time.Millisecond},
+		{25 * time.Millisecond, time.Second, 6, time.Second},
+		// The exact shifts that used to wrap: 25ms<<40 wrapped to a
+		// positive value above max (caught), 25ms<<45 to garbage, and
+		// retry ≥ 64 shifted to zero — all must saturate.
+		{25 * time.Millisecond, time.Second, 40, time.Second},
+		{25 * time.Millisecond, time.Second, 45, time.Second},
+		{25 * time.Millisecond, time.Second, 64, time.Second},
+		{25 * time.Millisecond, time.Second, 1 << 20, time.Second},
+		// Huge max: wrapped-positive-below-max was the nastiest case.
+		{time.Millisecond, 1 << 62, 62, 1 << 62},
+		{time.Millisecond, 1 << 62, 100, 1 << 62},
+		{time.Second, time.Second, 10, time.Second},
+		{0, time.Second, 10, time.Second},
+	} {
+		if got := Backoff(tc.base, tc.max, tc.retry); got != tc.want {
+			t.Fatalf("Backoff(%v, %v, %d) = %v, want %v", tc.base, tc.max, tc.retry, got, tc.want)
+		}
 	}
 }

@@ -27,7 +27,36 @@ func fuzzSeeds() [][]byte {
 	seeds = append(seeds, full[:len(full)/2])
 	flipped := append([]byte(nil), full...)
 	flipped[len(flipped)/3] ^= 0x10
-	return append(seeds, flipped)
+	seeds = append(seeds, flipped)
+
+	// v2 frames: caps handshake, a compressed epoch, a compressed epoch
+	// with a mangled flate stream, and hostile count/length headers.
+	seeds = append(seeds,
+		appendFrameV(nil, Version2, KindHello, 0, appendHello2(nil, 0xabc, CapFlate)),
+		appendFrameV(nil, Version2, KindWelcome, 0, appendWelcome2(nil, 0xabc, 17, CapFlate)),
+	)
+	comp := &epochCompressor{}
+	cenc := testEpoch(rng, 6)
+	cenc.Buf = bytes.Repeat(cenc.Buf[:8], 64)
+	cenc.TxnCount, cenc.EntryCount = 3, 17
+	if cp := comp.payload(cenc); cp != nil {
+		seeds = append(seeds, AppendFrameFlags(nil, KindEpoch, FlagCompressed, cp))
+		mangled := AppendFrameFlags(nil, KindEpoch, FlagCompressed, cp)
+		mangled[frameHdrSize+epochHdrSize+2] ^= 0xff
+		seeds = append(seeds, mangled)
+	}
+	// Counts claiming ~4B entries over a tiny buf (the dead-check bug).
+	hostile := EncodeEpoch(enc)
+	hostile[8], hostile[9], hostile[10], hostile[11] = 0xff, 0xff, 0xff, 0xff
+	hostile[28], hostile[29], hostile[30], hostile[31] = 0xff, 0xff, 0xff, 0xff
+	seeds = append(seeds, AppendFrame(nil, KindEpoch, hostile))
+	// Compressed frame whose declared raw length is absurd.
+	if cp := comp.payload(cenc); cp != nil {
+		lied := append([]byte(nil), cp...)
+		lied[32], lied[33], lied[34], lied[35] = 0xff, 0xff, 0xff, 0x0f
+		seeds = append(seeds, AppendFrameFlags(nil, KindEpoch, FlagCompressed, lied))
+	}
+	return seeds
 }
 
 // checkReadFrame asserts the decoder's closed error contract: every
@@ -35,18 +64,36 @@ func fuzzSeeds() [][]byte {
 // no foreign errors.
 func checkReadFrame(t *testing.T, data []byte) {
 	t.Helper()
-	kind, payload, err := ReadFrame(bytes.NewReader(data))
+	_, kind, flags, payload, err := ReadFrameFlags(bytes.NewReader(data))
 	switch {
 	case err == nil:
 		if kind == KindEpoch {
-			if enc, derr := DecodeEpoch(payload); derr == nil && enc == nil {
-				t.Fatal("DecodeEpoch returned nil, nil")
+			enc, derr := DecodeEpochFrame(flags, payload)
+			switch {
+			case derr == nil:
+				if enc == nil {
+					t.Fatal("DecodeEpochFrame returned nil, nil")
+				}
+				// The bounds invariant downstream consumers rely on.
+				if enc.TxnCount > len(enc.Buf) || enc.EntryCount > len(enc.Buf) {
+					t.Fatalf("decoded counts %d/%d exceed buf %d", enc.TxnCount, enc.EntryCount, len(enc.Buf))
+				}
+			case errors.Is(derr, ErrCorrupt):
+			default:
+				t.Fatalf("DecodeEpochFrame returned untyped error %v", derr)
 			}
 		}
 	case errors.Is(err, io.EOF), errors.Is(err, ErrShortFrame),
 		errors.Is(err, ErrCorrupt), errors.Is(err, ErrVersion):
 	default:
 		t.Fatalf("ReadFrame returned untyped error %v for %d bytes", err, len(data))
+	}
+
+	// The flag-blind wrapper upholds the same contract.
+	if _, _, rerr := ReadFrame(bytes.NewReader(data)); rerr != nil &&
+		!errors.Is(rerr, io.EOF) && !errors.Is(rerr, ErrShortFrame) &&
+		!errors.Is(rerr, ErrCorrupt) && !errors.Is(rerr, ErrVersion) {
+		t.Fatalf("ReadFrame returned untyped error %v for %d bytes", rerr, len(data))
 	}
 }
 

@@ -26,6 +26,15 @@ type Metrics struct {
 	// Connected is the link state: 1 while a connection is established
 	// (sender side) or a stream is being served (receiver side), else 0.
 	Connected *metrics.Gauge
+	// BytesRaw counts the bytes epoch frames would have occupied
+	// uncompressed (header + payload + CRC), and BytesWire the bytes
+	// actually written; their quotient is the link's achieved
+	// compression ratio. Equal when compression is off or unnegotiated.
+	BytesRaw  *metrics.Counter
+	BytesWire *metrics.Counter
+	// CompressionRatio is the cumulative wire/raw byte ratio for epoch
+	// frames (1.0 = uncompressed, lower is better).
+	CompressionRatio *metrics.Gauge
 }
 
 // NewMetrics registers the shipping metrics in r (metrics.Default when
@@ -52,5 +61,9 @@ func NewPeerMetrics(r *metrics.Registry, peer string) *Metrics {
 		LagSeconds:  r.Gauge(name("ship_lag_seconds")),
 		Duplicates:  r.Counter(name("ship_duplicates_total")),
 		Connected:   r.Gauge(name("ship_connected")),
+
+		BytesRaw:         r.Counter(name("ship_bytes_raw_total")),
+		BytesWire:        r.Counter(name("ship_bytes_wire_total")),
+		CompressionRatio: r.Gauge(name("ship_compression_ratio")),
 	}
 }

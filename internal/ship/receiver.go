@@ -22,6 +22,20 @@ type Applier interface {
 	Heartbeat(ts int64) error
 }
 
+// FrameApplier is an optional Applier extension for consumers that
+// persist the stream (the recovery supervisor's spool, relay hops):
+// the receiver hands over the wire frame alongside the decoded epoch,
+// so a compressed frame can be stored as received instead of being
+// inflated and re-deflated.
+type FrameApplier interface {
+	Applier
+	// FeedFrame applies one epoch, also supplying the raw EPOCH frame
+	// payload and its header flags. payload is freshly allocated per
+	// frame and owned by the callee after the call; for uncompressed
+	// frames enc.Buf aliases payload.
+	FeedFrame(flags byte, payload []byte, enc *epoch.Encoded) error
+}
+
 // ReceiverConfig configures the backup side of a replication link.
 type ReceiverConfig struct {
 	// Schema is the workload schema hash the sender must present.
@@ -44,6 +58,14 @@ type ReceiverConfig struct {
 	// Metrics receives the duplicate counter; nil registers the default
 	// names in metrics.Default.
 	Metrics *Metrics
+	// Compress advertises CapFlate in v2 WELCOMEs, permitting senders
+	// that also advertise it to ship compressed EPOCH frames.
+	Compress bool
+	// MaxVersion caps the protocol version accepted from senders;
+	// 0 means the highest this build speaks. Set 1 to emulate a legacy
+	// v1 receiver (mixed-version tests): v2 HELLOs are rejected with
+	// ErrVersion and the sender falls back to v1.
+	MaxVersion byte
 }
 
 // ReceiverStats is a point-in-time view of a receiver's progress.
@@ -86,7 +108,20 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = NewMetrics(nil)
 	}
+	if cfg.MaxVersion == 0 {
+		cfg.MaxVersion = maxKnownVersion
+	}
 	return &Receiver{cfg: cfg, m: cfg.Metrics, cursor: cfg.Resume}, nil
+}
+
+// capsOffered is the capability bitset this receiver advertises in v2
+// WELCOMEs.
+func (r *Receiver) capsOffered() uint64 {
+	var caps uint64
+	if r.cfg.Compress && r.cfg.MaxVersion >= Version2 {
+		caps |= CapFlate
+	}
+	return caps
 }
 
 // Cursor returns the next epoch sequence the receiver expects.
@@ -118,21 +153,36 @@ func (r *Receiver) Serve(conn net.Conn) (done bool, err error) {
 	br := bufio.NewReaderSize(conn, 1<<20)
 	bw := bufio.NewWriterSize(conn, 1<<12)
 
-	kind, payload, err := ReadFrame(br)
+	ver, kind, _, payload, err := ReadFrameFlags(br)
 	if err != nil {
 		return false, fmt.Errorf("ship: handshake: %w", err)
+	}
+	if ver > r.cfg.MaxVersion {
+		// A v1-pinned receiver drops the link here; the sender's v1
+		// fallback redial carries the stream.
+		return false, fmt.Errorf("ship: handshake: %w: %d", ErrVersion, ver)
 	}
 	if kind != KindHello {
 		return false, fmt.Errorf("%w: expected HELLO, got kind %d", ErrCorrupt, kind)
 	}
-	schema, err := parseHello(payload)
+	var schema uint64
+	var senderCaps uint64
+	if ver >= Version2 {
+		schema, senderCaps, err = parseHello2(payload)
+	} else {
+		schema, err = parseHello(payload)
+	}
 	if err != nil {
 		return false, err
 	}
+	// Capabilities are the per-connection intersection of what both
+	// ends advertise; a v1 sender negotiates none.
+	negotiated := senderCaps & r.capsOffered()
 	// Always answer with our schema and cursor; on a mismatch the sender
 	// reads the WELCOME, sees the foreign schema, and aborts permanently
-	// instead of retrying a doomed link.
-	if err := r.welcome(bw); err != nil {
+	// instead of retrying a doomed link. The reply speaks the HELLO's
+	// version, so a v1 sender sees the 16-byte WELCOME it expects.
+	if err := r.welcome(bw, ver); err != nil {
 		return false, err
 	}
 	if schema != r.cfg.Schema {
@@ -153,7 +203,7 @@ func (r *Receiver) Serve(conn net.Conn) (done bool, err error) {
 
 	sinceAck := 0
 	for {
-		kind, payload, err := ReadFrame(br)
+		ver, kind, flags, payload, err := ReadFrameFlags(br)
 		if err == io.EOF {
 			// Dropped between frames; the sender may resume. Surface a
 			// parked ack failure so the caller logs why the link died.
@@ -162,9 +212,15 @@ func (r *Receiver) Serve(conn net.Conn) (done bool, err error) {
 		if err != nil {
 			return false, err
 		}
+		if ver > r.cfg.MaxVersion {
+			return false, fmt.Errorf("%w: %d", ErrVersion, ver)
+		}
 		switch kind {
 		case KindEpoch:
-			enc, err := DecodeEpoch(payload)
+			if flags&FlagCompressed != 0 && negotiated&CapFlate == 0 {
+				return false, fmt.Errorf("%w: compressed epoch without negotiated capability", ErrCorrupt)
+			}
+			enc, err := DecodeEpochFrame(flags, payload)
 			if err != nil {
 				return false, err
 			}
@@ -189,8 +245,16 @@ func (r *Receiver) Serve(conn net.Conn) (done bool, err error) {
 			// instead of telling the sender to skip an epoch that was never
 			// applied. Serve connections serialize on serveMu, so nothing
 			// else can race the cursor between the check and the advance.
-			if err := r.cfg.Applier.Feed(enc); err != nil {
-				return false, fmt.Errorf("ship: applier: %w", err)
+			// A FrameApplier additionally gets the wire frame, so a spool
+			// can persist a compressed epoch as received.
+			var ferr error
+			if fa, ok := r.cfg.Applier.(FrameApplier); ok {
+				ferr = fa.FeedFrame(flags, payload, enc)
+			} else {
+				ferr = r.cfg.Applier.Feed(enc)
+			}
+			if ferr != nil {
+				return false, fmt.Errorf("ship: applier: %w", ferr)
 			}
 			r.mu.Lock()
 			r.cursor = enc.Seq + 1
@@ -239,12 +303,20 @@ func (r *Receiver) sendAck(bw *bufio.Writer) error {
 	return bw.Flush()
 }
 
-// welcome writes the WELCOME frame carrying schema and cursor.
-func (r *Receiver) welcome(bw *bufio.Writer) error {
+// welcome writes the WELCOME frame carrying schema and cursor, in the
+// protocol version of the sender's HELLO (a v2 WELCOME additionally
+// carries this receiver's capability bitset).
+func (r *Receiver) welcome(bw *bufio.Writer, ver byte) error {
 	r.mu.Lock()
 	cur := r.cursor
 	r.mu.Unlock()
-	if err := WriteFrame(bw, KindWelcome, appendWelcome(nil, r.cfg.Schema, cur)); err != nil {
+	var err error
+	if ver >= Version2 {
+		err = writeFrameV(bw, Version2, KindWelcome, 0, appendWelcome2(nil, r.cfg.Schema, cur, r.capsOffered()))
+	} else {
+		err = WriteFrame(bw, KindWelcome, appendWelcome(nil, r.cfg.Schema, cur))
+	}
+	if err != nil {
 		return err
 	}
 	return bw.Flush()

@@ -52,17 +52,34 @@ type SenderConfig struct {
 	// Metrics receives the shipping counters; nil registers the default
 	// names in metrics.Default.
 	Metrics *Metrics
+	// Compress advertises CapFlate in the v2 handshake and compresses
+	// EPOCH bufs of at least CompressThreshold bytes when the receiver
+	// advertises it back. A peer that speaks only v1, or one that does
+	// not advertise the capability, gets the uncompressed stream —
+	// negotiation is per connection, so a mixed fleet compresses on the
+	// links that can.
+	Compress bool
+	// CompressThreshold is the smallest epoch buf compressed, in bytes.
+	// Default DefaultCompressThreshold.
+	CompressThreshold int
+	// MaxVersion caps the protocol version offered in the handshake;
+	// 0 means the highest this build speaks. Set 1 to emulate a legacy
+	// v1 sender (mixed-version tests).
+	MaxVersion byte
 }
 
 // SenderStats is a point-in-time view of a sender's progress.
 type SenderStats struct {
-	Sent       int64 // epoch frames written (incl. retransmissions)
-	Acked      int64 // epochs retired by acks or resume trims
-	Reconnects int64
-	Inflight   int           // sent-but-unacked epochs
-	AckCursor  uint64        // backup's cumulative cursor
-	Lag        time.Duration // age of the oldest unacked epoch
-	Connected  bool          // a connection is currently established
+	Sent        int64 // epoch frames written (incl. retransmissions)
+	Acked       int64 // epochs retired by acks or resume trims
+	Reconnects  int64
+	Inflight    int           // sent-but-unacked epochs
+	AckCursor   uint64        // backup's cumulative cursor
+	Lag         time.Duration // age of the oldest unacked epoch
+	Connected   bool          // a connection is currently established
+	BytesRaw    int64         // epoch bytes before compression (incl. framing)
+	BytesWire   int64         // epoch bytes actually written
+	Compressing bool          // current connection negotiated CapFlate
 }
 
 // Sender ships encoded epochs to one backup. Connections are opened
@@ -96,6 +113,17 @@ type Sender struct {
 	haveSeq   bool
 	lastTS    int64 // commit ts of the last enqueued epoch
 
+	// negotiated is the capability intersection of the current
+	// connection's handshake (0 on a v1 link); peerV1 sticks once a
+	// peer has demonstrably rejected a v2 HELLO, so later reconnects
+	// skip the doomed attempt.
+	negotiated uint64
+	peerV1     bool
+	comp       epochCompressor
+	frameBuf   []byte
+	bytesRaw   int64
+	bytesWire  int64
+
 	sent, acked, reconnects int64
 
 	closed bool
@@ -121,6 +149,12 @@ func NewSender(cfg SenderConfig) (*Sender, error) {
 	}
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 8
+	}
+	if cfg.CompressThreshold <= 0 {
+		cfg.CompressThreshold = DefaultCompressThreshold
+	}
+	if cfg.MaxVersion == 0 {
+		cfg.MaxVersion = maxKnownVersion
 	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = NewMetrics(nil)
@@ -237,12 +271,15 @@ func (s *Sender) Stats() SenderStats {
 	defer s.mu.Unlock()
 	s.gaugesLocked()
 	st := SenderStats{
-		Sent:       s.sent,
-		Acked:      s.acked,
-		Reconnects: s.reconnects,
-		Inflight:   len(s.pending),
-		AckCursor:  s.ackCursor,
-		Connected:  s.conn != nil && s.connErr == nil && !s.closed,
+		Sent:        s.sent,
+		Acked:       s.acked,
+		Reconnects:  s.reconnects,
+		Inflight:    len(s.pending),
+		AckCursor:   s.ackCursor,
+		Connected:   s.conn != nil && s.connErr == nil && !s.closed,
+		BytesRaw:    s.bytesRaw,
+		BytesWire:   s.bytesWire,
+		Compressing: s.conn != nil && s.connErr == nil && s.negotiated&CapFlate != 0,
 	}
 	if len(s.pendingAt) > 0 {
 		st.Lag = time.Since(s.pendingAt[0])
@@ -287,7 +324,7 @@ func (s *Sender) connectLocked() error {
 			}
 		}
 		s.mu.Unlock()
-		conn, cursor, err := s.dialAndShake()
+		conn, cursor, caps, err := s.dialAndShake()
 		s.mu.Lock()
 		if s.closed {
 			if err == nil {
@@ -310,6 +347,7 @@ func (s *Sender) connectLocked() error {
 		s.conn = conn
 		s.bw = bufio.NewWriterSize(conn, 1<<20)
 		s.connErr = nil
+		s.negotiated = caps
 		s.m.Connected.Set(1)
 		s.gen++
 		s.retireLocked(cursor)
@@ -325,37 +363,77 @@ func (s *Sender) connectLocked() error {
 	return fmt.Errorf("ship: connect failed after %d attempts: %w", s.cfg.MaxAttempts, lastErr)
 }
 
+// capsOffered is the capability bitset this sender advertises.
+func (s *Sender) capsOffered() uint64 {
+	var caps uint64
+	if s.cfg.Compress {
+		caps |= CapFlate
+	}
+	return caps
+}
+
 // dialAndShake runs without the lock: dial, HELLO, expect WELCOME.
-func (s *Sender) dialAndShake() (net.Conn, uint64, error) {
+// It offers a v2 handshake first (unless configured or known to be
+// v1-only) and falls back to v1 on a peer that tears the link down at
+// the version byte — the downgrade sticks for later reconnects only
+// when the v1 retry actually succeeds, so a transient network failure
+// during the v2 attempt does not silently disable compression forever.
+func (s *Sender) dialAndShake() (net.Conn, uint64, uint64, error) {
+	tryV2 := s.cfg.MaxVersion >= Version2 && !s.peerV1
+	conn, cursor, caps, err := s.shake(tryV2)
+	if err == nil || !tryV2 || errors.Is(err, ErrSchemaMismatch) {
+		return conn, cursor, caps, err
+	}
+	conn, cursor, caps, err = s.shake(false)
+	if err == nil {
+		s.peerV1 = true
+	}
+	return conn, cursor, caps, err
+}
+
+// shake dials and runs one handshake at the chosen version.
+func (s *Sender) shake(v2 bool) (net.Conn, uint64, uint64, error) {
 	conn, err := s.cfg.Dial()
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
-	if err := WriteFrame(conn, KindHello, appendHello(nil, s.cfg.Schema)); err != nil {
+	var hello []byte
+	if v2 {
+		hello = appendFrameV(nil, Version2, KindHello, 0, appendHello2(nil, s.cfg.Schema, s.capsOffered()))
+	} else {
+		hello = AppendFrame(nil, KindHello, appendHello(nil, s.cfg.Schema))
+	}
+	if _, err := conn.Write(hello); err != nil {
 		conn.Close()
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	// ReadFrame consumes exactly one frame, so handing the conn to the
 	// buffered ack reader afterwards loses no bytes.
 	kind, payload, err := ReadFrame(conn)
 	if err != nil {
 		conn.Close()
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	if kind != KindWelcome {
 		conn.Close()
-		return nil, 0, fmt.Errorf("%w: expected WELCOME, got kind %d", ErrCorrupt, kind)
+		return nil, 0, 0, fmt.Errorf("%w: expected WELCOME, got kind %d", ErrCorrupt, kind)
 	}
-	schema, cursor, err := parseWelcome(payload)
+	var schema, cursor, caps uint64
+	switch len(payload) {
+	case 24:
+		schema, cursor, caps, err = parseWelcome2(payload)
+	default:
+		schema, cursor, err = parseWelcome(payload)
+	}
 	if err != nil {
 		conn.Close()
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	if schema != s.cfg.Schema {
 		conn.Close()
-		return nil, 0, fmt.Errorf("%w: sender %016x, receiver %016x", ErrSchemaMismatch, s.cfg.Schema, schema)
+		return nil, 0, 0, fmt.Errorf("%w: sender %016x, receiver %016x", ErrSchemaMismatch, s.cfg.Schema, schema)
 	}
-	return conn, cursor, nil
+	return conn, cursor, caps & s.capsOffered(), nil
 }
 
 // flushLocked writes every not-yet-sent pending epoch to the current
@@ -366,13 +444,34 @@ func (s *Sender) flushLocked() {
 		return
 	}
 	for s.sentIdx < len(s.pending) {
-		if err := WriteFrame(s.bw, KindEpoch, EncodeEpoch(s.pending[s.sentIdx])); err != nil {
+		enc := s.pending[s.sentIdx]
+		var payload []byte
+		var flags byte
+		if s.negotiated&CapFlate != 0 && len(enc.Buf) >= s.cfg.CompressThreshold {
+			if p := s.comp.payload(enc); p != nil {
+				payload, flags = p, FlagCompressed
+			}
+		}
+		if payload == nil {
+			payload = EncodeEpoch(enc)
+		}
+		s.frameBuf = AppendFrameFlags(s.frameBuf[:0], KindEpoch, flags, payload)
+		if _, err := s.bw.Write(s.frameBuf); err != nil {
 			s.failLocked(err)
 			return
 		}
+		// raw = the frame as it would ship uncompressed; wire = as sent.
+		raw := int64(frameHdrSize + epochHdrSize + len(enc.Buf) + 4)
+		s.bytesRaw += raw
+		s.bytesWire += int64(len(s.frameBuf))
+		s.m.BytesRaw.Add(raw)
+		s.m.BytesWire.Add(int64(len(s.frameBuf)))
 		s.sentIdx++
 		s.sent++
 		s.m.EpochsSent.Inc()
+	}
+	if s.bytesRaw > 0 {
+		s.m.CompressionRatio.Set(float64(s.bytesWire) / float64(s.bytesRaw))
 	}
 	if err := s.bw.Flush(); err != nil {
 		s.failLocked(err)
@@ -426,6 +525,7 @@ func (s *Sender) teardownLocked() {
 	s.m.Connected.Set(0)
 	s.gen++
 	s.sentIdx = 0
+	s.negotiated = 0
 }
 
 func (s *Sender) gaugesLocked() {
@@ -438,12 +538,11 @@ func (s *Sender) gaugesLocked() {
 }
 
 // backoffLocked returns the jittered exponential delay for the given
-// zero-based retry.
+// zero-based retry. Backoff saturates at RetryMax instead of letting
+// the shift overflow into a zero/negative delay (a hot reconnect loop)
+// at high retry counts.
 func (s *Sender) backoffLocked(retry int) time.Duration {
-	d := s.cfg.RetryBase << uint(retry)
-	if d > s.cfg.RetryMax || d <= 0 {
-		d = s.cfg.RetryMax
-	}
+	d := Backoff(s.cfg.RetryBase, s.cfg.RetryMax, retry)
 	half := int64(d / 2)
 	return time.Duration(half + s.rng.Int63n(half+1))
 }
