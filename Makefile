@@ -45,9 +45,15 @@ chaos:
 # queries admit without blocking. The second leg runs a mixed-capability
 # fleet — one replica pinned to wire v1, the rest negotiating flate — to
 # prove one stale peer cannot disable compression for its siblings.
+# The third leg drives snapshot catch-up and anti-entropy: a bounded
+# divergence buffer sheds under a crashed replica (counted, not
+# terminal), the replica rejoins through a wire snapshot with zero
+# operator action, and an injected at-rest bit flip is caught by an
+# epoch-boundary digest and repaired through the same snapshot path.
 chaos-cluster:
 	$(GO) test -race -short -run 'TestClusterChaos' -count=1 ./internal/cluster/
 	AETS_CHAOS_COMPRESS=1 $(GO) test -race -short -run 'TestClusterChaos' -count=1 ./internal/cluster/
+	AETS_CHAOS_SNAPSHOT=1 $(GO) test -race -short -run 'TestClusterChaos' -count=1 ./internal/cluster/
 
 # Boot `replayd backup -http`, scrape /metrics and /healthz, fail on
 # non-200 responses or missing replay_* series.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"aets/internal/cluster"
+	"aets/internal/htap"
 	"aets/internal/metrics"
 	"aets/internal/obsrv"
 	"aets/internal/primary"
@@ -25,11 +26,24 @@ func runCluster(args []string) error {
 	}
 	c.applyProfiles()
 
-	gen, _, err := workloadPlan(c.workload)
+	gen, plan, err := workloadPlan(c.workload)
 	if err != nil {
 		return err
 	}
 	schema := ship.SchemaHash(c.workload, workload.TableIDs(gen.Tables()))
+
+	// -snapshot mirrors the stream into a local node so the fan-out can
+	// cut a checkpoint covering everything sent so far: the state source
+	// for re-basing replicas too stale to resume, and (with
+	// -digest-every) the reference state for anti-entropy digests.
+	var mirror *htap.Node
+	if c.snapshot {
+		mirror, err = htap.NewNode(htap.Kind("aets"), plan, htap.Options{Workers: 2})
+		if err != nil {
+			return err
+		}
+		defer mirror.Close()
+	}
 
 	peers := make([]cluster.Peer, 0, len(c.connects))
 	for _, addr := range c.connects {
@@ -43,11 +57,19 @@ func runCluster(args []string) error {
 			Compress:       c.compress,
 		}})
 	}
-	fan, err := cluster.NewFanout(cluster.FanoutConfig{
+	fcfg := cluster.FanoutConfig{
 		Peers:    peers,
 		Registry: metrics.Default,
 		MaxQueue: c.maxQueue,
-	})
+	}
+	if mirror != nil {
+		fcfg.Snapshot = &htap.NodeSnapshotSource{N: mirror}
+		if c.digestEvery > 0 {
+			fcfg.DigestEvery = c.digestEvery
+			fcfg.Digest = mirror.AntiEntropyDigest
+		}
+	}
+	fan, err := cluster.NewFanout(fcfg)
 	if err != nil {
 		return err
 	}
@@ -87,6 +109,13 @@ func runCluster(args []string) error {
 	encs := p.GenerateEncoded(c.txns, c.epochSize)
 	start := time.Now()
 	for i := range encs {
+		if mirror != nil {
+			// The mirror applies before the fan-out ships, so a snapshot
+			// cut at any instant covers every epoch already offered.
+			if err := mirror.Feed(&encs[i]); err != nil {
+				return err
+			}
+		}
 		if err := fan.Send(&encs[i]); err != nil {
 			return err
 		}
@@ -105,8 +134,12 @@ func runCluster(args []string) error {
 		if st.BytesRaw > 0 && st.BytesWire != st.BytesRaw {
 			ratio = fmt.Sprintf(", wire/raw %.3f", float64(st.BytesWire)/float64(st.BytesRaw))
 		}
-		fmt.Printf("peer %-24s acked %d/%d, reconnects %d%s — %s\n",
-			st.ID, st.Acked, len(encs), st.Reconnects, ratio, status)
+		snaps := ""
+		if st.Snapshots > 0 {
+			snaps = fmt.Sprintf(", snapshots %d", st.Snapshots)
+		}
+		fmt.Printf("peer %-24s acked %d/%d, reconnects %d%s%s — %s\n",
+			st.ID, st.Acked, len(encs), st.Reconnects, ratio, snaps, status)
 	}
 	fmt.Printf("fanned out %d epochs (%d txns) to %d replicas in %v\n",
 		len(encs), c.txns, len(c.connects), elapsed)

@@ -177,6 +177,8 @@ type clusterFlags struct {
 	rate, window, retries int
 	hb                    time.Duration
 	maxQueue              int
+	snapshot              bool
+	digestEvery           int
 	httpAddr              string
 	compress              bool
 	applyProfiles         func()
@@ -194,7 +196,9 @@ func parseClusterFlags(args []string) (*clusterFlags, error) {
 	fs.IntVar(&c.window, "window", 32, "per-link max in-flight (unacked) epochs")
 	fs.DurationVar(&c.hb, "hb", 500*time.Millisecond, "per-link heartbeat interval (0 disables)")
 	fs.IntVar(&c.retries, "retries", 8, "per-link consecutive reconnect attempts before the peer is dropped")
-	fs.IntVar(&c.maxQueue, "max-queue", 0, "per-peer divergence buffer in epochs; a peer further behind is dropped (0 = unbounded)")
+	fs.IntVar(&c.maxQueue, "max-queue", 0, "per-peer divergence buffer in epochs; a peer further behind is dropped — or snapshot re-based with -snapshot (0 = unbounded)")
+	fs.BoolVar(&c.snapshot, "snapshot", false, "serve wire-level snapshot catch-up: mirror the stream into a local node and re-base replicas too stale to resume (overflowed -max-queue, compacted spool) instead of dropping them")
+	fs.IntVar(&c.digestEvery, "digest-every", 0, "ship an anti-entropy state digest every N epochs; replicas whose committed state diverges are repaired via snapshot (requires -snapshot; 0 disables)")
 	fs.StringVar(&c.httpAddr, "http", "", "serve /metrics /healthz /varz /debug/pprof on this address (empty disables)")
 	fs.BoolVar(&c.compress, "compress", false, "negotiate flate frame compression per peer (a v1 peer still gets raw frames)")
 	c.applyProfiles = contentionProfileFlags(fs)
@@ -227,6 +231,12 @@ func parseClusterFlags(args []string) (*clusterFlags, error) {
 	}
 	if c.rate < 0 || c.hb < 0 || c.maxQueue < 0 {
 		return nil, usagef("cluster: -rate, -hb and -max-queue must not be negative")
+	}
+	if c.digestEvery < 0 {
+		return nil, usagef("cluster: -digest-every must not be negative (got %d)", c.digestEvery)
+	}
+	if c.digestEvery > 0 && !c.snapshot {
+		return nil, usagef("cluster: -digest-every requires -snapshot (a detected mismatch is repaired by snapshot)")
 	}
 	return c, nil
 }

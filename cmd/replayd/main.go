@@ -266,18 +266,44 @@ func runBackup(args []string) error {
 			return err
 		}
 	}
-	defer node.Close()
+	// The host makes the bare backup snapshot-capable: a sender that
+	// cannot serve this cursor (spool compacted, backlog shed) streams a
+	// full checkpoint instead, and the host swaps in the rebuilt node
+	// without a restart. The old node keeps serving until the swap.
+	host := htap.HostNode(node, htap.Kind(c.algo), plan, opts)
+	defer host.Close()
 
 	if c.gcEvery > 0 {
-		stop := node.StartVacuumLoop(c.gcEvery, 0)
-		defer stop()
+		stopGC := make(chan struct{})
+		defer close(stopGC)
+		go func() {
+			t := time.NewTicker(c.gcEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopGC:
+					return
+				case <-t.C:
+					// Re-resolve each tick: a snapshot restore swaps nodes.
+					if n := host.Node(); n != nil {
+						if ts := n.VisibleTS(); ts > 0 {
+							n.Vacuum(ts)
+						}
+					}
+				}
+			}
+		}()
 	}
 
 	m := ship.NewMetrics(metrics.Default)
-	rcv, err := node.ShipReceiver(ship.ReceiverConfig{
-		Schema:   ship.SchemaHash(c.workload, workload.TableIDs(gen.Tables())),
-		Metrics:  m,
-		Drain:    func() error { node.Drain(); return node.Err() },
+	rcv, err := host.ShipReceiver(ship.ReceiverConfig{
+		Schema:  ship.SchemaHash(c.workload, workload.TableIDs(gen.Tables())),
+		Metrics: m,
+		Drain: func() error {
+			n := host.Node()
+			n.Drain()
+			return n.Err()
+		},
 		Compress: c.compress,
 	})
 	if err != nil {
@@ -285,9 +311,11 @@ func runBackup(args []string) error {
 	}
 
 	closeHTTP, err := serveHTTP(c.httpAddr, obsrv.Options{
-		Health: node.HealthSource(metrics.Default, func() bool {
-			return metrics.Default.Gauge("ship_connected").Load() != 0
-		}),
+		Health: func() obsrv.Health {
+			return host.Node().HealthSource(metrics.Default, func() bool {
+				return metrics.Default.Gauge("ship_connected").Load() != 0
+			})()
+		},
 	})
 	if err != nil {
 		return err
@@ -305,7 +333,7 @@ func runBackup(args []string) error {
 	stopProgress := startProgress(func() {
 		st := rcv.Stats()
 		fmt.Printf("  %8d txns received, cursor %d, visible ts %d | %s | %s\n",
-			st.Txns, st.Cursor, node.VisibleTS(), metrics.Default.Line("ship_"),
+			st.Txns, st.Cursor, host.Node().VisibleTS(), metrics.Default.Line("ship_"),
 			metrics.Default.Line("replay_"))
 	})
 	defer stopProgress()
@@ -324,15 +352,16 @@ func runBackup(args []string) error {
 			break
 		}
 	}
-	node.Drain()
-	if err := node.Err(); err != nil {
+	final := host.Node()
+	final.Drain()
+	if err := final.Err(); err != nil {
 		return err
 	}
 	st := rcv.Stats()
 	elapsed := time.Since(start)
 	fmt.Printf("replayed %d txns (%d entries, %d duplicates dropped) in %v — %.0f txns/s, final visible ts %d\n",
 		st.Txns, st.Entries, st.Duplicates, elapsed.Round(time.Millisecond),
-		float64(st.Txns)/elapsed.Seconds(), node.VisibleTS())
+		float64(st.Txns)/elapsed.Seconds(), final.VisibleTS())
 
 	if c.ckpt != "" {
 		f, err := os.Create(c.ckpt)
@@ -340,7 +369,7 @@ func runBackup(args []string) error {
 			return err
 		}
 		defer f.Close()
-		meta, err := node.Checkpoint(f)
+		meta, err := final.Checkpoint(f)
 		if err != nil {
 			return err
 		}
@@ -410,12 +439,15 @@ func runSupervised(c supervisedConfig) error {
 
 	m := ship.NewMetrics(metrics.Default)
 	rcv, err := ship.NewReceiver(ship.ReceiverConfig{
-		Schema:   ship.SchemaHash(c.name, workload.TableIDs(c.gen.Tables())),
-		Resume:   sup.NextSeq(),
-		Applier:  sup,
-		Metrics:  m,
-		Drain:    sup.Checkpoint,
-		Compress: c.compress,
+		Schema:  ship.SchemaHash(c.name, workload.TableIDs(c.gen.Tables())),
+		Resume:  sup.NextSeq(),
+		Applier: sup,
+		Metrics: m,
+		Drain:   sup.Checkpoint,
+		// A digest mismatch survives link (and process) lifetimes: every
+		// handshake re-requests snapshot repair until one lands.
+		NeedSnapshot: sup.NeedSnapshot,
+		Compress:     c.compress,
 	})
 	if err != nil {
 		return err

@@ -133,6 +133,10 @@ func runRoute(args []string) error {
 				return
 			}
 			shippedTS.Store(encs[i].LastCommitTS)
+			// Surface any link that died (dial budget, schema mismatch)
+			// through membership, so Status shows "replica up, feed
+			// dead" instead of silent staleness.
+			fan.SyncLinkErrs(members)
 			if c.rate > 0 {
 				time.Sleep(time.Second / time.Duration(c.rate))
 			}
@@ -240,9 +244,14 @@ func runRoute(args []string) error {
 	if hits+waits > 0 {
 		hitRate = float64(hits) / float64(hits+waits)
 	}
+	fan.SyncLinkErrs(members)
 	for _, st := range members.Snapshot() {
-		fmt.Printf("  %-12s visible ts %8d  lag %6d  served %6d queries\n",
-			st.ID, st.VisibleTS, st.ReplayLag, served[st.ID])
+		link := ""
+		if st.LinkErr != "" {
+			link = "  link: " + st.LinkErr
+		}
+		fmt.Printf("  %-12s visible ts %8d  lag %6d  served %6d queries%s\n",
+			st.ID, st.VisibleTS, st.ReplayLag, served[st.ID], link)
 	}
 	fmt.Printf("route summary: replicas=%d delay=%v stale=%d queries=%d hit_rate=%.3f waits=%d failovers=%d p50=%v p99=%v elapsed=%v\n",
 		c.replicas, c.delay, c.stale, len(lats), hitRate, waits,

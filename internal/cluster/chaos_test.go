@@ -142,12 +142,16 @@ func (cr *chaosReplica) start(t *testing.T) {
 		t.Fatal(err)
 	}
 	rcv, err := ship.NewReceiver(ship.ReceiverConfig{
-		Schema:     fanSchema(),
-		Resume:     sup.NextSeq(),
-		Applier:    sup,
-		Metrics:    ship.NewPeerMetrics(cr.reg, cr.id),
-		Compress:   cr.compress,
-		MaxVersion: cr.maxVersion,
+		Schema:  fanSchema(),
+		Resume:  sup.NextSeq(),
+		Applier: sup,
+		// The repair latch must survive receiver (and process) lifetimes:
+		// a digest mismatch detected in one life still requests its
+		// snapshot in the next.
+		NeedSnapshot: sup.NeedSnapshot,
+		Metrics:      ship.NewPeerMetrics(cr.reg, cr.id),
+		Compress:     cr.compress,
+		MaxVersion:   cr.maxVersion,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -492,4 +496,261 @@ func TestClusterChaosRoutedQueriesStayCorrect(t *testing.T) {
 	}
 	t.Logf("chaos done: %d kills, hits=%d waits=%d failovers=%d",
 		kills, m.RouteHits.Load(), m.RouteWaits.Load(), m.RouteFailovers.Load())
+}
+
+// flipAtRest corrupts one column byte in every committed record head of
+// the node's memtable — at-rest corruption that no wire CRC ever sees.
+// The blast radius is deliberate: the digest hashes version-chain heads
+// only, and the stream keeps appending fresh heads, so a single flipped
+// record could be silently papered over by its next update. Flipping
+// every head guarantees some corrupted record survives to the next
+// digest comparison. Callers must have drained replay and must publish
+// the writes (any supervisor mutex round-trip) before traffic resumes.
+func flipAtRest(t *testing.T, node *htap.Node, tables []wal.TableID) {
+	t.Helper()
+	flipped := 0
+	for _, tb := range tables {
+		node.Memtable().Table(tb).ScanAny(0, ^uint64(0), func(_ uint64, rec *memtable.Record) bool {
+			v := rec.Latest()
+			if v == nil || len(v.Columns) == 0 || len(v.Columns[0].Value) == 0 {
+				return true
+			}
+			v.Columns[0].Value[0] ^= 0x01
+			flipped++
+			return true
+		})
+	}
+	if flipped == 0 {
+		t.Fatal("no committed record to corrupt")
+	}
+}
+
+// TestClusterChaosSnapshotCatchup is the snapshot catch-up + anti-entropy
+// chaos leg (AETS_CHAOS_SNAPSHOT=1, wired as a CI matrix leg):
+//
+//  1. a replica is held down while the stream runs past its bounded
+//     divergence queue — the fan-out sheds instead of dropping it;
+//  2. the replica rejoins with zero operator action: the sender bridges
+//     the shed gap with a wire snapshot cut from the mirror, restored
+//     durably through the recovery supervisor;
+//  3. an at-rest bit flip on a healthy replica — invisible to every
+//     frame CRC — is caught by the epoch-boundary state digests and
+//     repaired through the same snapshot path.
+//
+// Throughout, no peer may fail terminally and every replica must end
+// record-for-record equal to the serial reference.
+func TestClusterChaosSnapshotCatchup(t *testing.T) {
+	if os.Getenv("AETS_CHAOS_SNAPSHOT") == "" {
+		t.Skip("set AETS_CHAOS_SNAPSHOT=1 to run the snapshot catch-up chaos leg")
+	}
+	txnCount, epochSize := 12000, 64
+	if testing.Short() {
+		txnCount = 4000
+	}
+	p := primary.New(workload.NewTPCC(fanWarehouses), 23)
+	txns := p.GenerateTxns(txnCount)
+	encs := epoch.EncodeAll(epoch.MustSplit(txns, epochSize))
+	tables := fanTables()
+	want := memtable.New()
+	reference.Apply(want, txns)
+
+	// The mirror applies every epoch before it ships — the freshness
+	// contract behind both the snapshot source and the digest stream.
+	mirror := fanNode(t)
+	defer mirror.Close()
+
+	m := cluster.NewMetrics(metrics.NewRegistry())
+	members := cluster.NewMembership(m)
+	reps := make([]*chaosReplica, 3)
+	peers := make([]cluster.Peer, 3)
+	for i := range reps {
+		cr := newChaosReplica(t, fmt.Sprintf("r%d", i), false, 0)
+		reps[i] = cr
+		if err := members.Add(cr.rep); err != nil {
+			t.Fatal(err)
+		}
+		peers[i] = cluster.Peer{ID: cr.id, Sender: ship.SenderConfig{
+			Dial:           cr.dial,
+			Schema:         fanSchema(),
+			Window:         8,
+			HeartbeatEvery: 2 * time.Millisecond,
+			RetryBase:      time.Millisecond,
+			RetryMax:       10 * time.Millisecond,
+			MaxAttempts:    1 << 30, // a dead replica is retried until it returns
+		}}
+	}
+	freg := metrics.NewRegistry()
+	fan, err := cluster.NewFanout(cluster.FanoutConfig{
+		Peers:       peers,
+		Registry:    freg,
+		MaxQueue:    8, // tiny on purpose: any held-down replica overflows fast
+		Snapshot:    &htap.NodeSnapshotSource{N: mirror},
+		DigestEvery: 4,
+		Digest:      mirror.AntiEntropyDigest,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	send := func(from, to int) int64 {
+		t.Helper()
+		for i := from; i < to; i++ {
+			if err := mirror.Feed(&encs[i]); err != nil {
+				t.Fatal(err)
+			}
+			if err := fan.Send(&encs[i]); err != nil {
+				t.Fatalf("fan-out send epoch %d: %v", i, err)
+			}
+		}
+		return encs[to-1].LastCommitTS
+	}
+	q := len(encs) / 4
+
+	// Phase 1 — warm-up, everyone keeps up.
+	waitCaughtUp(t, members, send(0, q))
+
+	// Phase 2 — r2 is held down while the stream runs a quarter past its
+	// divergence budget: the queue must shed (counted), not drop the peer.
+	reps[2].kill(t, members)
+	ts := send(q, 2*q)
+	ovf := freg.Counter(metrics.WithLabel("cluster_peer_overflow_total", "peer", "r2"))
+	if ovf.Load() < 1 {
+		t.Fatalf("cluster_peer_overflow_total{r2} = %d after %d epochs against MaxQueue 8", ovf.Load(), q)
+	}
+	if fan.Live() != 3 {
+		t.Fatalf("live peers = %d after shed, want 3", fan.Live())
+	}
+	waitCaughtUp(t, members, ts) // survivors unaffected
+
+	// Phase 3 — r2 returns and must rejoin via wire snapshot with zero
+	// operator action: no cursor munging, no manual reseed.
+	reps[2].restart(t, members)
+	waitCaughtUp(t, members, send(2*q, 3*q))
+	restored2 := reps[2].reg.Counter(metrics.WithLabel("cluster_snapshot_restored_total", "peer", "r2"))
+	if restored2.Load() < 1 {
+		t.Fatalf("cluster_snapshot_restored_total{r2} = %d, want >= 1", restored2.Load())
+	}
+	if st := reps[2].sup.Stats(); st.SnapshotRestores < 1 {
+		t.Fatalf("supervisor SnapshotRestores = %d, want >= 1", st.SnapshotRestores)
+	}
+	for _, st := range fan.Stats() {
+		if st.Err != nil {
+			t.Fatalf("peer %s terminal error: %v", st.ID, st.Err)
+		}
+	}
+	fan.SyncLinkErrs(members)
+	for _, st := range members.Snapshot() {
+		if st.LinkErr != "" {
+			t.Fatalf("replica %s link error %q, want none", st.ID, st.LinkErr)
+		}
+	}
+
+	// Phase 4 — at-rest corruption on r1: flip one committed byte that no
+	// wire CRC ever covered, then keep streaming. The epoch-boundary
+	// digests must catch the divergence and the snapshot path must repair
+	// it before the stream ends.
+	mm := reps[1].reg.Counter(metrics.WithLabel("cluster_digest_mismatch_total", "peer", "r1"))
+	restored1 := reps[1].reg.Counter(metrics.WithLabel("cluster_snapshot_restored_total", "peer", "r1"))
+	// drained waits for every link to hand off and ack its whole queue —
+	// phase 4 is paced so r1 never overflows and every digest arrives
+	// positionally aligned.
+	drained := func() {
+		dl := time.Now().Add(30 * time.Second)
+		for time.Now().Before(dl) {
+			idle := true
+			for _, st := range fan.Stats() {
+				if st.Queued > 0 || st.Inflight > 0 || st.SnapWait {
+					idle = false
+					break
+				}
+			}
+			if idle {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	drained()
+	time.Sleep(50 * time.Millisecond) // let trailing digest frames land first
+	flip := func() {
+		reps[1].sup.Node().Drain()
+		flipAtRest(t, reps[1].sup.Node(), tables)
+		// Publish the flip to the receiver goroutine: VerifyDigest takes
+		// the supervisor mutex before scanning, so one round-trip through
+		// it orders the corrupting write before any later digest scan.
+		_ = reps[1].sup.NeedSnapshot()
+	}
+	flip()
+	// Hold a reserve back: repair rides reconnection, and reconnection
+	// rides traffic — the reserve guarantees Sends after the mismatch
+	// drops the link.
+	reserve := 8
+	mmBase, resBase := mm.Load(), restored1.Load()
+	i := 3 * q
+	for mm.Load() == mmBase {
+		if i >= len(encs)-reserve {
+			sent := freg.Counter(metrics.WithLabel("ship_digests_sent_total", "peer", "r1"))
+			verified := reps[1].reg.Counter(metrics.WithLabel("ship_digests_verified_total", "peer", "r1"))
+			t.Fatalf("digests never caught the bit flip: sent=%d verified=%d mismatches=%d restores=%d node seq=%d (sup %+v)",
+				sent.Load(), verified.Load(), mm.Load()-mmBase, restored1.Load()-resBase,
+				reps[1].sup.Node().NextSeq(), reps[1].sup.Stats())
+		}
+		end := i + 4
+		if end > len(encs)-reserve {
+			end = len(encs) - reserve
+		}
+		send(i, end)
+		i = end
+		drained()
+		if restored1.Load() > resBase && mm.Load() == mmBase {
+			// An overflow-shed snapshot re-based r1 and silently wiped the
+			// corruption before any digest compared it: flip again so the
+			// anti-entropy path (not luck) does the healing.
+			resBase = restored1.Load()
+			flip()
+		}
+	}
+	// The mismatch dropped the link; the remaining traffic (at least the
+	// reserve) reconnects it, the WELCOME requests repair, and the
+	// snapshot restores. Resume from i — every epoch ships exactly once.
+	waitCaughtUp(t, members, send(i, len(encs)))
+	deadline := time.Now().Add(60 * time.Second)
+	for restored1.Load() <= resBase {
+		if time.Now().After(deadline) {
+			t.Fatalf("bit flip detected but never repaired: mismatches=%d restores=%d (sup %+v)",
+				mm.Load()-mmBase, restored1.Load()-resBase, reps[1].sup.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := reps[1].sup.Stats(); st.DigestMismatches < 1 {
+		t.Fatalf("supervisor DigestMismatches = %d, want >= 1", st.DigestMismatches)
+	}
+
+	// Full-stream convergence: every replica — shed, repaired, untouched —
+	// matches the serial reference record-for-record.
+	if err := fan.Close(); err != nil {
+		t.Fatalf("fan-out close: %v", err)
+	}
+	for _, cr := range reps {
+		cr.serveWG.Wait()
+		node := cr.sup.Node()
+		if node == nil {
+			t.Fatalf("%s: no live node at the end", cr.id)
+		}
+		node.Drain()
+		if err := node.Err(); err != nil {
+			t.Fatalf("%s: %v", cr.id, err)
+		}
+		if err := reference.Equal(want, node.Memtable(), tables); err != nil {
+			t.Fatalf("%s diverged from reference: %v", cr.id, err)
+		}
+		if err := cr.sup.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := cr.spool.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("snapshot chaos done: overflows{r2}=%d restores{r2}=%d mismatches{r1}=%d restores{r1}=%d",
+		ovf.Load(), restored2.Load(), mm.Load(), restored1.Load())
 }

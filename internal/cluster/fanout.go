@@ -14,7 +14,9 @@ import (
 
 // ErrPeerOverflow is the terminal error of a peer whose divergence
 // buffer exceeded FanoutConfig.MaxQueue: the peer fell too far behind
-// its siblings and was dropped from the fan-out.
+// its siblings and was dropped from the fan-out. With a snapshot
+// source configured the overflow is not terminal — the backlog is shed
+// and the peer re-based over the wire instead (see FanoutConfig.Snapshot).
 var ErrPeerOverflow = errors.New("cluster: peer queue overflow")
 
 // ErrAllPeersDown is returned by Send once every peer has failed.
@@ -48,7 +50,31 @@ type FanoutConfig struct {
 	// 0 means unbounded (the default): a dead replica's epochs
 	// accumulate until it returns, and its sender resumes from the
 	// replica's cursor on reconnect.
+	//
+	// When Snapshot is set, overflow is recoverable instead of terminal:
+	// the backlog is shed, cluster_peer_overflow_total{peer} counts the
+	// shed, and the peer's sender re-bases the replica with a wire-level
+	// snapshot when it reconnects.
 	MaxQueue int
+	// Snapshot, when set, is the default ship.SenderConfig.Snapshot for
+	// every peer whose own config leaves it nil: the state source a
+	// sender streams when a replica's cursor predates retained history —
+	// after a MaxQueue overflow shed, a primary-side spool compaction,
+	// or a digest-mismatch repair request. On a fan-out primary this is
+	// an htap.NodeSnapshotSource over the mirror node that applies each
+	// epoch before it ships.
+	Snapshot ship.SnapshotSource
+	// DigestEvery enqueues an anti-entropy digest to every peer after
+	// each DigestEvery-th epoch: the sender ships a state digest that
+	// the replica compares against its own committed state at the same
+	// cursor, catching silent divergence that per-frame CRCs cannot.
+	// 0 disables anti-entropy. Requires Digest.
+	DigestEvery int
+	// Digest supplies the digest triple (cursor, visible timestamp,
+	// state digest) covering every epoch passed to Send so far. It is
+	// called from Send's goroutine, so computing it may quiesce the
+	// mirror node safely (htap.Node.AntiEntropyDigest).
+	Digest func() (seq uint64, ts int64, digest uint64)
 }
 
 // Fanout feeds N downstream replicas from one epoch stream. Each peer
@@ -62,17 +88,33 @@ type FanoutConfig struct {
 // ship.Sender.Send); Stats, Heartbeat and Close are safe from any.
 type Fanout struct {
 	peers []*fanPeer
+
+	// Digest cadence; sent is touched only from Send's goroutine.
+	digestEvery int
+	digestFn    func() (uint64, int64, uint64)
+	sent        int
+}
+
+// fanItem is one queue entry: an epoch to ship, or (enc == nil) an
+// anti-entropy digest marker the worker forwards best-effort.
+type fanItem struct {
+	enc    *epoch.Encoded
+	seq    uint64
+	ts     int64
+	digest uint64
 }
 
 // fanPeer is one downstream link: sender, divergence queue, worker.
 type fanPeer struct {
-	id  string
-	s   *ship.Sender
-	max int
+	id        string
+	s         *ship.Sender
+	max       int
+	shed      bool // overflow sheds the backlog instead of failing the peer
+	overflows *metrics.Counter
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []*epoch.Encoded
+	queue  []fanItem
 	busy   bool // worker is inside s.Send for a dequeued epoch
 	closed bool
 	err    error
@@ -97,8 +139,11 @@ func NewFanout(cfg FanoutConfig) (*Fanout, error) {
 	if reg == nil {
 		reg = metrics.Default
 	}
+	if cfg.DigestEvery > 0 && cfg.Digest == nil {
+		return nil, fmt.Errorf("cluster: FanoutConfig.DigestEvery set without Digest")
+	}
 	seen := make(map[string]bool, len(cfg.Peers))
-	f := &Fanout{}
+	f := &Fanout{digestEvery: cfg.DigestEvery, digestFn: cfg.Digest}
 	for _, pc := range cfg.Peers {
 		if pc.ID == "" {
 			return nil, fmt.Errorf("cluster: fan-out peer with empty ID")
@@ -109,6 +154,7 @@ func NewFanout(cfg FanoutConfig) (*Fanout, error) {
 		seen[pc.ID] = true
 		p := &fanPeer{id: pc.ID, max: cfg.MaxQueue, done: make(chan struct{})}
 		p.cond = sync.NewCond(&p.mu)
+		p.overflows = reg.Counter(metrics.WithLabel("cluster_peer_overflow_total", "peer", pc.ID))
 		sc := pc.Sender
 		if sc.Metrics == nil {
 			sc.Metrics = ship.NewPeerMetrics(reg, pc.ID)
@@ -116,6 +162,10 @@ func NewFanout(cfg FanoutConfig) (*Fanout, error) {
 		if sc.HeartbeatTS == nil {
 			sc.HeartbeatTS = p.hbTS.Load
 		}
+		if sc.Snapshot == nil {
+			sc.Snapshot = cfg.Snapshot
+		}
+		p.shed = sc.Snapshot != nil
 		s, err := ship.NewSender(sc)
 		if err != nil {
 			// Tear down the workers already started.
@@ -140,12 +190,21 @@ func NewFanout(cfg FanoutConfig) (*Fanout, error) {
 func (f *Fanout) Send(enc *epoch.Encoded) error {
 	live := 0
 	for _, p := range f.peers {
-		if p.enqueue(enc) {
+		if p.enqueue(fanItem{enc: enc}) {
 			live++
 		}
 	}
 	if live == 0 {
 		return fmt.Errorf("%w: %s", ErrAllPeersDown, f.errSummary())
+	}
+	f.sent++
+	if f.digestEvery > 0 && f.sent%f.digestEvery == 0 {
+		// The digest covers everything sent so far; each worker forwards
+		// it once its link has handed off the epochs it guards.
+		seq, ts, dg := f.digestFn()
+		for _, p := range f.peers {
+			p.enqueue(fanItem{seq: seq, ts: ts, digest: dg})
+		}
 	}
 	return nil
 }
@@ -230,6 +289,21 @@ func (f *Fanout) Close() error {
 	return errors.Join(errs...)
 }
 
+// SyncLinkErrs publishes every peer's terminal link error — or its
+// absence — into the membership under the matching replica ID. Routing
+// keeps serving a replica whose feed died (its state is still valid,
+// just frozen), but operators see "replica up, feed dead" in Status
+// and /varz instead of silent staleness. Peers without a membership
+// entry are skipped.
+func (f *Fanout) SyncLinkErrs(m *Membership) {
+	for _, p := range f.peers {
+		p.mu.Lock()
+		err := p.err
+		p.mu.Unlock()
+		m.SetLinkErr(p.id, err)
+	}
+}
+
 // errSummary renders the terminal errors for ErrAllPeersDown.
 func (f *Fanout) errSummary() string {
 	s := ""
@@ -246,26 +320,36 @@ func (f *Fanout) errSummary() string {
 	return s
 }
 
-// enqueue appends one epoch to the peer's queue; false means the peer is
+// enqueue appends one item to the peer's queue; false means the peer is
 // no longer accepting (failed or closed).
-func (p *fanPeer) enqueue(enc *epoch.Encoded) bool {
+func (p *fanPeer) enqueue(it fanItem) bool {
 	p.mu.Lock()
 	if p.err != nil || p.closed {
 		p.mu.Unlock()
 		return false
 	}
 	if p.max > 0 && len(p.queue) >= p.max {
-		p.err = fmt.Errorf("%w: %d epochs behind", ErrPeerOverflow, len(p.queue))
-		p.queue = nil
-		p.cond.Broadcast()
-		p.mu.Unlock()
-		// Abort the sender so a worker parked in a reconnect backoff
-		// returns now instead of burning the whole dial budget (the
-		// window is empty — nothing shippable is lost).
-		_ = p.s.Close()
-		return false
+		if !p.shed {
+			p.err = fmt.Errorf("%w: %d epochs behind", ErrPeerOverflow, len(p.queue))
+			p.queue = nil
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			// Abort the sender so a worker parked in a reconnect backoff
+			// returns now instead of burning the whole dial budget (the
+			// window is empty — nothing shippable is lost).
+			_ = p.s.Close()
+			return false
+		}
+		// Snapshot-recoverable overflow: shed the backlog and keep the
+		// peer. The sender sees the resulting sequence gap — at the next
+		// hand-off, or against the replica's cursor on reconnect — and
+		// re-bases the replica with a full snapshot instead of the
+		// dropped epochs. No operator action; the peer never leaves the
+		// fan-out.
+		p.queue = p.queue[:0]
+		p.overflows.Inc()
 	}
-	p.queue = append(p.queue, enc)
+	p.queue = append(p.queue, it)
 	p.cond.Broadcast()
 	p.mu.Unlock()
 	return true
@@ -309,7 +393,7 @@ func (p *fanPeer) nurse() {
 		if !idle {
 			continue // Send or Close is driving reconnection already
 		}
-		if st := p.s.Stats(); st.Connected || st.Inflight == 0 {
+		if st := p.s.Stats(); st.Connected || (st.Inflight == 0 && !st.SnapWait) {
 			continue
 		}
 		if err := p.s.Connect(); err != nil && !errors.Is(err, ship.ErrClosed) {
@@ -343,12 +427,22 @@ func (p *fanPeer) run() {
 			}
 			return
 		}
-		enc := p.queue[0]
+		it := p.queue[0]
 		p.queue = p.queue[1:]
 		p.busy = true
 		p.mu.Unlock()
 
-		err := p.s.Send(enc)
+		if it.enc == nil {
+			// Anti-entropy marker: forward best-effort. SendDigest only
+			// writes when the link is caught up and aligned at it.seq;
+			// a skipped digest is not an error — the next one guards.
+			_ = p.s.SendDigest(it.seq, it.ts, it.digest)
+			p.mu.Lock()
+			p.busy = false
+			p.mu.Unlock()
+			continue
+		}
+		err := p.s.Send(it.enc)
 
 		p.mu.Lock()
 		p.busy = false
@@ -363,8 +457,8 @@ func (p *fanPeer) run() {
 		}
 		// The epoch is handed off: the link's stream is complete through
 		// its commit timestamp, so heartbeats may advertise it.
-		if enc.LastCommitTS > p.hbTS.Load() {
-			p.hbTS.Store(enc.LastCommitTS)
+		if it.enc.LastCommitTS > p.hbTS.Load() {
+			p.hbTS.Store(it.enc.LastCommitTS)
 		}
 		p.mu.Unlock()
 	}

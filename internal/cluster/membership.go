@@ -27,6 +27,11 @@ type member struct {
 	r    Replica
 	load atomic.Int64
 	down atomic.Bool
+	// linkErr holds the replication link's terminal error text ("" while
+	// healthy), reported by whoever drives the fan-out. It rides in
+	// Status so /varz shows not just that a replica is stale but why its
+	// feed stopped.
+	linkErr atomic.Value // string
 }
 
 func (m *member) alive() bool { return !m.down.Load() && m.r.Healthy() }
@@ -40,6 +45,9 @@ type Status struct {
 	Healthy   bool  // the replica's own report
 	Down      bool  // the membership-level override
 	Load      int64 // routed queries currently admitted and not yet done
+	// LinkErr is the replica's replication-link terminal error, empty
+	// while the link is live (or when nothing reports link state).
+	LinkErr string
 }
 
 // NewMembership returns an empty roster reporting into m (cluster
@@ -95,6 +103,23 @@ func (ms *Membership) SetDown(id string, down bool) bool {
 	ms.mu.RUnlock()
 	if ok {
 		m.down.Store(down)
+	}
+	return ok
+}
+
+// SetLinkErr records a replica's replication-link terminal error (nil
+// clears it). Fan-out drivers call it when a peer's sender gives up, so
+// membership snapshots can say why a replica stopped receiving epochs.
+func (ms *Membership) SetLinkErr(id string, err error) bool {
+	ms.mu.RLock()
+	m, ok := ms.members[id]
+	ms.mu.RUnlock()
+	if ok {
+		s := ""
+		if err != nil {
+			s = err.Error()
+		}
+		m.linkErr.Store(s)
 	}
 	return ok
 }
@@ -158,6 +183,9 @@ func (ms *Membership) Snapshot() []Status {
 			Healthy:   m.r.Healthy(),
 			Down:      m.down.Load(),
 			Load:      m.load.Load(),
+		}
+		if le, _ := m.linkErr.Load().(string); le != "" {
+			st.LinkErr = le
 		}
 		if lag := st.PrimaryTS - st.VisibleTS; lag > 0 {
 			st.ReplayLag = lag

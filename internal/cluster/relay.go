@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"io"
 	"sync"
 
 	"aets/internal/epoch"
@@ -100,3 +101,33 @@ func (r *Relay) Err() error {
 
 // Fanout returns the downstream fan-out (stats, Close).
 func (r *Relay) Fanout() *Fanout { return r.out }
+
+// RestoreSnapshot implements ship.SnapshotApplier by delegating to the
+// inner applier. Forwarding is untouched: the relay's cursor jumps to
+// the snapshot's, downstream senders discover the sequence gap on the
+// next forwarded epoch, and — when the relay's fan-out has a snapshot
+// source — re-base their own replicas in turn.
+func (r *Relay) RestoreSnapshot(cursor uint64, size int64, rd io.Reader) error {
+	sa, ok := r.inner.(ship.SnapshotApplier)
+	if !ok {
+		return ship.ErrSnapshotUnsupported
+	}
+	return sa.RestoreSnapshot(cursor, size, rd)
+}
+
+// VerifyDigest implements ship.DigestApplier by delegating to the inner
+// applier; a relay without a digest-aware inner accepts every digest.
+func (r *Relay) VerifyDigest(seq uint64, ts int64, digest uint64) error {
+	if da, ok := r.inner.(ship.DigestApplier); ok {
+		return da.VerifyDigest(seq, ts, digest)
+	}
+	return nil
+}
+
+// SnapshotCapable reports whether the inner applier can actually
+// restore a wire snapshot, so the receiver advertises CapSnapshot only
+// when true (ship.SnapshotCapable).
+func (r *Relay) SnapshotCapable() bool {
+	_, ok := r.inner.(ship.SnapshotApplier)
+	return ok
+}

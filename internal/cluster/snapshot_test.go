@@ -1,0 +1,305 @@
+// Fan-out snapshot catch-up tests: a bounded divergence buffer with a
+// snapshot source sheds instead of dropping the peer, the shed replica
+// rejoins via a wire snapshot with zero operator action, and link
+// errors surface through membership.
+package cluster_test
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aets/internal/cluster"
+	"aets/internal/htap"
+	"aets/internal/metrics"
+	"aets/internal/ship"
+)
+
+// hostReceiver is a fanReceiver over a htap.NodeHost: the host is a
+// ship.SnapshotApplier and DigestApplier, so its receiver negotiates
+// CapSnapshot — the shape a rejoin-capable replica runs in production.
+type hostReceiver struct {
+	host *htap.NodeHost
+	addr string
+	done chan struct{}
+	errs []error
+	mu   sync.Mutex
+}
+
+func startHostReceiver(t *testing.T, reg *metrics.Registry, peer string) *hostReceiver {
+	t.Helper()
+	host, err := htap.NewNodeHost(htap.KindAETS, fanPlan(), htap.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { host.Close() })
+	rcv, err := host.ShipReceiver(ship.ReceiverConfig{
+		Schema:  fanSchema(),
+		Drain:   func() error { n := host.Node(); n.Drain(); return n.Err() },
+		Metrics: ship.NewPeerMetrics(reg, peer),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr := &hostReceiver{host: host, addr: ln.Addr().String(), done: make(chan struct{})}
+	go func() {
+		defer close(hr.done)
+		defer ln.Close()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			finished, err := rcv.Serve(conn)
+			if err != nil {
+				hr.mu.Lock()
+				hr.errs = append(hr.errs, err)
+				hr.mu.Unlock()
+			}
+			if finished {
+				return
+			}
+		}
+	}()
+	return hr
+}
+
+func (hr *hostReceiver) wait(t *testing.T) {
+	t.Helper()
+	select {
+	case <-hr.done:
+	case <-time.After(60 * time.Second):
+		hr.mu.Lock()
+		errs := hr.errs
+		hr.mu.Unlock()
+		t.Fatalf("receiver did not finish (serve errors: %v)", errs)
+	}
+}
+
+// TestFanoutShedOverflowRejoinsViaSnapshot: one peer is unreachable
+// while the stream ships, its bounded queue sheds (counted, not
+// terminal), and once it returns the sender re-bases it with a snapshot
+// cut from the mirror — both replicas end reference-equal and no peer
+// ever reports a terminal error.
+func TestFanoutShedOverflowRejoinsViaSnapshot(t *testing.T) {
+	encs := fanEncoded(2048, 64)
+	want := fanDirect(t, encs)
+	reg := metrics.NewRegistry()
+
+	mirror := fanNode(t)
+	defer mirror.Close()
+
+	healthy := startHostReceiver(t, reg, "healthy")
+	held := startHostReceiver(t, reg, "held")
+	var up atomic.Bool
+	heldDial := func() (net.Conn, error) {
+		if !up.Load() {
+			return nil, errors.New("held replica unreachable")
+		}
+		return net.Dial("tcp", held.addr)
+	}
+
+	f, err := cluster.NewFanout(cluster.FanoutConfig{
+		Registry:    reg,
+		MaxQueue:    8,
+		Snapshot:    &htap.NodeSnapshotSource{N: mirror},
+		DigestEvery: 64,
+		Digest:      mirror.AntiEntropyDigest,
+		Peers: []cluster.Peer{
+			{ID: "healthy", Sender: ship.SenderConfig{
+				Dial: fanDialer(healthy.addr), Schema: fanSchema(), Window: 8}},
+			{ID: "held", Sender: ship.SenderConfig{
+				Dial: heldDial, Schema: fanSchema(), Window: 8,
+				MaxAttempts: 1 << 30, RetryBase: time.Millisecond, RetryMax: 5 * time.Millisecond}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range encs {
+		// The mirror applies before the fan-out ships, upholding the
+		// snapshot source contract.
+		if err := mirror.Feed(&encs[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Send(&encs[i]); err != nil {
+			t.Fatalf("send epoch %d: %v", i, err)
+		}
+	}
+
+	ovf := reg.Counter(metrics.WithLabel("cluster_peer_overflow_total", "peer", "held"))
+	if ovf.Load() < 1 {
+		t.Fatalf("cluster_peer_overflow_total{held} = %d, want >= 1", ovf.Load())
+	}
+	if got := f.Live(); got != 2 {
+		t.Fatalf("live peers = %d, want 2 (shed overflow must not drop the peer)", got)
+	}
+
+	// The replica returns; Close drains the tail, and the sender bridges
+	// the shed gap with a snapshot.
+	up.Store(true)
+	if err := f.Close(); err != nil {
+		t.Fatalf("fan-out close: %v", err)
+	}
+	healthy.wait(t)
+	held.wait(t)
+
+	restored := reg.Counter(metrics.WithLabel("cluster_snapshot_restored_total", "peer", "held"))
+	if restored.Load() < 1 {
+		t.Fatalf("cluster_snapshot_restored_total{held} = %d, want >= 1", restored.Load())
+	}
+	for _, st := range f.Stats() {
+		if st.Err != nil {
+			t.Fatalf("peer %s terminal error: %v", st.ID, st.Err)
+		}
+	}
+	fanAssertSame(t, healthy.host.Node(), want, "healthy peer")
+	fanAssertSame(t, held.host.Node(), want, "held peer")
+
+	// Anti-entropy ran over healthy replicas: none of the digests that
+	// did land positionally may have mismatched.
+	for _, peer := range []string{"healthy", "held"} {
+		mm := reg.Counter(metrics.WithLabel("cluster_digest_mismatch_total", "peer", peer))
+		if mm.Load() != 0 {
+			t.Fatalf("cluster_digest_mismatch_total{%s} = %d on an uncorrupted replica", peer, mm.Load())
+		}
+	}
+}
+
+// TestFanoutAntiEntropyDigests: on a keeping-up link (unbounded queue),
+// the digest cadence actually ships and verifies — the positional
+// preconditions hold every DigestEvery epochs, and an uncorrupted
+// replica never mismatches.
+func TestFanoutAntiEntropyDigests(t *testing.T) {
+	encs := fanEncoded(512, 64)
+	want := fanDirect(t, encs)
+	reg := metrics.NewRegistry()
+
+	mirror := fanNode(t)
+	defer mirror.Close()
+	peer := startHostReceiver(t, reg, "r0")
+
+	f, err := cluster.NewFanout(cluster.FanoutConfig{
+		Registry:    reg,
+		Snapshot:    &htap.NodeSnapshotSource{N: mirror},
+		DigestEvery: 4,
+		Digest:      mirror.AntiEntropyDigest,
+		Peers: []cluster.Peer{{ID: "r0", Sender: ship.SenderConfig{
+			Dial: fanDialer(peer.addr), Schema: fanSchema(), Window: 8}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range encs {
+		if err := mirror.Feed(&encs[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Send(&encs[i]); err != nil {
+			t.Fatalf("send epoch %d: %v", i, err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	peer.wait(t)
+
+	sent := reg.Counter(metrics.WithLabel("ship_digests_sent_total", "peer", "r0"))
+	if sent.Load() < 1 {
+		t.Fatalf("ship_digests_sent_total = %d, want >= 1", sent.Load())
+	}
+	verified := reg.Counter(metrics.WithLabel("ship_digests_verified_total", "peer", "r0"))
+	if verified.Load() < 1 {
+		t.Fatalf("ship_digests_verified_total = %d, want >= 1", verified.Load())
+	}
+	if mm := reg.Counter(metrics.WithLabel("cluster_digest_mismatch_total", "peer", "r0")); mm.Load() != 0 {
+		t.Fatalf("cluster_digest_mismatch_total = %d on an uncorrupted replica", mm.Load())
+	}
+	fanAssertSame(t, peer.host.Node(), want, "replica")
+}
+
+// TestMembershipLinkErr: SetLinkErr surfaces in Status and clears with
+// nil; unknown IDs are rejected.
+func TestMembershipLinkErr(t *testing.T) {
+	members := cluster.NewMembership(cluster.NewMetrics(metrics.NewRegistry()))
+	n := fanNode(t)
+	defer n.Close()
+	if err := members.Add(cluster.NewNodeReplica("r0", n)); err != nil {
+		t.Fatal(err)
+	}
+
+	if !members.SetLinkErr("r0", errors.New("dial budget exhausted")) {
+		t.Fatal("SetLinkErr rejected a known replica")
+	}
+	if members.SetLinkErr("ghost", errors.New("x")) {
+		t.Fatal("SetLinkErr accepted an unknown replica")
+	}
+	st := members.Snapshot()
+	if len(st) != 1 || st[0].LinkErr != "dial budget exhausted" {
+		t.Fatalf("status %+v, want LinkErr surfaced", st)
+	}
+	if !members.SetLinkErr("r0", nil) {
+		t.Fatal("clearing SetLinkErr rejected")
+	}
+	if st := members.Snapshot(); st[0].LinkErr != "" {
+		t.Fatalf("LinkErr %q after clear, want empty", st[0].LinkErr)
+	}
+}
+
+// TestFanoutSyncLinkErrs: a peer that dies terminally (bounded queue,
+// no snapshot source) is published into membership by SyncLinkErrs.
+func TestFanoutSyncLinkErrs(t *testing.T) {
+	members := cluster.NewMembership(cluster.NewMetrics(metrics.NewRegistry()))
+	n := fanNode(t)
+	defer n.Close()
+	if err := members.Add(cluster.NewNodeReplica("stuck", n)); err != nil {
+		t.Fatal(err)
+	}
+
+	encs := fanEncoded(512, 64)
+	stuck := func() (net.Conn, error) { return nil, errors.New("no route") }
+	f, err := cluster.NewFanout(cluster.FanoutConfig{
+		Registry: metrics.NewRegistry(),
+		MaxQueue: 2,
+		Peers: []cluster.Peer{{ID: "stuck", Sender: ship.SenderConfig{
+			Dial: stuck, Schema: fanSchema(),
+			MaxAttempts: 1000, RetryBase: 50 * time.Millisecond, RetryMax: 50 * time.Millisecond}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range encs {
+		if err := f.Send(&encs[i]); err != nil {
+			break
+		}
+	}
+	f.SyncLinkErrs(members)
+	st := members.Snapshot()
+	if len(st) != 1 || st[0].LinkErr == "" {
+		t.Fatalf("status %+v, want the overflow surfaced as LinkErr", st)
+	}
+	_ = f.Close()
+
+	// A recovered link clears the surfaced error on the next sync.
+	// (Simulate by syncing a fresh fan-out whose peer is live-less but
+	// unfailed: err == nil publishes the clear.)
+	f2, err := cluster.NewFanout(cluster.FanoutConfig{
+		Registry: metrics.NewRegistry(),
+		Peers: []cluster.Peer{{ID: "stuck", Sender: ship.SenderConfig{
+			Dial: stuck, Schema: fanSchema(), MaxAttempts: 1}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2.SyncLinkErrs(members)
+	if st := members.Snapshot(); st[0].LinkErr != "" {
+		t.Fatalf("LinkErr %q after clean sync, want empty", st[0].LinkErr)
+	}
+	_ = f2.Close()
+}

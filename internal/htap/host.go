@@ -1,0 +1,131 @@
+package htap
+
+// host.go wraps a replaceable Node behind the ship applier contracts.
+// A bare Node cannot restore a snapshot into itself — a restore builds
+// a whole new node from the checkpoint stream — so catch-up-capable
+// deployments without a recovery supervisor feed the stream through a
+// NodeHost: the host swaps in the restored node atomically, and the
+// old node keeps answering queries until the instant of the swap.
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"aets/internal/epoch"
+	"aets/internal/grouping"
+	"aets/internal/query"
+	"aets/internal/ship"
+	"aets/internal/wal"
+)
+
+// NodeHost is a ship.SnapshotApplier (and DigestApplier) over a
+// replaceable node. Feed/Heartbeat delegate to the current node;
+// RestoreSnapshot replaces it wholesale. All methods are safe for the
+// receiver goroutine racing query traffic on Node().
+type NodeHost struct {
+	kind Kind
+	plan *grouping.Plan
+	opts Options
+	node atomic.Pointer[Node]
+}
+
+var (
+	_ ship.SnapshotApplier = (*NodeHost)(nil)
+	_ ship.DigestApplier   = (*NodeHost)(nil)
+)
+
+// NewNodeHost builds a host around a fresh node.
+func NewNodeHost(kind Kind, plan *grouping.Plan, opts Options) (*NodeHost, error) {
+	n, err := NewNode(kind, plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	return HostNode(n, kind, plan, opts), nil
+}
+
+// HostNode wraps an existing node (fresh, or restored from a local
+// checkpoint) in a host. The kind/plan/opts triple must match how n was
+// built: it is the recipe for rebuilding the node from a wire snapshot.
+func HostNode(n *Node, kind Kind, plan *grouping.Plan, opts Options) *NodeHost {
+	h := &NodeHost{kind: kind, plan: plan, opts: opts}
+	h.node.Store(n)
+	return h
+}
+
+// ShipReceiver returns a replication receiver feeding the host's
+// current node, snapshot-capable: because the host is a
+// ship.SnapshotApplier, the receiver negotiates CapSnapshot and a
+// too-stale cursor is answered with a wire snapshot instead of a
+// terminal resume error. Unless set, the resume cursor starts at the
+// current node's next expected epoch.
+func (h *NodeHost) ShipReceiver(cfg ship.ReceiverConfig) (*ship.Receiver, error) {
+	cfg.Applier = h
+	if cfg.Resume == 0 {
+		cfg.Resume = h.NextSeq()
+	}
+	return ship.NewReceiver(cfg)
+}
+
+// Node returns the current node. Callers hold the pointer across a
+// query; a concurrent restore swaps the host but never tears down a
+// node mid-read (the old node is closed, which drains, only after the
+// swap).
+func (h *NodeHost) Node() *Node { return h.node.Load() }
+
+// Feed applies one epoch to the current node.
+func (h *NodeHost) Feed(enc *epoch.Encoded) error { return h.node.Load().Feed(enc) }
+
+// Heartbeat advances visibility on the current node.
+func (h *NodeHost) Heartbeat(ts int64) error { return h.node.Load().Heartbeat(ts) }
+
+// NextSeq returns the current node's resume cursor.
+func (h *NodeHost) NextSeq() uint64 { return h.node.Load().NextSeq() }
+
+// Query proxies a snapshot read to the current node.
+func (h *NodeHost) Query(qts int64, tables ...wal.TableID) *query.Snapshot {
+	return h.node.Load().Query(qts, tables...)
+}
+
+// RestoreSnapshot builds a fresh node from the checkpoint stream and
+// swaps it in. The stream is fully read and validated (checkpoint CRC)
+// before anything is installed: on error the prior node is untouched
+// and keeps serving. After a nil return the host's cursor is cursor.
+func (h *NodeHost) RestoreSnapshot(cursor uint64, _ int64, r io.Reader) error {
+	n, meta, err := RestoreNode(r, h.kind, h.plan, h.opts)
+	if err != nil {
+		return err
+	}
+	if meta.NextEpochSeq() != cursor {
+		_ = n.Close()
+		return fmt.Errorf("htap: snapshot cursor %d, checkpoint resumes at %d", cursor, meta.NextEpochSeq())
+	}
+	if old := h.node.Swap(n); old != nil {
+		_ = old.Close()
+	}
+	return nil
+}
+
+// VerifyDigest compares the current node's committed-state digest with
+// the sender's. Only digests aligned with this node's cursor compare;
+// anything else is vacuously fine (the receiver already filters, this
+// guards direct callers).
+func (h *NodeHost) VerifyDigest(seq uint64, _ int64, digest uint64) error {
+	n := h.node.Load()
+	if n == nil || n.NextSeq() != seq {
+		return nil
+	}
+	if d := n.StateDigest(); d != digest {
+		return fmt.Errorf("%w: local %016x, sender %016x at cursor %d",
+			ship.ErrDigestMismatch, d, digest, seq)
+	}
+	return nil
+}
+
+// Close tears down the current node.
+func (h *NodeHost) Close() error {
+	if n := h.node.Swap(nil); n != nil {
+		return n.Close()
+	}
+	return nil
+}

@@ -24,6 +24,18 @@ type Node struct {
 	r  Replayer
 	ex *query.Executor
 
+	// cutMu serializes state cuts — Checkpoint, StateDigest,
+	// AntiEntropyDigest — against Feed. A cut must be atomic with
+	// respect to the epoch stream: drain, read the cursor and walk the
+	// memtable with no feed landing in between, or the image claims a
+	// cursor whose epochs it only partially contains. A replica restored
+	// from such a torn snapshot resumes past data it never got — a
+	// silent, permanent gap in its version history. Feed holds it for
+	// the enqueue only, so steady-state cost is one uncontended lock;
+	// during a cut the producer briefly backpressures instead of
+	// tearing the image.
+	cutMu sync.Mutex
+
 	mu        sync.Mutex
 	lastSeq   uint64
 	lastTxnID uint64
@@ -80,6 +92,8 @@ func newNodeWith(mt *memtable.Memtable, kind Kind, plan *grouping.Plan, opts Opt
 // Feed enqueues one encoded epoch for replay. It fails only if the node
 // was already closed.
 func (n *Node) Feed(enc *epoch.Encoded) error {
+	n.cutMu.Lock()
+	defer n.cutMu.Unlock()
 	n.mu.Lock()
 	n.lastSeq = enc.Seq
 	n.fed = true
@@ -170,8 +184,12 @@ func (n *Node) Vacuum(watermark int64) int {
 
 // Checkpoint quiesces replay (Drain) and writes the node's state to w. The
 // recorded meta points at the last fed epoch, so a restore can resume the
-// stream at LastEpochSeq+1.
+// stream at LastEpochSeq+1. The cut excludes concurrent Feeds (cutMu):
+// cursor and image always agree, even when the node is a live fan-out
+// mirror being fed while a peer's sender cuts a catch-up snapshot.
 func (n *Node) Checkpoint(w io.Writer) (checkpoint.Meta, error) {
+	n.cutMu.Lock()
+	defer n.cutMu.Unlock()
 	n.r.Drain()
 	if err := n.r.Err(); err != nil {
 		return checkpoint.Meta{}, fmt.Errorf("htap: cannot checkpoint a failed node: %w", err)

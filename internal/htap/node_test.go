@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"aets/internal/checkpoint"
 	"aets/internal/epoch"
 	"aets/internal/grouping"
 	"aets/internal/memtable"
@@ -134,6 +135,77 @@ func TestNodeCheckpointMetaRoundTrip(t *testing.T) {
 	}
 	if meta2.LastTxnID != wantTxn || !meta2.Fed || meta2.LastEpochSeq != meta.LastEpochSeq {
 		t.Fatalf("re-checkpoint meta %+v, want %+v", meta2, meta)
+	}
+}
+
+// TestNodeCheckpointAtomicUnderFeed: cutting a checkpoint while the
+// node is still being fed must yield an image consistent with its
+// recorded cursor — every epoch at or below meta.LastEpochSeq fully
+// present, nothing from above it. A cut torn by concurrent feeds is how
+// a wire-snapshot receiver ends up silently diverged: it resumes the
+// stream at the claimed cursor, so versions the image missed are gone
+// for good and versions it over-included get applied twice.
+func TestNodeCheckpointAtomicUnderFeed(t *testing.T) {
+	gen := workload.NewTPCC(1)
+	p := primary.New(gen, 99)
+	txns := p.GenerateTxns(3000)
+	encs := epoch.EncodeAll(epoch.MustSplit(txns, 16))
+	plan := grouping.Build(TPCCRates(500), workload.TableIDs(gen.Tables()),
+		grouping.Options{Eps: 0.05, MinPts: 2})
+	n, err := NewNode(KindAETS, plan, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	var feedErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := range encs {
+			if feedErr = n.Feed(&encs[i]); feedErr != nil {
+				return
+			}
+			// Pace the feed so several cuts overlap the live stream.
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	tables := workload.TableIDs(gen.Tables())
+	feeding := true
+	for cut := 0; feeding || cut == 0; cut++ {
+		select {
+		case <-done:
+			feeding = false
+		default:
+		}
+		var buf bytes.Buffer
+		meta, err := n.Checkpoint(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		covered := 0
+		if meta.Fed {
+			for i := range encs {
+				if encs[i].Seq > meta.LastEpochSeq {
+					break
+				}
+				covered += encs[i].TxnCount
+			}
+		}
+		mt, _, err := checkpoint.Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := memtable.New()
+		reference.Apply(want, txns[:covered])
+		if err := reference.Equal(want, mt, tables); err != nil {
+			t.Fatalf("cut %d at epoch %d (fed %v) torn: %v", cut, meta.LastEpochSeq, meta.Fed, err)
+		}
+	}
+	<-done
+	if feedErr != nil {
+		t.Fatal(feedErr)
 	}
 }
 

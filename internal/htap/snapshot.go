@@ -1,0 +1,128 @@
+package htap
+
+// snapshot.go is the node side of wire-level catch-up and anti-entropy
+// (ship.CapSnapshot): cutting transferable snapshots from a live node
+// and digesting committed state so two replicas at the same epoch
+// cursor can prove — or disprove — that they hold the same data.
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"io"
+	"os"
+	"sort"
+
+	"aets/internal/memtable"
+)
+
+// StateDigest returns an order-independent digest of the memtable's
+// committed state: for every record, the newest version (key, txn,
+// commit timestamp, tombstone flag, columns) is hashed individually
+// and the per-record hashes combined commutatively, so shard iteration
+// order never matters. Only version-chain heads are digested — Vacuum
+// always retains them — which makes the digest insensitive to how
+// aggressively either side has pruned history: two replicas drained at
+// the same epoch cursor digest equal no matter their GC schedules.
+//
+// Callers must quiesce replay first (Node.StateDigest drains); racing
+// writers would make the result meaningless.
+func StateDigest(mt *memtable.Memtable) uint64 {
+	ids := mt.Tables()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var sum uint64
+	var b [8]byte
+	for _, id := range ids {
+		mt.Table(id).ScanAny(0, ^uint64(0), func(key uint64, rec *memtable.Record) bool {
+			v := rec.Latest()
+			if v == nil {
+				return true
+			}
+			h := fnv.New64a()
+			binary.LittleEndian.PutUint32(b[:4], uint32(id))
+			_, _ = h.Write(b[:4])
+			binary.LittleEndian.PutUint64(b[:], key)
+			_, _ = h.Write(b[:])
+			binary.LittleEndian.PutUint64(b[:], v.TxnID)
+			_, _ = h.Write(b[:])
+			binary.LittleEndian.PutUint64(b[:], uint64(v.CommitTS))
+			_, _ = h.Write(b[:])
+			if v.Deleted {
+				_, _ = h.Write([]byte{1})
+			} else {
+				_, _ = h.Write([]byte{0})
+			}
+			for _, c := range v.Columns {
+				binary.LittleEndian.PutUint32(b[:4], c.ID)
+				_, _ = h.Write(b[:4])
+				binary.LittleEndian.PutUint64(b[:], uint64(len(c.Value)))
+				_, _ = h.Write(b[:])
+				_, _ = h.Write(c.Value)
+			}
+			sum += h.Sum64()
+			return true
+		})
+	}
+	return sum
+}
+
+// StateDigest quiesces replay and digests the node's committed state.
+// Concurrent Feeds are excluded for the duration of the scan, so the
+// digest reflects a well-defined cursor.
+func (n *Node) StateDigest() uint64 {
+	n.cutMu.Lock()
+	defer n.cutMu.Unlock()
+	n.r.Drain()
+	return StateDigest(n.mt)
+}
+
+// AntiEntropyDigest returns the digest triple a sender ships in a
+// DIGEST frame: the cursor it covers (next epoch sequence), the
+// visible timestamp at that point, and the state digest. Replay is
+// drained first so the digest reflects every fed epoch.
+func (n *Node) AntiEntropyDigest() (seq uint64, ts int64, digest uint64) {
+	n.cutMu.Lock()
+	defer n.cutMu.Unlock()
+	n.r.Drain()
+	return n.NextSeq(), n.VisibleTS(), StateDigest(n.mt)
+}
+
+// NodeSnapshotSource serves ship.SnapshotSource from a live node: each
+// call cuts a fresh checkpoint (quiescing replay and excluding
+// concurrent feeds for the cut's duration), so the snapshot covers
+// exactly the epochs below its cursor — the consistency contract that
+// lets the sender retire its pending window at the snapshot cursor and
+// the restored replica resume there with no gap.
+type NodeSnapshotSource struct {
+	// N is the node snapshots are cut from. On a fan-out primary this
+	// is the mirror node that applies each epoch before it ships.
+	N *Node
+	// Dir is where the snapshot is staged; empty uses the system temp
+	// directory. The file is unlinked as soon as it is open, so an
+	// aborted transfer leaks nothing.
+	Dir string
+}
+
+// Snapshot cuts a checkpoint to an unlinked temp file and returns it
+// positioned at the start.
+func (s *NodeSnapshotSource) Snapshot() (uint64, int64, io.ReadCloser, error) {
+	f, err := os.CreateTemp(s.Dir, "aets-snap-*.ckpt")
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	_ = os.Remove(f.Name())
+	meta, err := s.N.Checkpoint(f)
+	if err != nil {
+		f.Close()
+		return 0, 0, nil, err
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return 0, 0, nil, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return 0, 0, nil, err
+	}
+	return meta.NextEpochSeq(), size, f, nil
+}

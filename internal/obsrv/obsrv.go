@@ -54,6 +54,14 @@ type Health struct {
 	Restarts int64 `json:"supervisor_restarts,omitempty"`
 	// Quarantined counts poison epochs quarantined by the supervisor.
 	Quarantined int64 `json:"quarantined_epochs,omitempty"`
+	// DigestMismatches counts anti-entropy digest comparisons that
+	// caught this replica's committed state diverging from the
+	// sender's; each one flags the replica for snapshot repair.
+	DigestMismatches int64 `json:"digest_mismatches,omitempty"`
+	// SnapshotRestores counts wire-level catch-up snapshots this
+	// replica validated and installed (fresh join, outlived history,
+	// or anti-entropy repair).
+	SnapshotRestores int64 `json:"snapshot_restores,omitempty"`
 }
 
 // Options configures the endpoint set.

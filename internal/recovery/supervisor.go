@@ -8,8 +8,6 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -95,11 +93,13 @@ type Config struct {
 
 // Stats is a point-in-time view of the supervisor.
 type Stats struct {
-	State       State
-	Restarts    int64 // successful rebuilds after the initial start
-	Quarantined int64 // poison epochs quarantined
-	Fallbacks   int64 // corrupt checkpoints skipped during restore
-	LastErr     string
+	State            State
+	Restarts         int64 // successful rebuilds after the initial start
+	Quarantined      int64 // poison epochs quarantined
+	Fallbacks        int64 // corrupt checkpoints skipped during restore
+	DigestMismatches int64 // anti-entropy divergences detected locally
+	SnapshotRestores int64 // wire snapshots validated and installed
+	LastErr          string
 }
 
 // Supervisor owns the htap.Node lifecycle on a backup: it spools every
@@ -130,11 +130,17 @@ type Supervisor struct {
 	forcePinpoint bool     // an unattributed failure demands per-epoch drains
 	quarantined   map[uint64]bool
 	lastErr       error
+	// needSnap flags a detected digest mismatch awaiting snapshot
+	// repair; it survives receiver lifetimes (see NeedSnapshot) and
+	// clears only when a snapshot actually restores.
+	needSnap bool
 
-	state     atomic.Int32
-	restarts  atomic.Int64
-	nQuarant  atomic.Int64
-	fallbacks atomic.Int64
+	state            atomic.Int32
+	restarts         atomic.Int64
+	nQuarant         atomic.Int64
+	fallbacks        atomic.Int64
+	digestMismatches atomic.Int64
+	snapRestores     atomic.Int64
 
 	stop      chan struct{}
 	closeOnce sync.Once
@@ -329,10 +335,12 @@ func (s *Supervisor) State() State { return State(s.state.Load()) }
 // Stats returns a snapshot of the supervisor's counters.
 func (s *Supervisor) Stats() Stats {
 	st := Stats{
-		State:       s.State(),
-		Restarts:    s.restarts.Load(),
-		Quarantined: s.nQuarant.Load(),
-		Fallbacks:   s.fallbacks.Load(),
+		State:            s.State(),
+		Restarts:         s.restarts.Load(),
+		Quarantined:      s.nQuarant.Load(),
+		Fallbacks:        s.fallbacks.Load(),
+		DigestMismatches: s.digestMismatches.Load(),
+		SnapshotRestores: s.snapRestores.Load(),
 	}
 	s.mu.Lock()
 	if s.lastErr != nil {
@@ -635,13 +643,8 @@ func (s *Supervisor) loadQuarantineLocked() {
 		return
 	}
 	for _, de := range ents {
-		name := de.Name()
-		if !strings.HasPrefix(name, quarantinePrefix) || !strings.HasSuffix(name, ".epoch") {
-			continue
-		}
-		seqStr := strings.TrimSuffix(strings.TrimPrefix(name, quarantinePrefix), ".epoch")
-		seq, err := strconv.ParseUint(seqStr, 10, 64)
-		if err != nil {
+		seq, ok := parseQuarantineSeq(de.Name())
+		if !ok {
 			continue
 		}
 		s.quarantined[seq] = true
@@ -722,12 +725,14 @@ func (s *Supervisor) checkpointLoop() {
 func (s *Supervisor) Health() obsrv.Health {
 	st := s.State()
 	h := obsrv.Health{
-		Healthy:     st != StateFatal,
-		Status:      st.String(),
-		Supervisor:  st.String(),
-		Degraded:    st == StateDegraded,
-		Restarts:    s.restarts.Load(),
-		Quarantined: s.nQuarant.Load(),
+		Healthy:          st != StateFatal,
+		Status:           st.String(),
+		Supervisor:       st.String(),
+		Degraded:         st == StateDegraded,
+		Restarts:         s.restarts.Load(),
+		Quarantined:      s.nQuarant.Load(),
+		DigestMismatches: s.digestMismatches.Load(),
+		SnapshotRestores: s.snapRestores.Load(),
 	}
 	if st == StateRunning {
 		h.Status = "ok"

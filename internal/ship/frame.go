@@ -40,6 +40,24 @@
 // HELLO rejects it with ErrVersion, which the sender answers by
 // redialing at version 1.
 //
+// When both ends advertise CapSnapshot, the receiver answers a
+// snapshot-capable HELLO with an extended 32-byte WELCOME carrying a
+// trailing req u64 (request bits: bit 0 asks for an immediate
+// snapshot), and the sender may interpose a snapshot catch-up sequence
+// or anti-entropy digests into the epoch stream:
+//
+//	SNAPBEGIN sender→receiver  cursor u64 | totalBytes u64 (0 unknown)
+//	SNAPCHUNK sender→receiver  raw checkpoint bytes (≤ MaxSnapChunk)
+//	SNAPEND   sender→receiver  totalBytes u64 | crc32c(chunks) u32
+//	DIGEST    sender→receiver  seq u64 | ts i64 | digest u64
+//
+// A snapshot replaces the receiver's state wholesale: after a valid
+// SNAPBEGIN..SNAPEND sequence restores, the receiver's cursor jumps to
+// the snapshot cursor and the epoch stream resumes there. A DIGEST
+// carries the sender's committed-state digest as of cursor seq; a
+// receiver at the same cursor compares and, on mismatch, requests a
+// repair snapshot via the WELCOME req bit on its next handshake.
+//
 // A cursor is always "the next epoch sequence number expected": epoch
 // seqs start at 0, so a cursor of n means epochs [0, n) are applied.
 package ship
@@ -82,6 +100,20 @@ const (
 const (
 	// CapFlate advertises per-frame flate compression of EPOCH bufs.
 	CapFlate uint64 = 1 << 0
+	// CapSnapshot advertises snapshot catch-up and digest anti-entropy:
+	// a sender that cannot serve the receiver's cursor may stream a
+	// chunked checkpoint snapshot, and may interleave periodic state
+	// digests with the epoch stream.
+	CapSnapshot uint64 = 1 << 1
+)
+
+// WELCOME request bits (the trailing req u64 of a 32-byte WELCOME,
+// sent only to snapshot-capable senders).
+const (
+	// ReqSnapshot asks the sender for an immediate snapshot regardless
+	// of cursor position — the receiver detected divergence (digest
+	// mismatch) and wants its state replaced.
+	ReqSnapshot uint64 = 1 << 0
 )
 
 const (
@@ -90,6 +122,16 @@ const (
 	// MaxPayload bounds a frame payload; larger lengths are rejected as
 	// corruption before any allocation.
 	MaxPayload = 1 << 28
+	// MaxSnapChunk bounds one SNAPCHUNK payload. Snapshots of any size
+	// ship as a sequence of bounded chunks, so no single frame — and no
+	// single receiver-side allocation — scales with snapshot size.
+	MaxSnapChunk = 1 << 20
+	// maxPrealloc bounds the buffer allocated up front for a claimed
+	// length. Payloads may legitimately reach MaxPayload, but a hostile
+	// header can claim 256MB over a 10-byte stream; reading incrementally
+	// from this floor means allocation tracks the bytes that actually
+	// arrive instead of the attacker's claim.
+	maxPrealloc = 1 << 20
 )
 
 // Frame kinds.
@@ -100,6 +142,12 @@ const (
 	KindAck       byte = 4
 	KindHeartbeat byte = 5
 	KindEOS       byte = 6
+	// Snapshot catch-up and anti-entropy frames (version 2, sent only
+	// on links that negotiated CapSnapshot).
+	KindSnapBegin byte = 7
+	KindSnapChunk byte = 8
+	KindSnapEnd   byte = 9
+	KindDigest    byte = 10
 )
 
 var (
@@ -201,9 +249,9 @@ func ReadFrameFlags(r io.Reader) (ver, kind, flags byte, payload []byte, err err
 	if n > MaxPayload {
 		return 0, 0, 0, nil, fmt.Errorf("%w: payload length %d", ErrCorrupt, n)
 	}
-	body := make([]byte, int(n)+4)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return 0, 0, 0, nil, fmt.Errorf("%w: body: %v", ErrShortFrame, err)
+	body, rerr := readFullCapped(r, int(n)+4)
+	if rerr != nil {
+		return 0, 0, 0, nil, fmt.Errorf("%w: body: %v", ErrShortFrame, rerr)
 	}
 	payload = body[:n]
 	sum := crc32.Update(crc32.Checksum(hdr[:], castagnoli), castagnoli, payload)
@@ -211,6 +259,34 @@ func ReadFrameFlags(r io.Reader) (ver, kind, flags byte, payload []byte, err err
 		return 0, 0, 0, nil, fmt.Errorf("%w: crc mismatch", ErrCorrupt)
 	}
 	return ver, hdr[2], flags, payload, nil
+}
+
+// readFullCapped reads exactly n bytes from r without trusting n for
+// the initial allocation: the buffer starts at maxPrealloc and doubles
+// only as bytes actually arrive, so a hostile length prefix over a
+// short stream costs one bounded allocation before ErrShortFrame
+// surfaces, not the 256MB the header claims.
+func readFullCapped(r io.Reader, n int) ([]byte, error) {
+	step := n
+	if step > maxPrealloc {
+		step = maxPrealloc
+	}
+	buf := make([]byte, step)
+	for {
+		if _, err := io.ReadFull(r, buf[len(buf)-step:]); err != nil {
+			return nil, err
+		}
+		if len(buf) == n {
+			return buf, nil
+		}
+		step = len(buf)
+		if step > n-len(buf) {
+			step = n - len(buf)
+		}
+		nb := make([]byte, len(buf)+step)
+		copy(nb, buf)
+		buf = nb
+	}
 }
 
 // ReadFrame reads one frame from r and verifies its CRC. It accepts
@@ -320,8 +396,11 @@ func DecodeEpochFrame(flags byte, p []byte) (*epoch.Encoded, error) {
 	} else if err := fr.(flate.Resetter).Reset(src, nil); err != nil {
 		return nil, fmt.Errorf("%w: flate reset: %v", ErrCorrupt, err)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(fr, buf); err != nil {
+	// The claimed raw length drives allocation only as far as the flate
+	// stream actually delivers: a hostile bufLen over a tiny compressed
+	// body fails after one bounded buffer.
+	buf, err := readFullCapped(fr, int(n))
+	if err != nil {
 		return nil, fmt.Errorf("%w: inflate: %v", ErrCorrupt, err)
 	}
 	var extra [1]byte
@@ -397,6 +476,58 @@ func parseWelcome2(p []byte) (schema, cursor, caps uint64, err error) {
 		return 0, 0, 0, err
 	}
 	return v[0], v[1], v[2], nil
+}
+
+// appendWelcome3 is the 32-byte WELCOME sent to snapshot-capable
+// senders only: the v2 WELCOME plus a trailing request bitset.
+func appendWelcome3(dst []byte, schema, cursor, caps, req uint64) []byte {
+	return appendU64(dst, schema, cursor, caps, req)
+}
+
+func parseWelcome3(p []byte) (schema, cursor, caps, req uint64, err error) {
+	v, err := parseU64(p, "WELCOME", 4)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	return v[0], v[1], v[2], v[3], nil
+}
+
+func appendSnapBegin(dst []byte, cursor, total uint64) []byte {
+	return appendU64(dst, cursor, total)
+}
+
+func parseSnapBegin(p []byte) (cursor, total uint64, err error) {
+	v, err := parseU64(p, "SNAPBEGIN", 2)
+	if err != nil {
+		return 0, 0, err
+	}
+	return v[0], v[1], nil
+}
+
+func appendSnapEnd(dst []byte, total uint64, crc uint32) []byte {
+	dst = appendU64(dst, total)
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], crc)
+	return append(dst, b[:]...)
+}
+
+func parseSnapEnd(p []byte) (total uint64, crc uint32, err error) {
+	if len(p) != 12 {
+		return 0, 0, fmt.Errorf("%w: SNAPEND payload %d bytes", ErrCorrupt, len(p))
+	}
+	return binary.LittleEndian.Uint64(p), binary.LittleEndian.Uint32(p[8:]), nil
+}
+
+func appendDigest(dst []byte, seq uint64, ts int64, digest uint64) []byte {
+	return appendU64(dst, seq, uint64(ts), digest)
+}
+
+func parseDigest(p []byte) (seq uint64, ts int64, digest uint64, err error) {
+	v, err := parseU64(p, "DIGEST", 3)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return v[0], int64(v[1]), v[2], nil
 }
 
 func appendCursor(dst []byte, cursor uint64) []byte { return appendU64(dst, cursor) }

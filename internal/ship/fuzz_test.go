@@ -2,6 +2,7 @@ package ship
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"math/rand"
@@ -56,6 +57,22 @@ func fuzzSeeds() [][]byte {
 		lied[32], lied[33], lied[34], lied[35] = 0xff, 0xff, 0xff, 0x0f
 		seeds = append(seeds, AppendFrameFlags(nil, KindEpoch, FlagCompressed, lied))
 	}
+	// Snapshot catch-up and anti-entropy frames (v2).
+	seeds = append(seeds,
+		appendFrameV(nil, Version2, KindWelcome, 0, appendWelcome3(nil, 0xabc, 17, CapSnapshot, ReqSnapshot)),
+		appendFrameV(nil, Version2, KindSnapBegin, 0, appendSnapBegin(nil, 42, 1<<20)),
+		appendFrameV(nil, Version2, KindSnapChunk, 0, bytes.Repeat([]byte{0xee}, 512)),
+		appendFrameV(nil, Version2, KindSnapEnd, 0, appendSnapEnd(nil, 512, 0xdeadbeef)),
+		appendFrameV(nil, Version2, KindDigest, 0, appendDigest(nil, 42, 123, 0xfeed)),
+	)
+	// Hostile length prefixes: a header claiming a payload near
+	// MaxPayload over a tiny body (must die as a short frame without
+	// preallocating the claim), and a SNAPBEGIN claiming 2^64-1 bytes.
+	over := appendFrameV(nil, Version2, KindSnapChunk, 0, bytes.Repeat([]byte{1}, 64))
+	binary.LittleEndian.PutUint32(over[4:8], MaxPayload-1)
+	seeds = append(seeds, over)
+	seeds = append(seeds,
+		appendFrameV(nil, Version2, KindSnapBegin, 0, appendSnapBegin(nil, 1, ^uint64(0))))
 	return seeds
 }
 

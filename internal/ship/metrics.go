@@ -35,6 +35,20 @@ type Metrics struct {
 	// CompressionRatio is the cumulative wire/raw byte ratio for epoch
 	// frames (1.0 = uncompressed, lower is better).
 	CompressionRatio *metrics.Gauge
+	// SnapshotsSent counts catch-up snapshots the sender streamed to a
+	// receiver whose cursor it could not serve; SnapshotsRestored counts
+	// snapshots the receiver validated and installed. Named cluster_*
+	// for the fleet dashboards that consume them — a snapshot is always
+	// a cluster-level catch-up event even on a single link.
+	SnapshotsSent     *metrics.Counter
+	SnapshotsRestored *metrics.Counter
+	// DigestsSent and DigestsVerified count anti-entropy digest frames
+	// shipped and compared; DigestMismatches counts comparisons where
+	// the receiver's committed state diverged from the sender's —
+	// silent corruption the snapshot path then repairs.
+	DigestsSent      *metrics.Counter
+	DigestsVerified  *metrics.Counter
+	DigestMismatches *metrics.Counter
 }
 
 // NewMetrics registers the shipping metrics in r (metrics.Default when
@@ -65,5 +79,11 @@ func NewPeerMetrics(r *metrics.Registry, peer string) *Metrics {
 		BytesRaw:         r.Counter(name("ship_bytes_raw_total")),
 		BytesWire:        r.Counter(name("ship_bytes_wire_total")),
 		CompressionRatio: r.Gauge(name("ship_compression_ratio")),
+
+		SnapshotsSent:     r.Counter(name("cluster_snapshot_sent_total")),
+		SnapshotsRestored: r.Counter(name("cluster_snapshot_restored_total")),
+		DigestsSent:       r.Counter(name("ship_digests_sent_total")),
+		DigestsVerified:   r.Counter(name("ship_digests_verified_total")),
+		DigestMismatches:  r.Counter(name("cluster_digest_mismatch_total")),
 	}
 }

@@ -2,6 +2,7 @@ package ship
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -66,14 +67,22 @@ type ReceiverConfig struct {
 	// v1 receiver (mixed-version tests): v2 HELLOs are rejected with
 	// ErrVersion and the sender falls back to v1.
 	MaxVersion byte
+	// NeedSnapshot, when set, is consulted at every handshake alongside
+	// the receiver's own repair flag: returning true makes the WELCOME
+	// request an immediate snapshot. It lets a durable component (the
+	// recovery supervisor) carry a detected-divergence flag across
+	// receiver lifetimes, so a repair request survives process
+	// restarts between detection and the next handshake.
+	NeedSnapshot func() bool
 }
 
 // ReceiverStats is a point-in-time view of a receiver's progress.
 type ReceiverStats struct {
-	Cursor     uint64 // next epoch sequence expected
-	Txns       int64  // transactions applied
-	Entries    int64  // DML entries applied
-	Duplicates int64  // epochs dropped as already applied
+	Cursor            uint64 // next epoch sequence expected
+	Txns              int64  // transactions applied
+	Entries           int64  // DML entries applied
+	Duplicates        int64  // epochs dropped as already applied
+	SnapshotsRestored int64  // catch-up snapshots validated and installed
 }
 
 // Receiver is the backup side of a replication link: it answers the
@@ -88,11 +97,16 @@ type Receiver struct {
 
 	serveMu sync.Mutex // one active connection at a time
 
-	mu      sync.Mutex
-	cursor  uint64
-	txns    int64
-	entries int64
-	dups    int64
+	mu       sync.Mutex
+	cursor   uint64
+	txns     int64
+	entries  int64
+	dups     int64
+	restored int64
+	// needSnap records a digest mismatch awaiting repair: the next
+	// WELCOME to a snapshot-capable sender carries ReqSnapshot, and a
+	// successful restore clears it.
+	needSnap bool
 }
 
 // NewReceiver returns a Receiver starting at cfg.Resume. A nil Applier
@@ -121,6 +135,15 @@ func (r *Receiver) capsOffered() uint64 {
 	if r.cfg.Compress && r.cfg.MaxVersion >= Version2 {
 		caps |= CapFlate
 	}
+	// Snapshot catch-up is offered exactly when the applier can restore
+	// one; advertising it without the ability would strand the link
+	// mid-stream. Wrapping appliers refine the static check at runtime
+	// via SnapshotCapable.
+	if _, ok := r.cfg.Applier.(SnapshotApplier); ok && r.cfg.MaxVersion >= Version2 {
+		if c, ok := r.cfg.Applier.(SnapshotCapable); !ok || c.SnapshotCapable() {
+			caps |= CapSnapshot
+		}
+	}
 	return caps
 }
 
@@ -135,7 +158,8 @@ func (r *Receiver) Cursor() uint64 {
 func (r *Receiver) Stats() ReceiverStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return ReceiverStats{Cursor: r.cursor, Txns: r.txns, Entries: r.entries, Duplicates: r.dups}
+	return ReceiverStats{Cursor: r.cursor, Txns: r.txns, Entries: r.entries,
+		Duplicates: r.dups, SnapshotsRestored: r.restored}
 }
 
 // Serve handles one sender connection until it ends. done is true on a
@@ -181,8 +205,9 @@ func (r *Receiver) Serve(conn net.Conn) (done bool, err error) {
 	// Always answer with our schema and cursor; on a mismatch the sender
 	// reads the WELCOME, sees the foreign schema, and aborts permanently
 	// instead of retrying a doomed link. The reply speaks the HELLO's
-	// version, so a v1 sender sees the 16-byte WELCOME it expects.
-	if err := r.welcome(bw, ver); err != nil {
+	// version, so a v1 sender sees the 16-byte WELCOME it expects and a
+	// v2 sender without CapSnapshot the 24-byte one.
+	if err := r.welcome(bw, ver, senderCaps); err != nil {
 		return false, err
 	}
 	if schema != r.cfg.Schema {
@@ -277,6 +302,34 @@ func (r *Receiver) Serve(conn net.Conn) (done bool, err error) {
 			// Keep the sender's ack cursor and lag gauge fresh while idle.
 			ack()
 			sinceAck = 0
+		case KindSnapBegin:
+			if negotiated&CapSnapshot == 0 {
+				return false, fmt.Errorf("%w: snapshot frame without negotiated capability", ErrCorrupt)
+			}
+			snapCursor, claim, err := parseSnapBegin(payload)
+			if err != nil {
+				return false, err
+			}
+			if err := r.restoreSnapshot(br, snapCursor, claim); err != nil {
+				return false, err
+			}
+			ack()
+			sinceAck = 0
+		case KindSnapChunk, KindSnapEnd:
+			// Chunks and trailers are consumed by the SNAPBEGIN handler's
+			// stream reader; loose ones mean the sender lost its place.
+			return false, fmt.Errorf("%w: snapshot frame kind %d outside a snapshot stream", ErrCorrupt, kind)
+		case KindDigest:
+			if negotiated&CapSnapshot == 0 {
+				return false, fmt.Errorf("%w: digest frame without negotiated capability", ErrCorrupt)
+			}
+			seq, ts, digest, err := parseDigest(payload)
+			if err != nil {
+				return false, err
+			}
+			if err := r.verifyDigest(seq, ts, digest); err != nil {
+				return false, err
+			}
 		case KindEOS:
 			if r.cfg.Drain != nil {
 				if err := r.cfg.Drain(); err != nil {
@@ -293,6 +346,84 @@ func (r *Receiver) Serve(conn net.Conn) (done bool, err error) {
 	}
 }
 
+// restoreSnapshot consumes one SNAPBEGIN..SNAPEND sequence from br and
+// installs it through the SnapshotApplier. The applier must read the
+// stream through EOF — the stream reader returns EOF only after the
+// SNAPEND byte count and CRC validate, so nothing installs from a torn
+// or corrupt transfer. Any failure leaves the cursor (and, per the
+// applier contract, the applier's prior state) unchanged: the link
+// drops and the sender's next handshake restarts the transfer from
+// scratch.
+func (r *Receiver) restoreSnapshot(br *bufio.Reader, snapCursor, claim uint64) error {
+	sr := newSnapReader(br, r.cfg.MaxVersion, claim)
+	r.mu.Lock()
+	cur, needSnap := r.cursor, r.needSnap
+	r.mu.Unlock()
+	if snapCursor < cur || (snapCursor == cur && !needSnap) {
+		// Local state already covers the snapshot (the sender raced a
+		// reconnect): discard the stream, keep what we have. An
+		// equal-cursor snapshot installs only when this receiver flagged
+		// itself for repair — that is exactly the anti-entropy case,
+		// where the cursors agree but the state does not.
+		return sr.drain()
+	}
+	sa, ok := r.cfg.Applier.(SnapshotApplier)
+	if !ok {
+		// Unreachable when capability negotiation is honest; a sender
+		// that streams anyway loses the link.
+		return ErrSnapshotUnsupported
+	}
+	size := int64(-1)
+	if claim != 0 {
+		size = int64(claim)
+	}
+	if err := sa.RestoreSnapshot(snapCursor, size, sr); err != nil {
+		return fmt.Errorf("ship: snapshot restore: %w", err)
+	}
+	// Belt and suspenders for appliers that stopped reading early: the
+	// stream only counts once the trailer validates.
+	if err := sr.drain(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.cursor = snapCursor
+	r.needSnap = false
+	r.restored++
+	r.mu.Unlock()
+	r.m.SnapshotsRestored.Inc()
+	return nil
+}
+
+// verifyDigest runs one anti-entropy comparison. Digests are only
+// comparable when this receiver has applied exactly the epochs the
+// digest covers; anything else (no verifier, digest raced a reconnect)
+// is skipped, not failed — the next aligned digest still guards the
+// stream. A mismatch marks the receiver for repair and drops the link;
+// the next handshake's WELCOME requests the snapshot.
+func (r *Receiver) verifyDigest(seq uint64, ts int64, digest uint64) error {
+	da, ok := r.cfg.Applier.(DigestApplier)
+	if !ok {
+		return nil
+	}
+	r.mu.Lock()
+	cur := r.cursor
+	r.mu.Unlock()
+	if cur != seq {
+		return nil
+	}
+	if err := da.VerifyDigest(seq, ts, digest); err != nil {
+		if errors.Is(err, ErrDigestMismatch) {
+			r.m.DigestMismatches.Inc()
+			r.mu.Lock()
+			r.needSnap = true
+			r.mu.Unlock()
+		}
+		return fmt.Errorf("ship: digest %d: %w", seq, err)
+	}
+	r.m.DigestsVerified.Inc()
+	return nil
+}
+
 func (r *Receiver) sendAck(bw *bufio.Writer) error {
 	r.mu.Lock()
 	cur := r.cursor
@@ -305,15 +436,30 @@ func (r *Receiver) sendAck(bw *bufio.Writer) error {
 
 // welcome writes the WELCOME frame carrying schema and cursor, in the
 // protocol version of the sender's HELLO (a v2 WELCOME additionally
-// carries this receiver's capability bitset).
-func (r *Receiver) welcome(bw *bufio.Writer, ver byte) error {
+// carries this receiver's capability bitset). A snapshot-capable
+// sender paired with a snapshot-capable applier gets the 32-byte form
+// whose request bits can ask for immediate repair; older senders never
+// see it.
+func (r *Receiver) welcome(bw *bufio.Writer, ver byte, senderCaps uint64) error {
 	r.mu.Lock()
 	cur := r.cursor
+	need := r.needSnap
 	r.mu.Unlock()
+	if !need && r.cfg.NeedSnapshot != nil {
+		need = r.cfg.NeedSnapshot()
+	}
+	caps := r.capsOffered()
 	var err error
-	if ver >= Version2 {
-		err = writeFrameV(bw, Version2, KindWelcome, 0, appendWelcome2(nil, r.cfg.Schema, cur, r.capsOffered()))
-	} else {
+	switch {
+	case ver >= Version2 && senderCaps&CapSnapshot != 0 && caps&CapSnapshot != 0:
+		var req uint64
+		if need {
+			req |= ReqSnapshot
+		}
+		err = writeFrameV(bw, Version2, KindWelcome, 0, appendWelcome3(nil, r.cfg.Schema, cur, caps, req))
+	case ver >= Version2:
+		err = writeFrameV(bw, Version2, KindWelcome, 0, appendWelcome2(nil, r.cfg.Schema, cur, caps))
+	default:
 		err = WriteFrame(bw, KindWelcome, appendWelcome(nil, r.cfg.Schema, cur))
 	}
 	if err != nil {

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"math/rand"
 	"net"
 	"sync"
@@ -66,6 +68,13 @@ type SenderConfig struct {
 	// 0 means the highest this build speaks. Set 1 to emulate a legacy
 	// v1 sender (mixed-version tests).
 	MaxVersion byte
+	// Snapshot, when set, advertises CapSnapshot and enables wire-level
+	// catch-up: a receiver whose cursor this sender cannot serve (below
+	// the oldest retained epoch, regressed past the ack cursor, or
+	// explicitly requesting repair) is streamed a full-state snapshot
+	// and resumes the epoch stream at the snapshot's cursor. Nil keeps
+	// the classic behaviour: an unservable cursor gaps the link.
+	Snapshot SnapshotSource
 }
 
 // SenderStats is a point-in-time view of a sender's progress.
@@ -80,6 +89,8 @@ type SenderStats struct {
 	BytesRaw    int64         // epoch bytes before compression (incl. framing)
 	BytesWire   int64         // epoch bytes actually written
 	Compressing bool          // current connection negotiated CapFlate
+	Snapshots   int64         // catch-up snapshots streamed to this peer
+	SnapWait    bool          // a streamed snapshot awaits the receiver's restore ack
 }
 
 // Sender ships encoded epochs to one backup. Connections are opened
@@ -123,6 +134,30 @@ type Sender struct {
 	frameBuf   []byte
 	bytesRaw   int64
 	bytesWire  int64
+
+	// snapNeeded records that the receiver's state must be replaced
+	// before the epoch stream can continue: a hole was enqueued (an
+	// epoch skipped ahead of lastSeq+1), the handshake cursor regressed
+	// below the retire point, or the receiver's WELCOME requested
+	// repair. Acted on in flushLocked when a snapshot source is
+	// configured and the link negotiated CapSnapshot.
+	snapNeeded bool
+	snapsSent  int64
+	// snapWait is the cursor of a streamed snapshot the receiver has not
+	// acknowledged yet (0 when none). Streaming retires the pending
+	// epochs the snapshot covers, so without this the link would look
+	// drained the moment the bytes left the buffer — and Close could
+	// tear the connection down while the receiver is still reading the
+	// transfer out of its socket buffer, losing the whole catch-up.
+	// Cleared by the restore ack, or by a handshake whose cursor proves
+	// the restore landed; a reconnect below it re-detects the gap and
+	// restarts the transfer.
+	snapWait uint64
+	// permErr marks the stream unrecoverable on this link (a hole only a
+	// snapshot can bridge, against a peer that cannot apply one):
+	// reconnecting cannot help, so Send/Close fail fast instead of
+	// redialing forever.
+	permErr error
 
 	sent, acked, reconnects int64
 
@@ -218,6 +253,12 @@ func (s *Sender) Send(enc *epoch.Encoded) error {
 		s.m.EpochsAcked.Inc()
 		return nil
 	}
+	if s.haveSeq && enc.Seq > s.lastSeq+1 {
+		// The producer skipped epochs (a fan-out queue shed its backlog
+		// on overflow): the stream now has a hole only a snapshot can
+		// bridge.
+		s.snapNeeded = true
+	}
 	s.pending = append(s.pending, enc)
 	s.pendingAt = append(s.pendingAt, time.Now())
 	s.lastSeq, s.haveSeq = enc.Seq, true
@@ -236,7 +277,7 @@ func (s *Sender) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var err error
-	for !s.closed && len(s.pending) > 0 {
+	for !s.closed && (len(s.pending) > 0 || s.snapWait != 0) {
 		if s.conn == nil || s.connErr != nil {
 			if err = s.connectLocked(); err != nil {
 				break
@@ -280,6 +321,8 @@ func (s *Sender) Stats() SenderStats {
 		BytesRaw:    s.bytesRaw,
 		BytesWire:   s.bytesWire,
 		Compressing: s.conn != nil && s.connErr == nil && s.negotiated&CapFlate != 0,
+		Snapshots:   s.snapsSent,
+		SnapWait:    s.snapWait != 0,
 	}
 	if len(s.pendingAt) > 0 {
 		st.Lag = time.Since(s.pendingAt[0])
@@ -296,6 +339,9 @@ func (s *Sender) connectLocked() error {
 		if s.closed {
 			return ErrClosed
 		}
+	}
+	if s.permErr != nil {
+		return s.permErr
 	}
 	if s.conn != nil && s.connErr == nil {
 		return nil // someone else reconnected while we waited
@@ -324,7 +370,7 @@ func (s *Sender) connectLocked() error {
 			}
 		}
 		s.mu.Unlock()
-		conn, cursor, caps, err := s.dialAndShake()
+		conn, cursor, caps, req, err := s.dialAndShake()
 		s.mu.Lock()
 		if s.closed {
 			if err == nil {
@@ -350,10 +396,29 @@ func (s *Sender) connectLocked() error {
 		s.negotiated = caps
 		s.m.Connected.Set(1)
 		s.gen++
+		if req&ReqSnapshot != 0 {
+			// The receiver detected divergence and wants its state
+			// replaced regardless of cursor position.
+			s.snapNeeded = true
+		}
+		if cursor < s.ackCursor {
+			// The receiver lost state it had acknowledged (crash, restore
+			// from an older checkpoint): epochs below the old ack cursor
+			// are no longer pending here, so only a snapshot closes the
+			// gap. retireLocked below never lowers ackCursor.
+			s.snapNeeded = true
+		}
+		if s.snapWait != 0 && cursor >= s.snapWait {
+			// The restore landed; only its ack was lost to the reconnect.
+			s.snapWait = 0
+		}
 		s.retireLocked(cursor)
 		s.sentIdx = 0
 		go s.readAcks(conn, s.gen)
 		s.flushLocked()
+		if s.permErr != nil {
+			return s.permErr
+		}
 		if s.connErr != nil {
 			lastErr = s.connErr
 			continue
@@ -369,6 +434,9 @@ func (s *Sender) capsOffered() uint64 {
 	if s.cfg.Compress {
 		caps |= CapFlate
 	}
+	if s.cfg.Snapshot != nil {
+		caps |= CapSnapshot
+	}
 	return caps
 }
 
@@ -378,24 +446,27 @@ func (s *Sender) capsOffered() uint64 {
 // the version byte — the downgrade sticks for later reconnects only
 // when the v1 retry actually succeeds, so a transient network failure
 // during the v2 attempt does not silently disable compression forever.
-func (s *Sender) dialAndShake() (net.Conn, uint64, uint64, error) {
+func (s *Sender) dialAndShake() (net.Conn, uint64, uint64, uint64, error) {
 	tryV2 := s.cfg.MaxVersion >= Version2 && !s.peerV1
-	conn, cursor, caps, err := s.shake(tryV2)
+	conn, cursor, caps, req, err := s.shake(tryV2)
 	if err == nil || !tryV2 || errors.Is(err, ErrSchemaMismatch) {
-		return conn, cursor, caps, err
+		return conn, cursor, caps, req, err
 	}
-	conn, cursor, caps, err = s.shake(false)
+	conn, cursor, caps, req, err = s.shake(false)
 	if err == nil {
 		s.peerV1 = true
 	}
-	return conn, cursor, caps, err
+	return conn, cursor, caps, req, err
 }
 
-// shake dials and runs one handshake at the chosen version.
-func (s *Sender) shake(v2 bool) (net.Conn, uint64, uint64, error) {
+// shake dials and runs one handshake at the chosen version. The
+// returned req word carries the receiver's WELCOME request bits (only
+// a snapshot-capable receiver answering a snapshot-capable HELLO sends
+// the 32-byte WELCOME; otherwise req is 0).
+func (s *Sender) shake(v2 bool) (net.Conn, uint64, uint64, uint64, error) {
 	conn, err := s.cfg.Dial()
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, 0, err
 	}
 	var hello []byte
 	if v2 {
@@ -405,21 +476,23 @@ func (s *Sender) shake(v2 bool) (net.Conn, uint64, uint64, error) {
 	}
 	if _, err := conn.Write(hello); err != nil {
 		conn.Close()
-		return nil, 0, 0, err
+		return nil, 0, 0, 0, err
 	}
 	// ReadFrame consumes exactly one frame, so handing the conn to the
 	// buffered ack reader afterwards loses no bytes.
 	kind, payload, err := ReadFrame(conn)
 	if err != nil {
 		conn.Close()
-		return nil, 0, 0, err
+		return nil, 0, 0, 0, err
 	}
 	if kind != KindWelcome {
 		conn.Close()
-		return nil, 0, 0, fmt.Errorf("%w: expected WELCOME, got kind %d", ErrCorrupt, kind)
+		return nil, 0, 0, 0, fmt.Errorf("%w: expected WELCOME, got kind %d", ErrCorrupt, kind)
 	}
-	var schema, cursor, caps uint64
+	var schema, cursor, caps, req uint64
 	switch len(payload) {
+	case 32:
+		schema, cursor, caps, req, err = parseWelcome3(payload)
 	case 24:
 		schema, cursor, caps, err = parseWelcome2(payload)
 	default:
@@ -427,13 +500,13 @@ func (s *Sender) shake(v2 bool) (net.Conn, uint64, uint64, error) {
 	}
 	if err != nil {
 		conn.Close()
-		return nil, 0, 0, err
+		return nil, 0, 0, 0, err
 	}
 	if schema != s.cfg.Schema {
 		conn.Close()
-		return nil, 0, 0, fmt.Errorf("%w: sender %016x, receiver %016x", ErrSchemaMismatch, s.cfg.Schema, schema)
+		return nil, 0, 0, 0, fmt.Errorf("%w: sender %016x, receiver %016x", ErrSchemaMismatch, s.cfg.Schema, schema)
 	}
-	return conn, cursor, caps & s.capsOffered(), nil
+	return conn, cursor, caps & s.capsOffered(), req, nil
 }
 
 // flushLocked writes every not-yet-sent pending epoch to the current
@@ -442,6 +515,28 @@ func (s *Sender) shake(v2 bool) (net.Conn, uint64, uint64, error) {
 func (s *Sender) flushLocked() {
 	if s.conn == nil || s.connErr != nil {
 		return
+	}
+	// Catch-up precedes the epoch stream: if the receiver's cursor is
+	// unservable (below pending, regressed, holed, or repair-requested)
+	// and this link can snapshot, replace its state first — the retire
+	// at the snapshot cursor then drops every pending epoch the
+	// snapshot already covers.
+	if s.snapNeeded || (len(s.pending) > 0 && s.pending[0].Seq > s.ackCursor) {
+		if s.cfg.Snapshot != nil && s.negotiated&CapSnapshot != 0 {
+			s.streamSnapshotLocked()
+			if s.connErr != nil {
+				return
+			}
+		} else {
+			// Only a snapshot can bridge this, and the link has none to
+			// offer (no source, or the peer cannot apply one). Permanent:
+			// shipping the gapped epoch would be rejected, and redialing
+			// cannot change either end's capabilities.
+			s.permErr = fmt.Errorf("%w: stream gap at epoch %d, receiver cursor %d",
+				ErrSnapshotUnsupported, s.pendingFirstSeqLocked(), s.ackCursor)
+			s.failLocked(s.permErr)
+			return
+		}
 	}
 	for s.sentIdx < len(s.pending) {
 		enc := s.pending[s.sentIdx]
@@ -476,6 +571,100 @@ func (s *Sender) flushLocked() {
 	if err := s.bw.Flush(); err != nil {
 		s.failLocked(err)
 	}
+}
+
+// streamSnapshotLocked cuts a snapshot from the configured source and
+// streams it as SNAPBEGIN | SNAPCHUNK... | SNAPEND, then retires every
+// pending epoch below the snapshot's cursor (the source contract says
+// the snapshot covers them). Write failures park in connErr like any
+// other flush failure: the receiver's cursor is unchanged, so the next
+// reconnect detects the same gap and restarts the transfer from
+// scratch — a torn transfer is never resumed mid-stream.
+func (s *Sender) streamSnapshotLocked() {
+	cursor, size, rc, err := s.cfg.Snapshot.Snapshot()
+	if err != nil {
+		s.failLocked(fmt.Errorf("ship: snapshot source: %w", err))
+		return
+	}
+	defer rc.Close()
+	var claim uint64
+	if size > 0 {
+		claim = uint64(size)
+	}
+	if err := writeFrameV(s.bw, Version2, KindSnapBegin, 0, appendSnapBegin(nil, cursor, claim)); err != nil {
+		s.failLocked(err)
+		return
+	}
+	var total uint64
+	var crc uint32
+	chunk := make([]byte, snapChunkSize)
+	for {
+		n, rerr := rc.Read(chunk)
+		if n > 0 {
+			crc = crc32.Update(crc, castagnoli, chunk[:n])
+			total += uint64(n)
+			if werr := writeFrameV(s.bw, Version2, KindSnapChunk, 0, chunk[:n]); werr != nil {
+				s.failLocked(werr)
+				return
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			s.failLocked(fmt.Errorf("ship: snapshot read: %w", rerr))
+			return
+		}
+	}
+	if err := writeFrameV(s.bw, Version2, KindSnapEnd, 0, appendSnapEnd(nil, total, crc)); err != nil {
+		s.failLocked(err)
+		return
+	}
+	if err := s.bw.Flush(); err != nil {
+		s.failLocked(err)
+		return
+	}
+	s.snapNeeded = false
+	s.snapsSent++
+	s.m.SnapshotsSent.Inc()
+	s.snapWait = cursor
+	s.retireLocked(cursor)
+}
+
+// SendDigest writes one anti-entropy DIGEST frame carrying the
+// committed-state digest as of cursor seq (epochs [0, seq) applied).
+// Positional and best-effort: it is written only when the link is up,
+// negotiated CapSnapshot, has flushed everything enqueued, and the
+// stream position matches seq — otherwise it reports false and the
+// digest is simply skipped (the receiver ignores mispositioned digests
+// anyway, and a skipped round costs nothing but detection latency).
+func (s *Sender) SendDigest(seq uint64, ts int64, digest uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.conn == nil || s.connErr != nil || s.negotiated&CapSnapshot == 0 {
+		return false
+	}
+	if s.snapNeeded || s.sentIdx != len(s.pending) || !s.haveSeq || s.lastSeq+1 != seq {
+		return false
+	}
+	if err := writeFrameV(s.bw, Version2, KindDigest, 0, appendDigest(nil, seq, ts, digest)); err != nil {
+		s.failLocked(err)
+		return false
+	}
+	if err := s.bw.Flush(); err != nil {
+		s.failLocked(err)
+		return false
+	}
+	s.m.DigestsSent.Inc()
+	return true
+}
+
+// pendingFirstSeqLocked is the first unretired sequence (error text).
+func (s *Sender) pendingFirstSeqLocked() uint64 {
+	if len(s.pending) > 0 {
+		return s.pending[0].Seq
+	}
+	return s.ackCursor
 }
 
 // retireLocked drops pending epochs below the cumulative cursor
@@ -569,6 +758,9 @@ func (s *Sender) readAcks(conn net.Conn, gen int) {
 				s.failLocked(perr)
 				s.mu.Unlock()
 				return
+			}
+			if s.snapWait != 0 && cursor >= s.snapWait {
+				s.snapWait = 0
 			}
 			s.retireLocked(cursor)
 		}
