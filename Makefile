@@ -22,11 +22,16 @@ race:
 	$(GO) test -race ./internal/ship/... ./internal/replay/... ./internal/epoch/... ./internal/memtable/... ./internal/query/...
 	$(GO) test -race -skip 'TestClusterChaos' ./internal/cluster/
 
-# Short fuzz smoke: the wire-format decoder and the memtable scan
-# variants (Scan/ScanAny/ScanParallel vs a flat-map reference).
+# Short fuzz smoke: the wire-format decoder, the memtable scan variants
+# (Scan/ScanAny/ScanParallel vs a flat-map reference), the columnar
+# segment decoder (hostile length prefixes must fail cleanly), and the
+# columnar planner differential (segment + delta reads vs a row-wise twin
+# across random freeze schedules).
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadFrame -fuzztime=10s ./internal/ship/
 	$(GO) test -run='^$$' -fuzz=FuzzScanVariants -fuzztime=10s ./internal/memtable/
+	$(GO) test -run='^$$' -fuzz=FuzzSegmentDecode -fuzztime=10s ./internal/colstore/
+	$(GO) test -run='^$$' -fuzz=FuzzColumnarScan -fuzztime=10s ./internal/query/
 
 # Chaos e2e in short mode under the race detector: repeated hard
 # restarts at random points under transport faults plus an injected
@@ -75,6 +80,11 @@ MEMTABLE_BENCH = BenchmarkGetOrCreateParallel|BenchmarkScanMerged|BenchmarkScanC
 # baseline it is diffed against.
 SHIP_BENCH = BenchmarkShipCompress|BenchmarkShipEncodeRaw
 
+# The query benchmark set archived in BENCH_query.json: columnar scans
+# and aggregates over a majority-frozen table, plus the row-wise twins
+# they are measured against.
+QUERY_BENCH = BenchmarkColumnarScan|BenchmarkColumnarAggregate|BenchmarkRowScan|BenchmarkRowAggregate
+
 # Serial-vs-pipelined replay throughput and memtable index benchmarks,
 # archived as JSON for diffing.
 bench-json:
@@ -86,6 +96,8 @@ bench-json:
 		| $(GO) run ./tools/benchjson > BENCH_cluster.json
 	$(GO) test -run='^$$' -bench='$(SHIP_BENCH)' -benchmem ./internal/ship/ \
 		| $(GO) run ./tools/benchjson > BENCH_ship.json
+	$(GO) test -run='^$$' -bench='$(QUERY_BENCH)' -benchmem ./internal/query/ \
+		| $(GO) run ./tools/benchjson > BENCH_query.json
 
 # Re-run the archived benchmarks and print per-benchmark deltas against
 # the checked-in BENCH_*.json — old → new ns/op, B/op and allocs/op with
@@ -100,5 +112,7 @@ bench-diff:
 		| $(GO) run ./tools/benchjson -diff BENCH_cluster.json
 	$(GO) test -run='^$$' -bench='$(SHIP_BENCH)' -benchmem ./internal/ship/ \
 		| $(GO) run ./tools/benchjson -diff BENCH_ship.json
+	$(GO) test -run='^$$' -bench='$(QUERY_BENCH)' -benchmem ./internal/query/ \
+		| $(GO) run ./tools/benchjson -diff BENCH_query.json
 
 ci: build vet test race chaos chaos-cluster bench-smoke smoke

@@ -38,11 +38,15 @@ func runCluster(args []string) error {
 	// -digest-every) the reference state for anti-entropy digests.
 	var mirror *htap.Node
 	if c.snapshot {
-		mirror, err = htap.NewNode(htap.Kind("aets"), plan, htap.Options{Workers: 2})
+		mirror, err = htap.NewNode(htap.Kind("aets"), plan, htap.Options{Workers: 2, Columnar: c.columnar})
 		if err != nil {
 			return err
 		}
 		defer mirror.Close()
+		if c.compactEvery > 0 {
+			stop := mirror.StartCompactLoop(c.compactEvery, 0)
+			defer stop()
+		}
 	}
 
 	peers := make([]cluster.Peer, 0, len(c.connects))

@@ -101,6 +101,8 @@ type backupFlags struct {
 	once                   bool
 	ckpt, resume           string
 	gcEvery                time.Duration
+	columnar               bool
+	compactEvery           time.Duration
 	httpAddr               string
 	spoolDir, ckptDir      string
 	ckptEvery              int
@@ -125,6 +127,8 @@ func parseBackupFlags(args []string) (*backupFlags, error) {
 	fs.StringVar(&c.ckpt, "checkpoint", "", "write a checkpoint file after the stream drains")
 	fs.StringVar(&c.resume, "resume", "", "restore from this checkpoint and resume the stream at its epoch cursor")
 	fs.DurationVar(&c.gcEvery, "gc-every", 0, "vacuum version chains at this interval (0 disables)")
+	fs.BoolVar(&c.columnar, "columnar", false, "freeze cold data into columnar segments and plan reads as segment + delta merges")
+	fs.DurationVar(&c.compactEvery, "compact-every", 0, "columnar compaction cadence (0 = reuse -gc-every; requires -columnar when set)")
 	fs.StringVar(&c.httpAddr, "http", "", "serve /metrics /healthz /varz /debug/pprof on this address (empty disables)")
 	fs.StringVar(&c.spoolDir, "spool-dir", "", "durable epoch spool directory; with -ckpt-dir, runs the crash-recovery supervisor")
 	fs.StringVar(&c.ckptDir, "ckpt-dir", "", "atomic checkpoint directory for the recovery supervisor")
@@ -154,6 +158,12 @@ func parseBackupFlags(args []string) (*backupFlags, error) {
 	if c.ckptEvery < 0 || c.ckptInterval < 0 || c.gcEvery < 0 {
 		return nil, usagef("backup: -ckpt-every, -ckpt-interval and -gc-every must not be negative")
 	}
+	if c.compactEvery < 0 {
+		return nil, usagef("backup: -compact-every must not be negative")
+	}
+	if c.compactEvery > 0 && !c.columnar {
+		return nil, usagef("backup: -compact-every requires -columnar")
+	}
 	if (c.spoolDir == "") != (c.ckptDir == "") {
 		return nil, usagef("backup: recovery mode needs both -spool-dir and -ckpt-dir (got spool-dir=%q, ckpt-dir=%q)", c.spoolDir, c.ckptDir)
 	}
@@ -179,6 +189,8 @@ type clusterFlags struct {
 	maxQueue              int
 	snapshot              bool
 	digestEvery           int
+	columnar              bool
+	compactEvery          time.Duration
 	httpAddr              string
 	compress              bool
 	applyProfiles         func()
@@ -199,6 +211,8 @@ func parseClusterFlags(args []string) (*clusterFlags, error) {
 	fs.IntVar(&c.maxQueue, "max-queue", 0, "per-peer divergence buffer in epochs; a peer further behind is dropped — or snapshot re-based with -snapshot (0 = unbounded)")
 	fs.BoolVar(&c.snapshot, "snapshot", false, "serve wire-level snapshot catch-up: mirror the stream into a local node and re-base replicas too stale to resume (overflowed -max-queue, compacted spool) instead of dropping them")
 	fs.IntVar(&c.digestEvery, "digest-every", 0, "ship an anti-entropy state digest every N epochs; replicas whose committed state diverges are repaired via snapshot (requires -snapshot; 0 disables)")
+	fs.BoolVar(&c.columnar, "columnar", false, "run the snapshot mirror node columnar: freeze cold data into segments (requires -snapshot)")
+	fs.DurationVar(&c.compactEvery, "compact-every", 0, "mirror-node columnar compaction cadence (0 disables; requires -columnar)")
 	fs.StringVar(&c.httpAddr, "http", "", "serve /metrics /healthz /varz /debug/pprof on this address (empty disables)")
 	fs.BoolVar(&c.compress, "compress", false, "negotiate flate frame compression per peer (a v1 peer still gets raw frames)")
 	c.applyProfiles = contentionProfileFlags(fs)
@@ -237,6 +251,15 @@ func parseClusterFlags(args []string) (*clusterFlags, error) {
 	}
 	if c.digestEvery > 0 && !c.snapshot {
 		return nil, usagef("cluster: -digest-every requires -snapshot (a detected mismatch is repaired by snapshot)")
+	}
+	if c.columnar && !c.snapshot {
+		return nil, usagef("cluster: -columnar requires -snapshot (it configures the snapshot mirror node)")
+	}
+	if c.compactEvery < 0 {
+		return nil, usagef("cluster: -compact-every must not be negative")
+	}
+	if c.compactEvery > 0 && !c.columnar {
+		return nil, usagef("cluster: -compact-every requires -columnar")
 	}
 	return c, nil
 }

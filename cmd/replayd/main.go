@@ -234,7 +234,13 @@ func runBackup(args []string) error {
 		return err
 	}
 
-	opts := htap.Options{Workers: c.workers, Pipeline: c.pipeline}
+	opts := htap.Options{Workers: c.workers, Pipeline: c.pipeline, Columnar: c.columnar}
+
+	// Columnar compaction rides the GC cadence unless given its own.
+	compactEvery := c.compactEvery
+	if c.columnar && compactEvery == 0 {
+		compactEvery = c.gcEvery
+	}
 
 	if c.supervised() {
 		return runSupervised(supervisedConfig{
@@ -243,7 +249,8 @@ func runBackup(args []string) error {
 			spoolDir: c.spoolDir, ckptDir: c.ckptDir,
 			ckptEvery: c.ckptEvery, ckptInterval: c.ckptInterval,
 			syncPolicy: c.syncPolicy, once: c.once, gcEvery: c.gcEvery,
-			httpAddr: c.httpAddr, compress: c.compress,
+			compactEvery: compactEvery,
+			httpAddr:     c.httpAddr, compress: c.compress,
 		})
 	}
 	var node *htap.Node
@@ -288,6 +295,29 @@ func runBackup(args []string) error {
 					if n := host.Node(); n != nil {
 						if ts := n.VisibleTS(); ts > 0 {
 							n.Vacuum(ts)
+						}
+					}
+				}
+			}
+		}()
+	}
+	if compactEvery > 0 {
+		stopCompact := make(chan struct{})
+		defer close(stopCompact)
+		go func() {
+			t := time.NewTicker(compactEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopCompact:
+					return
+				case <-t.C:
+					// Re-resolve each tick: a snapshot restore swaps nodes,
+					// and the replacement (built with the same Options) is
+					// columnar too.
+					if n := host.Node(); n != nil {
+						if ts := n.VisibleTS(); ts > 0 {
+							n.Compact(ts)
 						}
 					}
 				}
@@ -390,6 +420,7 @@ type supervisedConfig struct {
 	syncPolicy         string
 	once               bool
 	gcEvery            time.Duration
+	compactEvery       time.Duration
 	httpAddr           string
 	compress           bool
 }
@@ -433,6 +464,12 @@ func runSupervised(c supervisedConfig) error {
 	if c.gcEvery > 0 {
 		if node := sup.Node(); node != nil {
 			stop := node.StartVacuumLoop(c.gcEvery, 0)
+			defer stop()
+		}
+	}
+	if c.compactEvery > 0 {
+		if node := sup.Node(); node != nil {
+			stop := node.StartCompactLoop(c.compactEvery, 0)
 			defer stop()
 		}
 	}

@@ -71,11 +71,31 @@ func (m Meta) NextEpochSeq() uint64 {
 	return m.LastEpochSeq + 1
 }
 
+// FrozenFunc resolves the columnar base-segment image of (table, key), if
+// one exists: the single version a Vacuum at the freeze watermark would
+// have kept. Checkpoint writers on columnar nodes use it to cover history
+// the compactor moved out of the record chains (colstore.Store.Lookup has
+// exactly this signature).
+type FrozenFunc func(table wal.TableID, key uint64) (txn uint64, ts int64, deleted bool, cols []wal.Column, ok bool)
+
 // Write serialises the Memtable and meta to w. The caller must ensure no
 // concurrent replay is committing while the checkpoint is cut (quiesce at
 // an epoch boundary — the natural point, since epochs commit atomically
 // with respect to Drain).
 func Write(w io.Writer, mt *memtable.Memtable, meta Meta) error {
+	return WriteWith(w, mt, meta, nil)
+}
+
+// WriteWith is Write for columnar nodes: frozen (may be nil) supplies the
+// base-segment image of each record. A record whose chain was emptied by a
+// freeze is emitted as that single image; a record frozen and then
+// re-dirtied gets the image prepended as its oldest version (the chain
+// alone would silently drop columns a read fills down from the segment).
+// The image is skipped when the chain's oldest version already has its
+// commit timestamp — the freeze-fallback case, where the image never left
+// the chain. The format is unchanged: restore rebuilds a plain row-wise
+// node, which re-freezes on its own schedule.
+func WriteWith(w io.Writer, mt *memtable.Memtable, meta Meta, frozen FrozenFunc) error {
 	crc := crc32.NewIEEE()
 	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 1<<16)
 
@@ -113,6 +133,21 @@ func Write(w io.Writer, mt *memtable.Memtable, meta Meta) error {
 		tab := mt.Table(tid)
 		putUvarint(uint64(tid))
 		putUvarint(uint64(tab.Len()))
+		putVersion := func(txn uint64, ts int64, deleted bool, cols []wal.Column) {
+			putUvarint(txn)
+			putVarint(ts)
+			if deleted {
+				bw.WriteByte(1)
+			} else {
+				bw.WriteByte(0)
+			}
+			putUvarint(uint64(len(cols)))
+			for _, c := range cols {
+				putUvarint(uint64(c.ID))
+				putUvarint(uint64(len(c.Value)))
+				bw.Write(c.Value)
+			}
+		}
 		tab.Scan(0, ^uint64(0), func(key uint64, rec *memtable.Record) bool {
 			putUvarint(key)
 			// Collect newest-first chain, emit oldest-first.
@@ -120,22 +155,30 @@ func Write(w io.Writer, mt *memtable.Memtable, meta Meta) error {
 			for v := rec.Latest(); v != nil; v = v.Next() {
 				versions = append(versions, v)
 			}
-			putUvarint(uint64(len(versions)))
+			// The frozen base image is the chain's history when it predates
+			// the oldest in-chain version (or the whole row when the chain
+			// is empty).
+			var fTxn uint64
+			var fTS int64
+			var fDel, fOK bool
+			var fCols []wal.Column
+			if frozen != nil {
+				fTxn, fTS, fDel, fCols, fOK = frozen(tid, key)
+				if fOK && len(versions) > 0 && versions[len(versions)-1].CommitTS <= fTS {
+					fOK = false // freeze fallback: the image is still in the chain
+				}
+			}
+			n := len(versions)
+			if fOK {
+				n++
+			}
+			putUvarint(uint64(n))
+			if fOK {
+				putVersion(fTxn, fTS, fDel, fCols)
+			}
 			for i := len(versions) - 1; i >= 0; i-- {
 				v := versions[i]
-				putUvarint(v.TxnID)
-				putVarint(v.CommitTS)
-				if v.Deleted {
-					bw.WriteByte(1)
-				} else {
-					bw.WriteByte(0)
-				}
-				putUvarint(uint64(len(v.Columns)))
-				for _, c := range v.Columns {
-					putUvarint(uint64(c.ID))
-					putUvarint(uint64(len(c.Value)))
-					bw.Write(c.Value)
-				}
+				putVersion(v.TxnID, v.CommitTS, v.Deleted, v.Columns)
 			}
 			return true
 		})

@@ -1,0 +1,112 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"aets/internal/memtable"
+	"aets/internal/wal"
+)
+
+func put(mt *memtable.Memtable, key uint64, ts int64, del bool, val string) {
+	var cols []wal.Column
+	if !del {
+		b := make([]byte, 8)
+		binary.LittleEndian.PutUint64(b, uint64(ts))
+		cols = []wal.Column{{ID: 1, Value: b}, {ID: 2, Value: []byte(val)}}
+	}
+	mt.Table(1).GetOrCreate(key).Append(&memtable.Version{
+		TxnID: uint64(ts), CommitTS: ts, Deleted: del, Columns: cols,
+	})
+}
+
+func TestCompactorFreezesColdChains(t *testing.T) {
+	mt := memtable.New()
+	cs := NewStore()
+	c := NewCompactor(mt, cs)
+
+	for k := uint64(0); k < 100; k++ {
+		put(mt, k, int64(k+1), k == 50, "v")
+	}
+	frozen := c.RunOnce(60)
+	if frozen != 60 {
+		t.Fatalf("frozen = %d, want 60 (heads 1..60 are at or below the watermark)", frozen)
+	}
+	seg := cs.Get(1).Base()
+	if seg == nil || seg.Len() != 60 {
+		t.Fatalf("base = %v", seg)
+	}
+	if seg.Live != 59 {
+		t.Fatalf("live = %d, want 59 (key 50 is a tombstone)", seg.Live)
+	}
+	// Frozen chains are empty; unfrozen ones intact and still hot.
+	if mt.Table(1).Get(10).Latest() != nil {
+		t.Fatal("frozen chain not emptied")
+	}
+	if mt.Table(1).Get(80).Latest() == nil {
+		t.Fatal("warm chain must survive")
+	}
+	if cs.Segments.Load() != 1 || cs.FrozenRows.Load() != 60 {
+		t.Fatalf("counters: segments=%d frozen=%d", cs.Segments.Load(), cs.FrozenRows.Load())
+	}
+
+	// Second pass: merge the rest into one fresh base, newer wins.
+	put(mt, 10, 200, false, "updated") // re-dirty a frozen key
+	if got := c.RunOnce(300); got != 41 {
+		t.Fatalf("second pass froze %d, want 41 (keys 60..99 plus re-frozen 10)", got)
+	}
+	seg = cs.Get(1).Base()
+	if seg.Len() != 100 {
+		t.Fatalf("merged base = %d rows, want 100", seg.Len())
+	}
+	i, ok := seg.Find(10)
+	if !ok || seg.CommitTS[i] != 200 {
+		t.Fatalf("re-frozen key 10: ts = %d, want 200", seg.CommitTS[i])
+	}
+	ci := seg.ColIndex(2)
+	if v, ok := seg.Cols[ci].Value(i); !ok || string(v) != "updated" {
+		t.Fatalf("re-frozen key 10: col2 = %q", v)
+	}
+	if cs.Segments.Load() != 1 {
+		t.Fatalf("segments gauge = %d, want 1 (one base per table)", cs.Segments.Load())
+	}
+}
+
+func TestCompactorWatermarkGuard(t *testing.T) {
+	mt := memtable.New()
+	cs := NewStore()
+	c := NewCompactor(mt, cs)
+	put(mt, 1, 10, false, "a")
+	if got := c.RunOnce(0); got != 0 {
+		t.Fatalf("zero watermark froze %d rows", got)
+	}
+	if got := c.RunOnce(5); got != 0 {
+		t.Fatalf("watermark below every head froze %d rows", got)
+	}
+	if cs.Get(1) != nil && cs.Get(1).Base() != nil {
+		t.Fatal("no segment should exist")
+	}
+}
+
+func TestStoreLookup(t *testing.T) {
+	mt := memtable.New()
+	cs := NewStore()
+	c := NewCompactor(mt, cs)
+	put(mt, 7, 10, false, "x")
+	put(mt, 8, 20, true, "")
+	c.RunOnce(50)
+
+	txn, ts, del, cols, ok := cs.Lookup(1, 7)
+	if !ok || del || ts != 10 || txn != 10 || len(cols) != 2 {
+		t.Fatalf("Lookup(7) = %d %d %v %v %v", txn, ts, del, cols, ok)
+	}
+	if _, _, del, _, ok := cs.Lookup(1, 8); !ok || !del {
+		t.Fatal("frozen tombstone must resolve with deleted=true")
+	}
+	if _, _, _, _, ok := cs.Lookup(1, 99); ok {
+		t.Fatal("missing key must not resolve")
+	}
+	if _, _, _, _, ok := cs.Lookup(9, 7); ok {
+		t.Fatal("missing table must not resolve")
+	}
+}

@@ -1,0 +1,323 @@
+package colstore
+
+// encode.go serialises segments. The format follows the checkpoint
+// conventions: a magic + version header, varint-packed vectors (keys and
+// commit timestamps delta-encoded — sorted keys and epoch-clustered
+// timestamps compress to a byte or two each), and a CRC32-IEEE trailer.
+// Decode is hardened against hostile length prefixes the same way
+// checkpoint.Read is: every count is bounded by the bytes remaining
+// before anything is allocated from it, so a corrupt (even CRC-valid)
+// prefix can only cost memory proportional to the input.
+//
+//	magic "AETSCSEG" | version u16 | tableID uvarint | rows uvarint
+//	keys: first uvarint, then uvarint deltas (strictly positive)
+//	commitTS: varint deltas (first absolute)
+//	txnID: uvarint each
+//	del bitmap: ceil(rows/64) u64 LE words (trailing bits zero)
+//	ncols uvarint; per column (ascending ID):
+//	  id uvarint | enc u8 | present bitmap words | per encoding:
+//	    fixed8: 8·presentN raw bytes
+//	    plain:  presentN values, each len uvarint + bytes
+//	    dict:   dictN uvarint, dict values (len uvarint + bytes),
+//	            presentN indexes (uvarint < dictN)
+//	trailer: crc32 of everything before it (u32 LE)
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math/bits"
+
+	"aets/internal/wal"
+)
+
+var segMagic = []byte("AETSCSEG")
+
+const segVersion = 1
+
+// ErrCorrupt is returned when a segment stream fails structural or CRC
+// checks.
+var ErrCorrupt = errors.New("colstore: corrupt segment")
+
+// Encode serialises the segment.
+func (s *Segment) Encode() []byte {
+	var buf bytes.Buffer
+	buf.Write(segMagic)
+	var v16 [2]byte
+	binary.LittleEndian.PutUint16(v16[:], segVersion)
+	buf.Write(v16[:])
+
+	var scratch [binary.MaxVarintLen64]byte
+	putU := func(x uint64) { buf.Write(scratch[:binary.PutUvarint(scratch[:], x)]) }
+	putS := func(x int64) { buf.Write(scratch[:binary.PutVarint(scratch[:], x)]) }
+
+	n := len(s.Keys)
+	putU(uint64(s.TableID))
+	putU(uint64(n))
+	for i, k := range s.Keys {
+		if i == 0 {
+			putU(k)
+		} else {
+			putU(k - s.Keys[i-1])
+		}
+	}
+	prev := int64(0)
+	for i, ts := range s.CommitTS {
+		if i == 0 {
+			putS(ts)
+		} else {
+			putS(ts - prev)
+		}
+		prev = ts
+	}
+	for _, t := range s.TxnID {
+		putU(t)
+	}
+	writeWords(&buf, s.Del)
+
+	putU(uint64(len(s.Cols)))
+	for ci := range s.Cols {
+		c := &s.Cols[ci]
+		putU(uint64(c.ID))
+		buf.WriteByte(c.Enc)
+		writeWords(&buf, c.Present)
+		switch c.Enc {
+		case EncFixed8:
+			buf.Write(c.Blob)
+		case EncPlain:
+			for r := 0; r < c.PresentN; r++ {
+				v := c.Blob[c.Off[r]:c.Off[r+1]]
+				putU(uint64(len(v)))
+				buf.Write(v)
+			}
+		case EncDict:
+			putU(uint64(len(c.DictOff) - 1))
+			for d := 0; d+1 < len(c.DictOff); d++ {
+				v := c.Dict[c.DictOff[d]:c.DictOff[d+1]]
+				putU(uint64(len(v)))
+				buf.Write(v)
+			}
+			for _, ix := range c.Idx {
+				putU(uint64(ix))
+			}
+		}
+	}
+
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc32.ChecksumIEEE(buf.Bytes()))
+	buf.Write(tail[:])
+	return buf.Bytes()
+}
+
+func writeWords(buf *bytes.Buffer, words []uint64) {
+	var b [8]byte
+	for _, w := range words {
+		binary.LittleEndian.PutUint64(b[:], w)
+		buf.Write(b[:])
+	}
+}
+
+// Decode parses a segment stream, verifying the CRC before structure and
+// bounding every count by the remaining input before allocating from it.
+// Footer stats are recomputed, never trusted.
+func Decode(data []byte) (*Segment, error) {
+	if len(data) < len(segMagic)+2+4 {
+		return nil, fmt.Errorf("%w: short stream", ErrCorrupt)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%w: crc mismatch", ErrCorrupt)
+	}
+	if !bytes.Equal(body[:len(segMagic)], segMagic) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if got := binary.LittleEndian.Uint16(body[len(segMagic):]); got != segVersion {
+		return nil, fmt.Errorf("colstore: unsupported segment version %d", got)
+	}
+	br := bytes.NewReader(body[len(segMagic)+2:])
+
+	rdU := func() (uint64, error) { return binary.ReadUvarint(br) }
+	rdS := func() (int64, error) { return binary.ReadVarint(br) }
+	// rdCount bounds a decoded count by the bytes left: every counted item
+	// costs at least one byte, so larger counts are structurally
+	// impossible and must not size an allocation.
+	rdCount := func() (uint64, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, err
+		}
+		if n > uint64(br.Len()) {
+			return 0, fmt.Errorf("%w: count %d exceeds %d remaining bytes", ErrCorrupt, n, br.Len())
+		}
+		return n, nil
+	}
+	readWords := func(rows int) ([]uint64, error) {
+		nw := (rows + 63) / 64
+		if 8*nw > br.Len() {
+			return nil, fmt.Errorf("%w: bitmap truncated", ErrCorrupt)
+		}
+		words := make([]uint64, nw)
+		var b [8]byte
+		for i := range words {
+			if _, err := io.ReadFull(br, b[:]); err != nil {
+				return nil, err
+			}
+			words[i] = binary.LittleEndian.Uint64(b[:])
+		}
+		if nw > 0 && rows%64 != 0 {
+			if words[nw-1]&^(1<<(uint(rows)&63)-1) != 0 {
+				return nil, fmt.Errorf("%w: bitmap has bits past row count", ErrCorrupt)
+			}
+		}
+		return words, nil
+	}
+
+	tid, err := rdU()
+	if err != nil {
+		return nil, fmt.Errorf("%w: table id", ErrCorrupt)
+	}
+	rows64, err := rdCount()
+	if err != nil {
+		return nil, fmt.Errorf("%w: row count", ErrCorrupt)
+	}
+	rows := int(rows64)
+	seg := &Segment{
+		TableID:  wal.TableID(tid),
+		Keys:     make([]uint64, rows),
+		CommitTS: make([]int64, rows),
+		TxnID:    make([]uint64, rows),
+	}
+	var prevKey uint64
+	for i := 0; i < rows; i++ {
+		d, err := rdU()
+		if err != nil {
+			return nil, fmt.Errorf("%w: key %d", ErrCorrupt, i)
+		}
+		if i == 0 {
+			prevKey = d
+		} else {
+			next := prevKey + d
+			if d == 0 || next < prevKey {
+				return nil, fmt.Errorf("%w: keys not strictly ascending at row %d", ErrCorrupt, i)
+			}
+			prevKey = next
+		}
+		seg.Keys[i] = prevKey
+	}
+	var prevTS int64
+	for i := 0; i < rows; i++ {
+		d, err := rdS()
+		if err != nil {
+			return nil, fmt.Errorf("%w: commit ts %d", ErrCorrupt, i)
+		}
+		if i == 0 {
+			prevTS = d
+		} else {
+			prevTS += d
+		}
+		seg.CommitTS[i] = prevTS
+	}
+	for i := 0; i < rows; i++ {
+		if seg.TxnID[i], err = rdU(); err != nil {
+			return nil, fmt.Errorf("%w: txn id %d", ErrCorrupt, i)
+		}
+	}
+	if seg.Del, err = readWords(rows); err != nil {
+		return nil, fmt.Errorf("%w: del bitmap: %v", ErrCorrupt, err)
+	}
+
+	nCols, err := rdCount()
+	if err != nil {
+		return nil, fmt.Errorf("%w: column count", ErrCorrupt)
+	}
+	seg.Cols = make([]Column, 0, min(int(nCols), 64))
+	prevID := int64(-1)
+	for ci := uint64(0); ci < nCols; ci++ {
+		id, err := rdU()
+		if err != nil {
+			return nil, fmt.Errorf("%w: column id", ErrCorrupt)
+		}
+		if id > 1<<32-1 || int64(id) <= prevID {
+			return nil, fmt.Errorf("%w: column ids not ascending 32-bit", ErrCorrupt)
+		}
+		prevID = int64(id)
+		enc, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: column enc", ErrCorrupt)
+		}
+		if enc > EncDict {
+			return nil, fmt.Errorf("%w: unknown encoding %d", ErrCorrupt, enc)
+		}
+		c := Column{ID: uint32(id), Enc: enc}
+		if c.Present, err = readWords(rows); err != nil {
+			return nil, fmt.Errorf("%w: present bitmap: %v", ErrCorrupt, err)
+		}
+		for _, w := range c.Present {
+			c.PresentN += bits.OnesCount64(w)
+		}
+		c.Rank = buildRank(c.Present)
+		switch enc {
+		case EncFixed8:
+			if 8*c.PresentN > br.Len() {
+				return nil, fmt.Errorf("%w: fixed8 blob truncated", ErrCorrupt)
+			}
+			c.Blob = make([]byte, 8*c.PresentN)
+			if _, err := io.ReadFull(br, c.Blob); err != nil {
+				return nil, err
+			}
+		case EncPlain:
+			c.Off = make([]uint32, 1, c.PresentN+1)
+			for r := 0; r < c.PresentN; r++ {
+				vl, err := rdCount()
+				if err != nil {
+					return nil, fmt.Errorf("%w: value length", ErrCorrupt)
+				}
+				start := len(c.Blob)
+				c.Blob = append(c.Blob, make([]byte, vl)...)
+				if _, err := io.ReadFull(br, c.Blob[start:]); err != nil {
+					return nil, fmt.Errorf("%w: value bytes", ErrCorrupt)
+				}
+				c.Off = append(c.Off, uint32(len(c.Blob)))
+			}
+		case EncDict:
+			dictN, err := rdCount()
+			if err != nil {
+				return nil, fmt.Errorf("%w: dict size", ErrCorrupt)
+			}
+			c.DictOff = make([]uint32, 1, dictN+1)
+			for d := uint64(0); d < dictN; d++ {
+				vl, err := rdCount()
+				if err != nil {
+					return nil, fmt.Errorf("%w: dict value length", ErrCorrupt)
+				}
+				start := len(c.Dict)
+				c.Dict = append(c.Dict, make([]byte, vl)...)
+				if _, err := io.ReadFull(br, c.Dict[start:]); err != nil {
+					return nil, fmt.Errorf("%w: dict value bytes", ErrCorrupt)
+				}
+				c.DictOff = append(c.DictOff, uint32(len(c.Dict)))
+			}
+			c.Idx = make([]uint32, c.PresentN)
+			for r := range c.Idx {
+				ix, err := rdU()
+				if err != nil {
+					return nil, fmt.Errorf("%w: dict index", ErrCorrupt)
+				}
+				if ix >= dictN {
+					return nil, fmt.Errorf("%w: dict index %d out of range %d", ErrCorrupt, ix, dictN)
+				}
+				c.Idx[r] = uint32(ix)
+			}
+		}
+		seg.Cols = append(seg.Cols, c)
+	}
+
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, br.Len())
+	}
+	seg.finalize()
+	return seg, nil
+}

@@ -1,0 +1,248 @@
+package colstore
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"aets/internal/memtable"
+	"aets/internal/wal"
+)
+
+// Store holds the columnar state of one node: per table, at most one base
+// segment (each compaction pass merges the old base with the newly frozen
+// rows into a fresh immutable segment — the delta-merge write side), plus
+// the operational counters the observability surface scrapes.
+type Store struct {
+	tabs atomic.Pointer[map[wal.TableID]*TableState]
+	mu   sync.Mutex // serialises TableState creation (schema-sized, rare)
+
+	// Counters. Segments counts tables with a live base segment;
+	// FrozenRows and Compactions are cumulative; PruneHits/PruneMisses
+	// count planner decisions — a hit is a segment skipped whole via its
+	// footer (key range or ts), a miss is a segment that had to be read.
+	Segments    atomic.Int64
+	FrozenRows  atomic.Int64
+	Compactions atomic.Int64
+	PruneHits   atomic.Int64
+	PruneMisses atomic.Int64
+}
+
+// NewStore returns an empty columnar store.
+func NewStore() *Store {
+	s := &Store{}
+	empty := map[wal.TableID]*TableState{}
+	s.tabs.Store(&empty)
+	return s
+}
+
+// TableState is one table's columnar side: the base segment behind an
+// atomic pointer (readers load it once per operation), and the reader/
+// compactor lock that makes "chain empty ⇒ the base I loaded has the row"
+// a real invariant: the compactor publishes a new base and empties the
+// frozen chains under the write lock, so a reader inside the read lock
+// sees either the old world (chains intact) or the new one (base has
+// every frozen row) — never the torn middle.
+type TableState struct {
+	mu   sync.RWMutex
+	base atomic.Pointer[Segment]
+}
+
+// Base returns the current base segment, or nil before the first
+// compaction. Callers that correlate the segment with chain reads must
+// hold RLock around both (query does; see planner).
+func (ts *TableState) Base() *Segment { return ts.base.Load() }
+
+// RLock/RUnlock bracket a read operation that stitches the base segment
+// with record chains.
+func (ts *TableState) RLock()   { ts.mu.RLock() }
+func (ts *TableState) RUnlock() { ts.mu.RUnlock() }
+
+// Get returns the table's columnar state, or nil if the table was never
+// compacted. Lock-free; the planner's per-query fast path.
+func (s *Store) Get(id wal.TableID) *TableState {
+	return (*s.tabs.Load())[id]
+}
+
+// Table returns the table's columnar state, creating it if absent.
+func (s *Store) Table(id wal.TableID) *TableState {
+	if ts := s.Get(id); ts != nil {
+		return ts
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := *s.tabs.Load()
+	if ts := old[id]; ts != nil {
+		return ts
+	}
+	ts := &TableState{}
+	next := make(map[wal.TableID]*TableState, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[id] = ts
+	s.tabs.Store(&next)
+	return ts
+}
+
+// Tables returns the IDs of all tables with columnar state.
+func (s *Store) Tables() []wal.TableID {
+	m := *s.tabs.Load()
+	out := make([]wal.TableID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Lookup resolves the frozen row image of (table, key), if one exists:
+// the single-version image a Vacuum at the freeze watermark would have
+// kept. Checkpoint writers and state digests use it to cover records
+// whose chains the compactor emptied. The columns slice is freshly
+// allocated; its values alias the segment.
+func (s *Store) Lookup(id wal.TableID, key uint64) (txn uint64, ts int64, deleted bool, cols []wal.Column, ok bool) {
+	st := s.Get(id)
+	if st == nil {
+		return 0, 0, false, nil, false
+	}
+	seg := st.Base()
+	if seg == nil {
+		return 0, 0, false, nil, false
+	}
+	i, found := seg.Find(key)
+	if !found {
+		return 0, 0, false, nil, false
+	}
+	return seg.TxnID[i], seg.CommitTS[i], seg.Deleted(i), seg.AppendRowColumns(i, nil), true
+}
+
+// GatherHot appends the table's hot records to buf sorted by key with
+// duplicates removed — the canonical delta enumeration the compactor, the
+// planner and the digest path share.
+func GatherHot(tab *memtable.Table, buf []*memtable.Record) []*memtable.Record {
+	return SortDedupe(tab.HotRecords(buf))
+}
+
+// SortDedupe sorts records by key in place and removes duplicates (equal
+// keys within one table mean the same record), nil-ing the freed tail.
+// Allocation-free.
+func SortDedupe(recs []*memtable.Record) []*memtable.Record {
+	sortRecords(recs)
+	return dedupeRecords(recs)
+}
+
+// SortDedupePairs sorts the parallel (record, key) vectors by key in
+// place and removes duplicate keys, nil-ing the freed record tail.
+// keys[i] must equal recs[i].Key on entry; the planner extracts the keys
+// while filtering so the sort never chases a record pointer, and the
+// sorted key vector feeds its merge loops afterwards. tmpR and tmpK are
+// caller-provided temporaries with len ≥ len(recs) for the radix passes
+// (unused below the small-input cutoff). Allocation-free.
+func SortDedupePairs(recs []*memtable.Record, keys []uint64, tmpR []*memtable.Record, tmpK []uint64) ([]*memtable.Record, []uint64) {
+	if len(recs) < 64 {
+		shellSortPairs(recs, keys)
+	} else {
+		radixSortPairs(recs, keys, tmpR, tmpK)
+	}
+	outR, outK := recs[:0], keys[:0]
+	for i := range recs {
+		if i == 0 || keys[i-1] != keys[i] {
+			outR = append(outR, recs[i])
+			outK = append(outK, keys[i])
+		}
+	}
+	for j := len(outR); j < len(recs); j++ {
+		recs[j] = nil
+	}
+	return outR, outK
+}
+
+func shellSortPairs(recs []*memtable.Record, keys []uint64) {
+	gap := 1
+	for gap < len(recs)/3 {
+		gap = 3*gap + 1
+	}
+	for ; gap >= 1; gap /= 3 {
+		for i := gap; i < len(recs); i++ {
+			r, k := recs[i], keys[i]
+			j := i
+			for ; j >= gap && keys[j-gap] > k; j -= gap {
+				recs[j], keys[j] = recs[j-gap], keys[j-gap]
+			}
+			recs[j], keys[j] = r, k
+		}
+	}
+}
+
+// radixSortPairs is an LSD byte radix sort over the significant key
+// bytes: O(n) per pass, no comparisons, counts on the stack. Passes whose
+// digit is constant across the input are skipped, so clustered key spaces
+// pay only for the bytes that vary.
+func radixSortPairs(recs []*memtable.Record, keys []uint64, tmpR []*memtable.Record, tmpK []uint64) {
+	n := len(recs)
+	var or uint64
+	for _, k := range keys {
+		or |= k
+	}
+	srcR, srcK := recs, keys
+	dstR, dstK := tmpR[:n], tmpK[:n]
+	for shift := uint(0); shift < 64 && or>>shift != 0; shift += 8 {
+		var counts [256]int
+		for _, k := range srcK {
+			counts[(k>>shift)&0xff]++
+		}
+		if counts[(srcK[0]>>shift)&0xff] == n {
+			continue // constant digit
+		}
+		sum := 0
+		for i := range counts {
+			c := counts[i]
+			counts[i] = sum
+			sum += c
+		}
+		for i, k := range srcK {
+			d := (k >> shift) & 0xff
+			p := counts[d]
+			counts[d] = p + 1
+			dstK[p] = k
+			dstR[p] = srcR[i]
+		}
+		srcR, srcK, dstR, dstK = dstR, dstK, srcR, srcK
+	}
+	if &srcK[0] != &keys[0] {
+		copy(keys, srcK)
+		copy(recs, srcR)
+	}
+}
+
+func sortRecords(recs []*memtable.Record) {
+	// Shell sort with the Knuth gap sequence: in-place and allocation-
+	// free (sort.Slice's closure would escape), which keeps the planner's
+	// steady-state delta gather at 0 allocs/op.
+	gap := 1
+	for gap < len(recs)/3 {
+		gap = 3*gap + 1
+	}
+	for ; gap >= 1; gap /= 3 {
+		for i := gap; i < len(recs); i++ {
+			r := recs[i]
+			j := i
+			for ; j >= gap && recs[j-gap].Key > r.Key; j -= gap {
+				recs[j] = recs[j-gap]
+			}
+			recs[j] = r
+		}
+	}
+}
+
+func dedupeRecords(recs []*memtable.Record) []*memtable.Record {
+	out := recs[:0]
+	for i, r := range recs {
+		if i == 0 || recs[i-1].Key != r.Key {
+			out = append(out, r)
+		}
+	}
+	for j := len(out); j < len(recs); j++ {
+		recs[j] = nil
+	}
+	return out
+}

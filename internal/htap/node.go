@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"aets/internal/checkpoint"
+	"aets/internal/colstore"
 	"aets/internal/epoch"
 	"aets/internal/grouping"
 	"aets/internal/memtable"
@@ -23,6 +24,11 @@ type Node struct {
 	mt *memtable.Memtable
 	r  Replayer
 	ex *query.Executor
+
+	// cs/comp are the columnar side (Options.Columnar); nil on a plain
+	// row-wise node.
+	cs   *colstore.Store
+	comp *colstore.Compactor
 
 	// cutMu serializes state cuts — Checkpoint, StateDigest,
 	// AntiEntropyDigest — against Feed. A cut must be atomic with
@@ -84,7 +90,14 @@ func newNodeWith(mt *memtable.Memtable, kind Kind, plan *grouping.Plan, opts Opt
 	if err != nil {
 		return nil, err
 	}
-	n := &Node{mt: mt, r: r, ex: query.NewExecutor(mt, r)}
+	n := &Node{mt: mt, r: r}
+	if opts.Columnar {
+		n.cs = colstore.NewStore()
+		n.comp = colstore.NewCompactor(mt, n.cs)
+		n.ex = query.NewExecutorWith(mt, r, n.cs)
+	} else {
+		n.ex = query.NewExecutor(mt, r)
+	}
 	n.r.Start()
 	return n, nil
 }
@@ -182,6 +195,47 @@ func (n *Node) Vacuum(watermark int64) int {
 	return n.mt.Vacuum(watermark)
 }
 
+// Colstore returns the node's columnar store, or nil on a row-wise node.
+func (n *Node) Colstore() *colstore.Store { return n.cs }
+
+// Compact runs one columnar compaction pass at the given watermark and
+// returns the number of rows frozen. Same safety contract as Vacuum: no
+// active or future query may read below the watermark. No-op (returns 0)
+// on a row-wise node.
+func (n *Node) Compact(watermark int64) int {
+	if n.comp == nil {
+		return 0
+	}
+	return n.comp.RunOnce(watermark)
+}
+
+// StartCompactLoop freezes chains older than `retention` behind the
+// visible timestamp every `every` — the columnar mirror of
+// StartVacuumLoop, sharing its watermark contract and timestamp domain.
+// It returns a stop function; on a row-wise node the loop is a no-op.
+func (n *Node) StartCompactLoop(every time.Duration, retention int64) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		if n.comp == nil {
+			return
+		}
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if ts := n.r.GlobalTS() - retention; ts > 0 {
+					n.comp.RunOnce(ts)
+				}
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
 // Checkpoint quiesces replay (Drain) and writes the node's state to w. The
 // recorded meta points at the last fed epoch, so a restore can resume the
 // stream at LastEpochSeq+1. The cut excludes concurrent Feeds (cutMu):
@@ -202,7 +256,14 @@ func (n *Node) Checkpoint(w io.Writer) (checkpoint.Meta, error) {
 		Fed:          n.fed,
 	}
 	n.mu.Unlock()
-	return meta, checkpoint.Write(w, n.mt, meta)
+	// On a columnar node the base segments hold history the compactor
+	// moved out of the record chains; the checkpoint must cover it or a
+	// restore silently loses frozen columns.
+	var frozen checkpoint.FrozenFunc
+	if n.cs != nil {
+		frozen = n.cs.Lookup
+	}
+	return meta, checkpoint.WriteWith(w, n.mt, meta, frozen)
 }
 
 // Memtable exposes the underlying storage (read-mostly helpers, tests).

@@ -24,6 +24,14 @@ func (n *Node) HealthSource(reg *metrics.Registry, shipConnected func() bool) fu
 		reg = metrics.Default
 	}
 	lag := reg.Gauge("replay_lag_ts")
+	var segs, frozenRows, compactions, pruneHits, pruneMisses *metrics.Gauge
+	if n.cs != nil {
+		segs = reg.Gauge("colstore_segments")
+		frozenRows = reg.Gauge("colstore_frozen_rows_total")
+		compactions = reg.Gauge("colstore_compactions_total")
+		pruneHits = reg.Gauge("colstore_prune_hits_total")
+		pruneMisses = reg.Gauge("colstore_prune_misses_total")
+	}
 	return func() obsrv.Health {
 		h := obsrv.Health{
 			Healthy:   true,
@@ -33,6 +41,17 @@ func (n *Node) HealthSource(reg *metrics.Registry, shipConnected func() bool) fu
 		}
 		h.ReplayLagTS = n.ReplayLag()
 		lag.Set(float64(h.ReplayLagTS))
+		if n.cs != nil {
+			h.Columnar = true
+			h.ColstoreSegments = n.cs.Segments.Load()
+			h.ColstoreFrozenRows = n.cs.FrozenRows.Load()
+			h.ColstoreCompactions = n.cs.Compactions.Load()
+			segs.Set(float64(h.ColstoreSegments))
+			frozenRows.Set(float64(h.ColstoreFrozenRows))
+			compactions.Set(float64(h.ColstoreCompactions))
+			pruneHits.Set(float64(n.cs.PruneHits.Load()))
+			pruneMisses.Set(float64(n.cs.PruneMisses.Load()))
+		}
 		if err := n.Err(); err != nil {
 			h.Healthy = false
 			h.Status = "replay failed"

@@ -77,6 +77,12 @@ type Options struct {
 	// gauges, latency histograms). Defaults to metrics.Default; tests
 	// pass their own registry to scrape in isolation.
 	Metrics *metrics.Registry
+	// Columnar equips the node with a columnar store: epoch-aligned
+	// compaction freezes cold record chains into immutable column-major
+	// segments and queries are planned as segment + delta merges. The
+	// compactor only runs when driven (Node.Compact or StartCompactLoop),
+	// so a columnar node with no cadence behaves exactly row-wise.
+	Columnar bool
 }
 
 // NewReplayer builds a replayer of the given kind over mt. plan is the

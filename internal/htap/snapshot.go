@@ -12,7 +12,9 @@ import (
 	"os"
 	"sort"
 
+	"aets/internal/checkpoint"
 	"aets/internal/memtable"
+	"aets/internal/wal"
 )
 
 // StateDigest returns an order-independent digest of the memtable's
@@ -27,31 +29,54 @@ import (
 // Callers must quiesce replay first (Node.StateDigest drains); racing
 // writers would make the result meaningless.
 func StateDigest(mt *memtable.Memtable) uint64 {
+	return StateDigestWith(mt, nil)
+}
+
+// StateDigestWith is StateDigest for columnar nodes: frozen (may be nil)
+// resolves records whose chains the compactor emptied — their newest
+// version lives in the base segment, and it digests exactly as the chain
+// head it used to be. Columns are hashed in ascending-ID order on both
+// paths (chains carry WAL order, segments carry ID order), so a columnar
+// replica and a row-wise replica at the same cursor digest equal.
+func StateDigestWith(mt *memtable.Memtable, frozen checkpoint.FrozenFunc) uint64 {
 	ids := mt.Tables()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var sum uint64
 	var b [8]byte
+	var colBuf []wal.Column
 	for _, id := range ids {
 		mt.Table(id).ScanAny(0, ^uint64(0), func(key uint64, rec *memtable.Record) bool {
-			v := rec.Latest()
-			if v == nil {
+			var txn uint64
+			var ts int64
+			var del bool
+			var cols []wal.Column
+			if v := rec.Latest(); v != nil {
+				txn, ts, del, cols = v.TxnID, v.CommitTS, v.Deleted, v.Columns
+			} else if frozen != nil {
+				var ok bool
+				if txn, ts, del, cols, ok = frozen(id, key); !ok {
+					return true
+				}
+			} else {
 				return true
 			}
+			colBuf = append(colBuf[:0], cols...)
+			sortColumns(colBuf)
 			h := fnv.New64a()
 			binary.LittleEndian.PutUint32(b[:4], uint32(id))
 			_, _ = h.Write(b[:4])
 			binary.LittleEndian.PutUint64(b[:], key)
 			_, _ = h.Write(b[:])
-			binary.LittleEndian.PutUint64(b[:], v.TxnID)
+			binary.LittleEndian.PutUint64(b[:], txn)
 			_, _ = h.Write(b[:])
-			binary.LittleEndian.PutUint64(b[:], uint64(v.CommitTS))
+			binary.LittleEndian.PutUint64(b[:], uint64(ts))
 			_, _ = h.Write(b[:])
-			if v.Deleted {
+			if del {
 				_, _ = h.Write([]byte{1})
 			} else {
 				_, _ = h.Write([]byte{0})
 			}
-			for _, c := range v.Columns {
+			for _, c := range colBuf {
 				binary.LittleEndian.PutUint32(b[:4], c.ID)
 				_, _ = h.Write(b[:4])
 				binary.LittleEndian.PutUint64(b[:], uint64(len(c.Value)))
@@ -65,6 +90,16 @@ func StateDigest(mt *memtable.Memtable) uint64 {
 	return sum
 }
 
+// sortColumns orders by ID (insertion sort; schema-sized, stable so a
+// version carrying duplicate IDs keeps first-occurrence precedence).
+func sortColumns(cols []wal.Column) {
+	for i := 1; i < len(cols); i++ {
+		for j := i; j > 0 && cols[j-1].ID > cols[j].ID; j-- {
+			cols[j-1], cols[j] = cols[j], cols[j-1]
+		}
+	}
+}
+
 // StateDigest quiesces replay and digests the node's committed state.
 // Concurrent Feeds are excluded for the duration of the scan, so the
 // digest reflects a well-defined cursor.
@@ -72,7 +107,11 @@ func (n *Node) StateDigest() uint64 {
 	n.cutMu.Lock()
 	defer n.cutMu.Unlock()
 	n.r.Drain()
-	return StateDigest(n.mt)
+	var frozen checkpoint.FrozenFunc
+	if n.cs != nil {
+		frozen = n.cs.Lookup
+	}
+	return StateDigestWith(n.mt, frozen)
 }
 
 // AntiEntropyDigest returns the digest triple a sender ships in a
@@ -83,7 +122,11 @@ func (n *Node) AntiEntropyDigest() (seq uint64, ts int64, digest uint64) {
 	n.cutMu.Lock()
 	defer n.cutMu.Unlock()
 	n.r.Drain()
-	return n.NextSeq(), n.VisibleTS(), StateDigest(n.mt)
+	var frozen checkpoint.FrozenFunc
+	if n.cs != nil {
+		frozen = n.cs.Lookup
+	}
+	return n.NextSeq(), n.VisibleTS(), StateDigestWith(n.mt, frozen)
 }
 
 // NodeSnapshotSource serves ship.SnapshotSource from a live node: each

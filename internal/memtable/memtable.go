@@ -57,6 +57,12 @@ type Record struct {
 	mu     sync.Mutex
 	head   atomic.Pointer[Version]
 	writes atomic.Uint64
+
+	// hotAt points at the shard whose hot list tracks this record; set
+	// once under the shard write lock when the record is created. hotFlag
+	// reports whether the record is currently on that list (see hot.go).
+	hotAt   *shard
+	hotFlag atomic.Bool
 }
 
 // Append installs v as the newest version (Algorithm 1, lines 10-13).
@@ -66,11 +72,21 @@ type Record struct {
 // head is then guaranteed to observe the incremented count as well. (The
 // previous ordering — increment after unlock — let ATR's operation-sequence
 // witness see a head whose write was not yet counted and mis-validate.)
+//
+// A record transitioning from an empty chain to a non-empty one (its first
+// version ever, or its first version after a columnar freeze emptied the
+// chain) registers itself on its shard's hot list, which is how the
+// columnar compactor and the query planner's delta path enumerate records
+// that carry in-memory versions without walking the whole tree.
 func (r *Record) Append(v *Version) {
 	r.mu.Lock()
+	wasEmpty := r.head.Load() == nil
 	v.next.Store(r.head.Load())
 	r.writes.Add(1)
 	r.head.Store(v)
+	if wasEmpty {
+		r.markHot()
+	}
 	r.mu.Unlock()
 }
 
@@ -204,6 +220,12 @@ type shard struct {
 	mu sync.RWMutex
 	t  *tree
 	_  [96]byte
+
+	// hot lists records of this shard that carry an in-memory version
+	// chain (see hot.go). It is an over-approximation maintained under
+	// its own mutex so the Append fast path never touches mu.
+	hotMu sync.Mutex
+	hot   []*Record
 }
 
 // Table is the sharded B+Tree index of one table's records.
@@ -275,7 +297,10 @@ func (t *Table) GetOrCreate(key uint64) *Record {
 		return rec
 	}
 	t.obs.lock(&s.mu)
-	rec, _ = s.t.getOrCreate(key)
+	rec, created := s.t.getOrCreate(key)
+	if created {
+		rec.hotAt = s
+	}
 	s.mu.Unlock()
 	return rec
 }

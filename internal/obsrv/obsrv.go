@@ -62,6 +62,16 @@ type Health struct {
 	// replica validated and installed (fresh join, outlived history,
 	// or anti-entropy repair).
 	SnapshotRestores int64 `json:"snapshot_restores,omitempty"`
+	// Columnar reports that the node plans reads over a columnar store
+	// (epoch-aligned frozen segments + hot delta). The colstore_* fields
+	// below are meaningful only when it is set.
+	Columnar bool `json:"columnar,omitempty"`
+	// ColstoreSegments counts tables with a live base segment.
+	ColstoreSegments int64 `json:"colstore_segments,omitempty"`
+	// ColstoreFrozenRows counts rows frozen into segments, cumulative.
+	ColstoreFrozenRows int64 `json:"colstore_frozen_rows,omitempty"`
+	// ColstoreCompactions counts compaction passes, cumulative.
+	ColstoreCompactions int64 `json:"colstore_compactions,omitempty"`
 }
 
 // Options configures the endpoint set.

@@ -1,0 +1,225 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"aets/internal/colstore"
+	"aets/internal/memtable"
+	"aets/internal/wal"
+)
+
+// benchState is the shared majority-frozen fixture: 1<<16 random keys
+// below 1<<20 through 8 shards (the same population as the memtable scan
+// benchmarks), every one frozen into the columnar base, then a ~1k-row
+// hot delta re-dirtied on top. The row-wise twin holds the identical
+// visible state in vacuumed chains, so Columnar-vs-Row sub-benchmarks
+// price the two read paths over the same data.
+type benchState struct {
+	vis  *fakeVis
+	exC  *Executor // columnar: base segment + hot delta
+	exR  *Executor // row-wise twin
+	rows  int   // live rows at the snapshot
+	ts    int64 // snapshot timestamp
+	maxTS int64 // expected MaxCommitTS (newest live version)
+}
+
+func newBenchState(tb testing.TB) *benchState {
+	tb.Helper()
+	st := &benchState{vis: &fakeVis{}}
+	mtC := memtable.NewWithShards(8)
+	mtR := memtable.NewWithShards(8)
+	cs := colstore.NewStore()
+	comp := colstore.NewCompactor(mtC, cs)
+	st.exC = NewExecutorWith(mtC, st.vis, cs)
+	st.exR = NewExecutor(mtR, st.vis)
+
+	put := func(key uint64, del bool) {
+		st.ts++
+		var cols []wal.Column
+		if !del {
+			cols = []wal.Column{colI64(int64(key % 1000)), {ID: 2, Value: []byte("payload")}}
+		}
+		for _, mt := range []*memtable.Memtable{mtC, mtR} {
+			mt.Table(1).GetOrCreate(key).Append(&memtable.Version{
+				TxnID: uint64(st.ts), CommitTS: st.ts, Deleted: del, Columns: cols,
+			})
+		}
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	keys := make([]uint64, 0, 1<<16)
+	seen := make(map[uint64]bool, 1<<16)
+	for len(keys) < 1<<16 {
+		k := rng.Uint64() % (1 << 20)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	for i, k := range keys {
+		put(k, i%64 == 63)
+	}
+	// Freeze everything: the row twin vacuums at the same watermark.
+	w := st.ts
+	mtR.Vacuum(w)
+	mtC.Vacuum(w)
+	if comp.RunOnce(w) == 0 {
+		tb.Fatal("bench fixture: nothing froze")
+	}
+	// Hot delta over the frozen base: ~1k updates, a few deletes.
+	for i := 0; i < 1024; i++ {
+		put(keys[i*37%len(keys)], i%64 == 63)
+	}
+	st.vis.ts.Store(st.ts)
+
+	// Sanity: both paths agree before we price them.
+	cC, err1 := st.exC.Begin(st.ts, 1).Count(1)
+	cR, err2 := st.exR.Begin(st.ts, 1).Count(1)
+	if err1 != nil || err2 != nil || cC != cR || cC == 0 {
+		tb.Fatalf("bench fixture diverged: col=%d row=%d (%v/%v)", cC, cR, err1, err2)
+	}
+	st.rows = cC
+	mC, _ := st.exC.Begin(st.ts, 1).MaxCommitTS(1)
+	mR, _ := st.exR.Begin(st.ts, 1).MaxCommitTS(1)
+	if mC != mR || mC == 0 {
+		tb.Fatalf("bench fixture MaxCommitTS diverged: col=%d row=%d", mC, mR)
+	}
+	st.maxTS = mC
+	return st
+}
+
+var benchCols = []uint32{1, 2}
+
+// BenchmarkColumnarScan prices full-range scans over the majority-frozen
+// table, archived in BENCH_query.json. keys is the vectorized batch scan
+// (bulk copies over the segment vectors — the direct counterpart of the
+// memtable's merged-view ride in BENCH_memtable.json); cols extracts two
+// column values per row on top. Both run at 0 allocs/op; compare against
+// BenchmarkRowScan for the chain-walking price of the same reads.
+func BenchmarkColumnarScan(b *testing.B) {
+	st := newBenchState(b)
+	s := st.exC.Begin(st.ts, 1)
+	b.Run("keys", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seen := 0
+			_ = s.ScanKeys(1, 0, ^uint64(0), func(keys []uint64, _ []int64) bool {
+				seen += len(keys)
+				return true
+			})
+			if seen != st.rows {
+				b.Fatalf("scan saw %d of %d rows", seen, st.rows)
+			}
+		}
+	})
+	b.Run("cols", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seen := 0
+			_ = s.ScanCols(1, 0, ^uint64(0), benchCols, func(uint64, int64, [][]byte) bool {
+				seen++
+				return true
+			})
+			if seen != st.rows {
+				b.Fatalf("scan saw %d of %d rows", seen, st.rows)
+			}
+		}
+	})
+}
+
+// BenchmarkRowScan is the row-wise twin of BenchmarkColumnarScan: the
+// same calls planned over vacuumed version chains.
+func BenchmarkRowScan(b *testing.B) {
+	st := newBenchState(b)
+	s := st.exR.Begin(st.ts, 1)
+	b.Run("keys", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seen := 0
+			_ = s.ScanKeys(1, 0, ^uint64(0), func(keys []uint64, _ []int64) bool {
+				seen += len(keys)
+				return true
+			})
+			if seen != st.rows {
+				b.Fatalf("scan saw %d of %d rows", seen, st.rows)
+			}
+		}
+	})
+	b.Run("cols", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seen := 0
+			_ = s.ScanCols(1, 0, ^uint64(0), benchCols, func(uint64, int64, [][]byte) bool {
+				seen++
+				return true
+			})
+			if seen != st.rows {
+				b.Fatalf("scan saw %d of %d rows", seen, st.rows)
+			}
+		}
+	})
+}
+
+// BenchmarkColumnarAggregate prices the aggregate shortcuts over the
+// frozen base: precomputed segment stats plus an O(hot-delta) adjustment,
+// instead of touching every row.
+func BenchmarkColumnarAggregate(b *testing.B) {
+	st := newBenchState(b)
+	s := st.exC.Begin(st.ts, 1)
+	b.Run("SumInt64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if v, err := s.SumInt64(1, 1); err != nil || v == 0 {
+				b.Fatalf("SumInt64 = %d, %v", v, err)
+			}
+		}
+	})
+	b.Run("Count", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if n, err := s.Count(1); err != nil || n != st.rows {
+				b.Fatalf("Count = %d, %v", n, err)
+			}
+		}
+	})
+	b.Run("MaxCommitTS", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if ts, err := s.MaxCommitTS(1); err != nil || ts != st.maxTS {
+				b.Fatalf("MaxCommitTS = %d, %v", ts, err)
+			}
+		}
+	})
+}
+
+// BenchmarkRowAggregate is the row-wise twin of
+// BenchmarkColumnarAggregate: every aggregate walks all chains.
+func BenchmarkRowAggregate(b *testing.B) {
+	st := newBenchState(b)
+	s := st.exR.Begin(st.ts, 1)
+	b.Run("SumInt64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if v, err := s.SumInt64(1, 1); err != nil || v == 0 {
+				b.Fatalf("SumInt64 = %d, %v", v, err)
+			}
+		}
+	})
+	b.Run("Count", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if n, err := s.Count(1); err != nil || n != st.rows {
+				b.Fatalf("Count = %d, %v", n, err)
+			}
+		}
+	})
+	b.Run("MaxCommitTS", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if ts, err := s.MaxCommitTS(1); err != nil || ts != st.maxTS {
+				b.Fatalf("MaxCommitTS = %d, %v", ts, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,640 @@
+package query
+
+// columnar.go is the columnar read planner: every snapshot operation on a
+// columnar executor resolves as base segment + hot delta, stitched with
+// newest-wins semantics.
+//
+// Consistency model. The freeze rule (colstore) guarantees a base row is
+// exactly the version a Vacuum at the freeze watermark would have kept,
+// and legal snapshots sit at or above that watermark, so every base row is
+// visible (CommitTS ≤ watermark ≤ qts) unless a hot chain shadows it. Per
+// record, the stitch is:
+//
+//   - hot chain visible at qts → the chain wins: its columns merge
+//     newest-first, and if the walk reaches the chain end without hitting
+//     a tombstone, the base row's columns fill in underneath (the base row
+//     is the chain's vacuumed predecessor);
+//   - hot chain invisible at qts (all post-freeze versions are newer) →
+//     the base row alone, exactly what the vacuumed twin would show;
+//   - tombstones shadow: a deleted visible version hides the row, a
+//     deleted base row contributes nothing and blocks fill-down.
+//
+// The planner holds the table's colstore read lock for the span of one
+// operation, so a concurrent compaction pass (publish new base + empty the
+// frozen chains) is observed atomically — "chain empty" always implies
+// "the base I loaded has the row".
+
+import (
+	"encoding/binary"
+	"math/bits"
+
+	"aets/internal/colstore"
+	"aets/internal/memtable"
+	"aets/internal/wal"
+)
+
+// scanKeysBatch is the ScanKeys output vector length: large enough that
+// the per-batch callback amortises to nothing, small enough to stay
+// cache-resident (4096 rows = 64 KiB of keys + timestamps).
+const scanKeysBatch = 4096
+
+// planScratch is the pooled per-operation state.
+type planScratch struct {
+	hot     []*memtable.Record
+	hotKeys []uint64 // parallel to hot after gatherHot
+	tmpR    []*memtable.Record
+	tmpK    []uint64 // radix-sort temporaries
+	vals    [][]byte
+	colIdx  []int
+	excl    []int
+	batchK  []uint64 // ScanKeys output batch
+	batchT  []int64
+}
+
+func (e *Executor) getScratch() *planScratch {
+	if v := e.scratch.Get(); v != nil {
+		return v.(*planScratch)
+	}
+	return &planScratch{}
+}
+
+func (e *Executor) putScratch(sc *planScratch) {
+	e.scratch.Put(sc)
+}
+
+func (sc *planScratch) valBuf(n int) [][]byte {
+	if cap(sc.vals) < n {
+		sc.vals = make([][]byte, n)
+	}
+	return sc.vals[:n]
+}
+
+func (sc *planScratch) colIdxBuf(n int) []int {
+	if cap(sc.colIdx) < n {
+		sc.colIdx = make([]int, n)
+	}
+	return sc.colIdx[:n]
+}
+
+// gatherHot enumerates the table's delta restricted to [from, to], sorted
+// by key and deduped, into the scratch buffers. The returned key vector
+// is parallel to the records: merge and adjustment loops compare against
+// it instead of dereferencing a record per probe.
+func (sc *planScratch) gatherHot(tab *memtable.Table, from, to uint64) ([]*memtable.Record, []uint64) {
+	sc.hot = tab.HotRecords(sc.hot[:0])
+	if cap(sc.hotKeys) < len(sc.hot) {
+		sc.hotKeys = make([]uint64, 0, cap(sc.hot))
+		sc.tmpR = make([]*memtable.Record, cap(sc.hot))
+		sc.tmpK = make([]uint64, cap(sc.hot))
+	}
+	out, keys := sc.hot[:0], sc.hotKeys[:0]
+	for _, r := range sc.hot {
+		if k := r.Key; k >= from && k <= to {
+			out = append(out, r)
+			keys = append(keys, k)
+		}
+	}
+	sc.hot, sc.hotKeys = colstore.SortDedupePairs(out, keys, sc.tmpR, sc.tmpK)
+	return sc.hot, sc.hotKeys
+}
+
+// batchBuf returns the pooled ScanKeys output vectors.
+func (sc *planScratch) batchBuf() ([]uint64, []int64) {
+	if cap(sc.batchK) < scanKeysBatch {
+		sc.batchK = make([]uint64, scanKeysBatch)
+		sc.batchT = make([]int64, scanKeysBatch)
+	}
+	return sc.batchK[:scanKeysBatch], sc.batchT[:scanKeysBatch]
+}
+
+// usable reports whether the base segment participates in this snapshot,
+// charging the prune counters. A segment whose whole key range misses
+// [from, to], or whose oldest row is newer than the snapshot (only
+// possible for queries below the freeze watermark, outside the read
+// contract), is skipped whole.
+func (s *Snapshot) usable(base *colstore.Segment, from, to uint64) bool {
+	if base == nil {
+		return false
+	}
+	if base.Len() == 0 || to < base.MinKey || from > base.MaxKey || s.TS < base.MinTS {
+		s.ex.cs.PruneHits.Add(1)
+		return false
+	}
+	s.ex.cs.PruneMisses.Add(1)
+	return true
+}
+
+// baseRange returns the segment row range [bi, bn) covering [from, to].
+// Caller has established usability (from ≤ MaxKey, so to+1 cannot wrap
+// unless to == MaxKey == ^uint64(0), which takes the bn = Len branch).
+func baseRange(base *colstore.Segment, from, to uint64) (int, int) {
+	bi := base.LowerBound(from)
+	bn := base.Len()
+	if to < base.MaxKey {
+		bn = base.LowerBound(to + 1)
+	}
+	return bi, bn
+}
+
+// baseRowMap materialises segment row i as a Row column map.
+func baseRowMap(base *colstore.Segment, i int) map[uint32][]byte {
+	row := make(map[uint32][]byte, len(base.Cols))
+	base.ForEachColumn(i, func(id uint32, val []byte) { row[id] = val })
+	return row
+}
+
+// stitchRow resolves a hot record (possibly shadowing base row i) into a
+// Row, reporting ok=false when the record is invisible or deleted at the
+// snapshot.
+func (s *Snapshot) stitchRow(rec *memtable.Record, base *colstore.Segment, i int, inBase bool) (Row, bool) {
+	v := rec.Visible(s.TS)
+	baseLive := inBase && !base.Deleted(i)
+	if v == nil {
+		if !baseLive {
+			return Row{}, false
+		}
+		return Row{Key: rec.Key, CommitTS: base.CommitTS[i], Columns: baseRowMap(base, i)}, true
+	}
+	if v.Deleted {
+		return Row{}, false
+	}
+	row := make(map[uint32][]byte, 4)
+	sawDelete := false
+	for w := v; w != nil; w = w.Next() {
+		if w.Deleted {
+			sawDelete = true
+			break // versions older than a delete belong to a prior row
+		}
+		for _, c := range w.Columns {
+			if _, ok := row[c.ID]; !ok {
+				row[c.ID] = c.Value
+			}
+		}
+	}
+	if !sawDelete && baseLive {
+		base.ForEachColumn(i, func(id uint32, val []byte) {
+			if _, ok := row[id]; !ok {
+				row[id] = val
+			}
+		})
+	}
+	return Row{Key: rec.Key, CommitTS: v.CommitTS, Columns: row}, true
+}
+
+// chainColValue returns the value of col as of the version walk starting
+// at v (the newest visible version): the first version carrying the
+// column wins, a tombstone below stops the walk. found=false means the
+// walk ran past the chain end — the caller may fill down from a base row.
+func chainColValue(v *memtable.Version, col uint32) (val []byte, stop bool) {
+	for w := v; w != nil; w = w.Next() {
+		if w.Deleted {
+			return nil, true
+		}
+		for _, c := range w.Columns {
+			if c.ID == col {
+				return c.Value, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// ---------------------------------------------------------------------------
+// Planned operations.
+
+func (s *Snapshot) colGet(table wal.TableID, key uint64) (Row, bool, error) {
+	st := s.ex.cs.Table(table)
+	st.RLock()
+	defer st.RUnlock()
+	base := st.Base()
+	rec := s.ex.mt.Table(table).Get(key)
+	if rec == nil || rec.Latest() == nil {
+		// No chain: the row exists only if frozen.
+		if !s.usable(base, key, key) {
+			return Row{}, false, nil
+		}
+		i, ok := base.Find(key)
+		if !ok || base.Deleted(i) {
+			return Row{}, false, nil
+		}
+		return Row{Key: key, CommitTS: base.CommitTS[i], Columns: baseRowMap(base, i)}, true, nil
+	}
+	i, inBase := -1, false
+	if s.usable(base, key, key) {
+		if j, ok := base.Find(key); ok {
+			i, inBase = j, true
+		}
+	}
+	row, ok := s.stitchRow(rec, base, i, inBase)
+	return row, ok, nil
+}
+
+func (s *Snapshot) colScan(table wal.TableID, from, to uint64, fn func(Row) bool) error {
+	st := s.ex.cs.Table(table)
+	st.RLock()
+	defer st.RUnlock()
+	base := st.Base()
+	if base == nil {
+		// Never compacted: the row store is complete. Still under the
+		// read lock, so a first compaction cannot tear this scan.
+		s.rowScan(table, from, to, fn)
+		return nil
+	}
+	tab := s.ex.mt.Table(table)
+	sc := s.ex.getScratch()
+	defer s.ex.putScratch(sc)
+	hot, hotKeys := sc.gatherHot(tab, from, to)
+	bi, bn := 0, 0
+	if s.usable(base, from, to) {
+		bi, bn = baseRange(base, from, to)
+	}
+	hj := 0
+	for bi < bn || hj < len(hot) {
+		if hj >= len(hot) || (bi < bn && base.Keys[bi] < hotKeys[hj]) {
+			if !base.Deleted(bi) {
+				if !fn(Row{Key: base.Keys[bi], CommitTS: base.CommitTS[bi], Columns: baseRowMap(base, bi)}) {
+					return nil
+				}
+			}
+			bi++
+			continue
+		}
+		rec := hot[hj]
+		hj++
+		i, inBase := -1, false
+		if bi < bn && base.Keys[bi] == rec.Key {
+			i, inBase = bi, true
+			bi++
+		}
+		if row, ok := s.stitchRow(rec, base, i, inBase); ok && !fn(row) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (s *Snapshot) colScanCols(table wal.TableID, from, to uint64, cols []uint32, fn func(key uint64, ts int64, vals [][]byte) bool) error {
+	st := s.ex.cs.Table(table)
+	st.RLock()
+	defer st.RUnlock()
+	base := st.Base()
+	sc := s.ex.getScratch()
+	defer s.ex.putScratch(sc)
+	vals := sc.valBuf(len(cols))
+	if base == nil {
+		tab := s.ex.mt.Table(table)
+		tab.Scan(from, to, func(key uint64, rec *memtable.Record) bool {
+			v := rec.Visible(s.TS)
+			if v == nil || v.Deleted {
+				return true
+			}
+			for i, col := range cols {
+				vals[i], _ = chainColValue(v, col)
+			}
+			return fn(key, v.CommitTS, vals)
+		})
+		return nil
+	}
+	tab := s.ex.mt.Table(table)
+	hot, hotKeys := sc.gatherHot(tab, from, to)
+	colIdx := sc.colIdxBuf(len(cols))
+	for i, id := range cols {
+		colIdx[i] = base.ColIndex(id)
+	}
+	bi, bn := 0, 0
+	if s.usable(base, from, to) {
+		bi, bn = baseRange(base, from, to)
+	}
+	emitBase := func(i int) bool {
+		for c := range cols {
+			if ci := colIdx[c]; ci >= 0 {
+				vals[c], _ = base.Cols[ci].Value(i)
+			} else {
+				vals[c] = nil
+			}
+		}
+		return fn(base.Keys[i], base.CommitTS[i], vals)
+	}
+	hj := 0
+	for bi < bn || hj < len(hot) {
+		if hj >= len(hot) || (bi < bn && base.Keys[bi] < hotKeys[hj]) {
+			if !base.Deleted(bi) && !emitBase(bi) {
+				return nil
+			}
+			bi++
+			continue
+		}
+		rec := hot[hj]
+		hj++
+		i, inBase := -1, false
+		if bi < bn && base.Keys[bi] == rec.Key {
+			i, inBase = bi, true
+			bi++
+		}
+		v := rec.Visible(s.TS)
+		baseLive := inBase && !base.Deleted(i)
+		if v == nil {
+			if baseLive && !emitBase(i) {
+				return nil
+			}
+			continue
+		}
+		if v.Deleted {
+			continue
+		}
+		for c, col := range cols {
+			val, stop := chainColValue(v, col)
+			if !stop && val == nil && baseLive {
+				if ci := colIdx[c]; ci >= 0 {
+					val, _ = base.Cols[ci].Value(i)
+				}
+			}
+			vals[c] = val
+		}
+		if !fn(rec.Key, v.CommitTS, vals) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// rowScanKeys is the chain-walking ScanKeys: visible rows buffered into
+// the scratch vectors and flushed in scanKeysBatch-row batches.
+func (s *Snapshot) rowScanKeys(table wal.TableID, from, to uint64, fn func(keys []uint64, ts []int64) bool) {
+	sc := s.ex.getScratch()
+	defer s.ex.putScratch(sc)
+	keys, tss := sc.batchBuf()
+	kn := 0
+	cont := true
+	s.ex.mt.Table(table).Scan(from, to, func(key uint64, rec *memtable.Record) bool {
+		v := rec.Visible(s.TS)
+		if v == nil || v.Deleted {
+			return true
+		}
+		keys[kn], tss[kn] = key, v.CommitTS
+		kn++
+		if kn == len(keys) {
+			cont = fn(keys, tss)
+			kn = 0
+			return cont
+		}
+		return true
+	})
+	if cont && kn > 0 {
+		fn(keys[:kn], tss[:kn])
+	}
+}
+
+// colScanKeys is the vectorized scan: live base rows move into the output
+// vectors by bulk copies over tombstone-bitmap runs (no per-row branch,
+// no version resolution), and the hot delta stitches in at its galloped
+// merge positions. This is the columnar counterpart of the memtable's
+// materialized merged-scan view.
+func (s *Snapshot) colScanKeys(table wal.TableID, from, to uint64, fn func(keys []uint64, ts []int64) bool) {
+	st := s.ex.cs.Table(table)
+	st.RLock()
+	defer st.RUnlock()
+	base := st.Base()
+	if base == nil {
+		// Never compacted: the row store is complete. Still under the
+		// read lock, so a first compaction cannot tear this scan.
+		s.rowScanKeys(table, from, to, fn)
+		return
+	}
+	tab := s.ex.mt.Table(table)
+	sc := s.ex.getScratch()
+	defer s.ex.putScratch(sc)
+	keys, tss := sc.batchBuf()
+	kn := 0
+	flush := func() bool {
+		n := kn
+		kn = 0
+		return n == 0 || fn(keys[:n], tss[:n])
+	}
+	// nextTomb returns the first tombstone index in [i, end), walking the
+	// bitmap a word at a time.
+	nextTomb := func(i, end int) int {
+		w := base.Del[i>>6] >> (uint(i) & 63)
+		if w != 0 {
+			if t := i + bits.TrailingZeros64(w); t < end {
+				return t
+			}
+			return end
+		}
+		for wi := i>>6 + 1; wi <= (end-1)>>6; wi++ {
+			if w := base.Del[wi]; w != 0 {
+				if t := wi<<6 + bits.TrailingZeros64(w); t < end {
+					return t
+				}
+				break
+			}
+		}
+		return end
+	}
+	// emitBase hands live base runs of [i, end) to the consumer as
+	// zero-copy windows directly over the segment's key and timestamp
+	// vectors — nothing moves, tombstones just split the runs. Segments
+	// are immutable, so the windows stay coherent even if a compaction
+	// publishes a successor mid-scan.
+	emitBase := func(i, end int) bool {
+		for i < end {
+			t := nextTomb(i, end)
+			if t > i {
+				if !flush() {
+					return false
+				}
+				if !fn(base.Keys[i:t:t], base.CommitTS[i:t:t]) {
+					return false
+				}
+			}
+			i = t + 1
+		}
+		return true
+	}
+	push := func(key uint64, ts int64) bool {
+		if kn == len(keys) && !flush() {
+			return false
+		}
+		keys[kn], tss[kn] = key, ts
+		kn++
+		return true
+	}
+
+	hot, hotKeys := sc.gatherHot(tab, from, to)
+	bi, bn := 0, 0
+	if s.usable(base, from, to) {
+		bi, bn = baseRange(base, from, to)
+	}
+	hj := 0
+	for bi < bn || hj < len(hot) {
+		if hj < len(hot) && bi < bn && base.Keys[bi] < hotKeys[hj] {
+			// Bulk-emit the base run strictly below the next hot key.
+			e := base.LowerBoundFrom(bi, hotKeys[hj])
+			if e > bn {
+				e = bn
+			}
+			if !emitBase(bi, e) {
+				return
+			}
+			bi = e
+			continue
+		}
+		if hj >= len(hot) {
+			if !emitBase(bi, bn) {
+				return
+			}
+			break
+		}
+		rec := hot[hj]
+		hk := hotKeys[hj]
+		hj++
+		i, inBase := -1, false
+		if bi < bn && base.Keys[bi] == hk {
+			i, inBase = bi, true
+			bi++
+		}
+		v := rec.Visible(s.TS)
+		if v == nil {
+			if inBase && !base.Deleted(i) && !push(hk, base.CommitTS[i]) {
+				return
+			}
+			continue
+		}
+		if !v.Deleted && !push(hk, v.CommitTS) {
+			return
+		}
+	}
+	flush()
+}
+
+func (s *Snapshot) colCount(table wal.TableID) (int, error) {
+	st := s.ex.cs.Table(table)
+	st.RLock()
+	defer st.RUnlock()
+	base := st.Base()
+	tab := s.ex.mt.Table(table)
+	sc := s.ex.getScratch()
+	defer s.ex.putScratch(sc)
+	useBase := s.usable(base, 0, ^uint64(0))
+	n := 0
+	if useBase {
+		n = base.Live
+	}
+	hot, hotKeys := sc.gatherHot(tab, 0, ^uint64(0))
+	lo := 0 // hot is key-sorted: gallop the base positions monotonically
+	for j, rec := range hot {
+		v := rec.Visible(s.TS)
+		if v == nil {
+			continue // base row (if any) already counted
+		}
+		if !v.Deleted {
+			n++
+		}
+		if useBase {
+			i := base.LowerBoundFrom(lo, hotKeys[j])
+			lo = i
+			if i < base.Len() && base.Keys[i] == hotKeys[j] && !base.Deleted(i) {
+				n-- // chain shadows the counted base row
+			}
+		}
+	}
+	return n, nil
+}
+
+func (s *Snapshot) colMaxCommitTS(table wal.TableID) (int64, error) {
+	st := s.ex.cs.Table(table)
+	st.RLock()
+	defer st.RUnlock()
+	base := st.Base()
+	tab := s.ex.mt.Table(table)
+	sc := s.ex.getScratch()
+	defer s.ex.putScratch(sc)
+	useBase := s.usable(base, 0, ^uint64(0))
+	var max int64
+	excl := sc.excl[:0]
+	hot, hotKeys := sc.gatherHot(tab, 0, ^uint64(0))
+	lo := 0
+	for j, rec := range hot {
+		v := rec.Visible(s.TS)
+		if v == nil {
+			continue
+		}
+		if !v.Deleted && v.CommitTS > max {
+			max = v.CommitTS
+		}
+		if useBase {
+			// A visible chain shadows its base row whatever its own
+			// fate: the base row's ts must not count. hot is key-sorted,
+			// so excl comes out ascending as MaxLiveTSExcluding needs.
+			i := base.LowerBoundFrom(lo, hotKeys[j])
+			lo = i
+			if i < base.Len() && base.Keys[i] == hotKeys[j] {
+				excl = append(excl, i)
+			}
+		}
+	}
+	sc.excl = excl
+	if useBase {
+		if len(excl) == 0 {
+			if base.MaxLiveTS > max {
+				max = base.MaxLiveTS
+			}
+		} else {
+			max = base.MaxLiveTSExcluding(excl, max)
+		}
+	}
+	return max, nil
+}
+
+func (s *Snapshot) colSumInt64(table wal.TableID, col uint32) (int64, error) {
+	st := s.ex.cs.Table(table)
+	st.RLock()
+	defer st.RUnlock()
+	base := st.Base()
+	tab := s.ex.mt.Table(table)
+	sc := s.ex.getScratch()
+	defer s.ex.putScratch(sc)
+	useBase := s.usable(base, 0, ^uint64(0))
+	var sum int64
+	ci := -1
+	if useBase {
+		sum = base.Sum(col)
+		ci = base.ColIndex(col)
+	}
+	hot, hotKeys := sc.gatherHot(tab, 0, ^uint64(0))
+	lo := 0
+	for j, rec := range hot {
+		v := rec.Visible(s.TS)
+		if v == nil {
+			continue
+		}
+		var baseVal []byte
+		baseLive := false
+		if useBase {
+			i := base.LowerBoundFrom(lo, hotKeys[j])
+			lo = i
+			if i < base.Len() && base.Keys[i] == hotKeys[j] && !base.Deleted(i) {
+				baseLive = true
+				if ci >= 0 {
+					baseVal, _ = base.Cols[ci].Value(i)
+				}
+				// The chain shadows the base row: back out its
+				// precomputed contribution, then add the chain's.
+				if len(baseVal) == 8 {
+					sum -= int64(binary.LittleEndian.Uint64(baseVal))
+				}
+			}
+		}
+		if v.Deleted {
+			continue
+		}
+		val, stop := chainColValue(v, col)
+		if !stop && val == nil && baseLive {
+			val = baseVal
+		}
+		if len(val) == 8 {
+			sum += int64(binary.LittleEndian.Uint64(val))
+		}
+	}
+	return sum, nil
+}

@@ -1,0 +1,510 @@
+package query
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"aets/internal/colstore"
+	"aets/internal/memtable"
+	"aets/internal/wal"
+)
+
+// fakeVis is a Visibility stub: everything at or below its clock is
+// visible immediately.
+type fakeVis struct{ ts atomic.Int64 }
+
+func (f *fakeVis) WaitVisible(int64, []wal.TableID) {}
+func (f *fakeVis) GlobalTS() int64                  { return f.ts.Load() }
+
+// fuzzKeys is the key pool the differential fuzz draws from: clustered
+// runs, gaps, and both domain sentinels.
+var fuzzKeys = []uint64{0, 1, 2, 3, 10, 11, 12, 100, 101, 5000, 5001,
+	1 << 40, ^uint64(0) - 1, ^uint64(0)}
+
+func colI64(v int64) wal.Column {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, uint64(v))
+	return wal.Column{ID: 1, Value: b}
+}
+
+// twinPair is the differential harness: a columnar node and a row-wise
+// twin fed identical writes, with the twin vacuuming at every freeze
+// watermark (the freeze rule stores exactly the image such a vacuum
+// keeps, so the two must answer every legal query identically).
+type twinPair struct {
+	vis  *fakeVis
+	mtC  *memtable.Memtable
+	mtR  *memtable.Memtable
+	cs   *colstore.Store
+	comp *colstore.Compactor
+	exC  *Executor
+	exR  *Executor
+}
+
+func newTwinPair() *twinPair {
+	p := &twinPair{vis: &fakeVis{}, mtC: memtable.New(), mtR: memtable.New()}
+	p.cs = colstore.NewStore()
+	p.comp = colstore.NewCompactor(p.mtC, p.cs)
+	p.exC = NewExecutorWith(p.mtC, p.vis, p.cs)
+	p.exR = NewExecutor(p.mtR, p.vis)
+	return p
+}
+
+func (p *twinPair) apply(key uint64, ts int64, txn uint64, del bool, cols []wal.Column) {
+	for _, mt := range []*memtable.Memtable{p.mtC, p.mtR} {
+		mt.Table(1).GetOrCreate(key).Append(&memtable.Version{
+			TxnID: txn, CommitTS: ts, Deleted: del, Columns: cols,
+		})
+	}
+	p.vis.ts.Store(ts)
+}
+
+// freeze runs one compaction epoch at w on the columnar side and the
+// equivalent vacuum on both sides (the production wiring drives Vacuum
+// and Compact off the same watermark clock).
+func (p *twinPair) freeze(w int64) {
+	p.mtR.Vacuum(w)
+	p.mtC.Vacuum(w)
+	p.comp.RunOnce(w)
+}
+
+type gotRow struct {
+	key  uint64
+	ts   int64
+	cols map[uint32]string
+}
+
+func collectScan(t *testing.T, s *Snapshot, from, to uint64, any bool) []gotRow {
+	t.Helper()
+	var out []gotRow
+	scan := s.Scan
+	if any {
+		scan = s.ScanAny
+	}
+	if err := scan(1, from, to, func(r Row) bool {
+		g := gotRow{key: r.Key, ts: r.CommitTS, cols: map[uint32]string{}}
+		for id, v := range r.Columns {
+			g.cols[id] = string(v)
+		}
+		out = append(out, g)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if any {
+		// Order-insensitive: canonicalise.
+		for i := 1; i < len(out); i++ {
+			for j := i; j > 0 && out[j-1].key > out[j].key; j-- {
+				out[j-1], out[j] = out[j], out[j-1]
+			}
+		}
+	}
+	return out
+}
+
+func rowsEqual(a, b []gotRow) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].key != b[i].key || a[i].ts != b[i].ts || len(a[i].cols) != len(b[i].cols) {
+			return false
+		}
+		for id, v := range a[i].cols {
+			if b[i].cols[id] != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// compare checks every public read operation agrees between the columnar
+// node and the row twin at snapshot qts.
+func (p *twinPair) compare(t *testing.T, qts int64) {
+	t.Helper()
+	sc, sr := p.exC.Begin(qts, 1), p.exR.Begin(qts, 1)
+
+	cc, errC := sc.Count(1)
+	cr, errR := sr.Count(1)
+	if errC != nil || errR != nil || cc != cr {
+		t.Fatalf("qts %d: Count col=%d row=%d (err %v/%v)", qts, cc, cr, errC, errR)
+	}
+	for _, col := range []uint32{1, 2, 9} {
+		vc, _ := sc.SumInt64(1, col)
+		vr, _ := sr.SumInt64(1, col)
+		if vc != vr {
+			t.Fatalf("qts %d: SumInt64(%d) col=%d row=%d", qts, col, vc, vr)
+		}
+	}
+	mc, _ := sc.MaxCommitTS(1)
+	mr, _ := sr.MaxCommitTS(1)
+	if mc != mr {
+		t.Fatalf("qts %d: MaxCommitTS col=%d row=%d", qts, mc, mr)
+	}
+
+	full := collectScan(t, sc, 0, ^uint64(0), false)
+	if ref := collectScan(t, sr, 0, ^uint64(0), false); !rowsEqual(full, ref) {
+		t.Fatalf("qts %d: Scan mismatch\ncol: %+v\nrow: %+v", qts, full, ref)
+	}
+	if any := collectScan(t, sc, 0, ^uint64(0), true); !rowsEqual(any, full) {
+		t.Fatalf("qts %d: ScanAny disagrees with Scan", qts)
+	}
+	// Sub-ranges, including single-key and sentinel-bounded windows.
+	ranges := [][2]uint64{{1, 100}, {11, 11}, {5001, ^uint64(0)}, {0, 0}, {^uint64(0), ^uint64(0)}, {200, 4000}}
+	for _, r := range ranges {
+		a := collectScan(t, sc, r[0], r[1], false)
+		b := collectScan(t, sr, r[0], r[1], false)
+		if !rowsEqual(a, b) {
+			t.Fatalf("qts %d: Scan[%d,%d] mismatch\ncol: %+v\nrow: %+v", qts, r[0], r[1], a, b)
+		}
+	}
+
+	for _, k := range fuzzKeys {
+		rc, okC, _ := sc.Get(1, k)
+		rr, okR, _ := sr.Get(1, k)
+		if okC != okR {
+			t.Fatalf("qts %d: Get(%d) ok col=%v row=%v", qts, k, okC, okR)
+		}
+		if okC {
+			if rc.CommitTS != rr.CommitTS || len(rc.Columns) != len(rr.Columns) {
+				t.Fatalf("qts %d: Get(%d) col=%+v row=%+v", qts, k, rc, rr)
+			}
+			for id, v := range rc.Columns {
+				if !bytes.Equal(v, rr.Columns[id]) {
+					t.Fatalf("qts %d: Get(%d) col %d mismatch", qts, k, id)
+				}
+			}
+		}
+	}
+
+	// ScanCols against both the row twin's ScanCols and the Scan-derived
+	// reference.
+	cols := []uint32{1, 2, 9}
+	type colsRow struct {
+		key  uint64
+		ts   int64
+		vals []string
+	}
+	gather := func(s *Snapshot) []colsRow {
+		var out []colsRow
+		if err := s.ScanCols(1, 0, ^uint64(0), cols, func(key uint64, ts int64, vals [][]byte) bool {
+			r := colsRow{key: key, ts: ts}
+			for _, v := range vals {
+				r.vals = append(r.vals, string(v))
+			}
+			out = append(out, r)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	gc, gr := gather(sc), gather(sr)
+	if len(gc) != len(gr) {
+		t.Fatalf("qts %d: ScanCols row count col=%d row=%d", qts, len(gc), len(gr))
+	}
+	for i := range gc {
+		if gc[i].key != gr[i].key || gc[i].ts != gr[i].ts {
+			t.Fatalf("qts %d: ScanCols row %d header mismatch", qts, i)
+		}
+		for j := range cols {
+			if gc[i].vals[j] != gr[i].vals[j] {
+				t.Fatalf("qts %d: ScanCols key %d col %d: %q vs %q",
+					qts, gc[i].key, cols[j], gc[i].vals[j], gr[i].vals[j])
+			}
+		}
+	}
+
+	// ScanKeys (the vectorized batch scan, including sub-ranges so the
+	// bulk-copy runs hit partial windows) against the Scan reference.
+	for _, r := range [][2]uint64{{0, ^uint64(0)}, {1, 100}, {200, 4000}, {11, 11}} {
+		var ks []uint64
+		var ts []int64
+		if err := sc.ScanKeys(1, r[0], r[1], func(keys []uint64, tss []int64) bool {
+			ks = append(ks, keys...)
+			ts = append(ts, tss...)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		ref := collectScan(t, sr, r[0], r[1], false)
+		if len(ks) != len(ref) {
+			t.Fatalf("qts %d: ScanKeys[%d,%d] %d rows, want %d", qts, r[0], r[1], len(ks), len(ref))
+		}
+		for i := range ref {
+			if ks[i] != ref[i].key || ts[i] != ref[i].ts {
+				t.Fatalf("qts %d: ScanKeys[%d,%d] row %d = (%d,%d), want (%d,%d)",
+					qts, r[0], r[1], i, ks[i], ts[i], ref[i].key, ref[i].ts)
+			}
+		}
+	}
+}
+
+// FuzzColumnarScan is the reference-equality proof: a fuzz-driven write/
+// freeze/query schedule runs against a columnar node and a row-wise twin
+// vacuumed at every freeze watermark, and every read operation must agree
+// at every legal snapshot (qts at or above the newest freeze watermark).
+func FuzzColumnarScan(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x17, 0xf0, 0x33, 0x08, 0xff, 0x2a, 0x90, 0x11})
+	f.Add([]byte{0xf0, 0xf0, 0xf0, 0x00, 0x0d, 0x0d, 0x80, 0x81, 0x82, 0x83, 0xf1, 0x01})
+	f.Add(bytes.Repeat([]byte{0x07, 0xe0, 0x55}, 20))
+	f.Add([]byte{})
+
+	strVals := []string{"x", "yy", "zzz", ""}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := newTwinPair()
+		ts := int64(0)
+		txn := uint64(0)
+		var wLast int64
+		for i := 0; i+1 < len(data) && i < 240; i += 2 {
+			op, arg := data[i], data[i+1]
+			switch op % 8 {
+			case 0, 1, 2, 3: // update
+				ts += 10
+				txn++
+				key := fuzzKeys[int(arg)%len(fuzzKeys)]
+				cols := []wal.Column{colI64(int64(arg) * 7)}
+				if op%3 != 0 {
+					cols = append(cols, wal.Column{ID: 2, Value: []byte(strVals[int(op)%len(strVals)])})
+				}
+				if arg%5 == 0 {
+					cols = cols[1:] // partial update without the int column
+				}
+				p.apply(key, ts, txn, false, cols)
+			case 4: // delete
+				ts += 10
+				txn++
+				p.apply(fuzzKeys[int(arg)%len(fuzzKeys)], ts, txn, true, nil)
+			case 5, 6: // freeze epoch at the current clock
+				if ts > wLast {
+					wLast = ts
+					p.freeze(wLast)
+					p.compare(t, wLast)
+				}
+			case 7: // compare at a legal snapshot at or above the watermark
+				qts := wLast + int64(arg)
+				if qts > ts {
+					qts = ts
+				}
+				if qts >= wLast && qts > 0 {
+					p.compare(t, qts)
+				}
+			}
+		}
+		if ts == 0 {
+			return
+		}
+		p.freeze(ts)
+		p.compare(t, ts)
+	})
+}
+
+// TestColumnarConcurrent drives feed, vacuum, compaction and queries
+// concurrently (meant for -race): writers own disjoint key ranges, the
+// compactor trails the visible clock by a large retention, and after
+// quiescing the columnar state must equal the final write of every key.
+func TestColumnarConcurrent(t *testing.T) {
+	vis := &fakeVis{}
+	mt := memtable.New()
+	cs := colstore.NewStore()
+	comp := colstore.NewCompactor(mt, cs)
+	ex := NewExecutorWith(mt, vis, cs)
+
+	const writers = 4
+	const keysPer = 200
+	const rounds = 30
+	var clock atomic.Int64
+	clock.Store(1)
+
+	done := make(chan struct{})
+	var writerWG, churnWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for r := 0; r < rounds; r++ {
+				for k := 0; k < keysPer; k++ {
+					key := uint64(w*keysPer + k)
+					ts := clock.Add(1)
+					del := r%7 == 3 && k%5 == 0
+					var cols []wal.Column
+					if !del {
+						cols = []wal.Column{colI64(int64(w*rounds + r))}
+					}
+					mt.Table(1).GetOrCreate(key).Append(&memtable.Version{
+						TxnID: uint64(ts), CommitTS: ts, Deleted: del, Columns: cols,
+					})
+					vis.ts.Store(ts)
+				}
+			}
+		}(w)
+	}
+	churnWG.Add(2)
+	go func() { // compactor + vacuum trailing far behind the clock
+		defer churnWG.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if w := vis.ts.Load() - int64(writers*keysPer*rounds/2); w > 0 {
+				mt.Vacuum(w)
+				comp.RunOnce(w)
+			}
+		}
+	}()
+	go func() { // fresh-snapshot readers: ordering invariant under churn
+		defer churnWG.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			s := ex.Begin(0, 1)
+			last := int64(-1)
+			_ = s.Scan(1, 0, ^uint64(0), func(r Row) bool {
+				if int64(r.Key) <= last {
+					t.Errorf("scan keys out of order: %d after %d", r.Key, last)
+					return false
+				}
+				last = int64(r.Key)
+				return true
+			})
+			if n, err := s.Count(1); err != nil || n < 0 {
+				t.Errorf("Count = %d, %v", n, err)
+			}
+			_, _ = s.SumInt64(1, 1)
+			_, _ = s.MaxCommitTS(1)
+		}
+	}()
+
+	// Wait for the writers, then stop the background churn.
+	writerWG.Wait()
+	close(done)
+	churnWG.Wait()
+
+	// Quiesce: final freeze at the head, then verify every key's last
+	// write is what the planner serves.
+	final := vis.ts.Load()
+	mt.Vacuum(final)
+	comp.RunOnce(final)
+	s := ex.Begin(final, 1)
+	for w := 0; w < writers; w++ {
+		for k := 0; k < keysPer; k++ {
+			key := uint64(w*keysPer + k)
+			lastRound := rounds - 1
+			wantDel := lastRound%7 == 3 && k%5 == 0
+			row, ok, err := s.Get(1, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok == wantDel {
+				t.Fatalf("key %d: ok=%v, want deleted=%v", key, ok, wantDel)
+			}
+			if ok {
+				want := int64(w*rounds + lastRound)
+				if got := int64(binary.LittleEndian.Uint64(row.Columns[1])); got != want {
+					t.Fatalf("key %d: col1 = %d, want %d", key, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestColumnarZeroAllocOps pins the planner's steady-state operations at
+// zero allocations over a majority-frozen table with a small hot delta.
+func TestColumnarZeroAllocOps(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector randomises sync.Pool caching; alloc counts are meaningless")
+	}
+	vis := &fakeVis{}
+	mt := memtable.New()
+	cs := colstore.NewStore()
+	comp := colstore.NewCompactor(mt, cs)
+	ex := NewExecutorWith(mt, vis, cs)
+
+	ts := int64(0)
+	put := func(key uint64, del bool) {
+		ts++
+		var cols []wal.Column
+		if !del {
+			cols = []wal.Column{colI64(int64(key)), {ID: 2, Value: []byte("v")}}
+		}
+		mt.Table(1).GetOrCreate(key).Append(&memtable.Version{
+			TxnID: uint64(ts), CommitTS: ts, Deleted: del, Columns: cols,
+		})
+		vis.ts.Store(ts)
+	}
+	for k := uint64(0); k < 4096; k++ {
+		put(k, k%64 == 63)
+	}
+	frozenAt := ts
+	mt.Vacuum(frozenAt)
+	if comp.RunOnce(frozenAt) == 0 {
+		t.Fatal("nothing froze")
+	}
+	for k := uint64(0); k < 64; k++ { // hot delta over the frozen base
+		put(k*61, k%9 == 0)
+	}
+
+	s := ex.Begin(ts, 1)
+	cols := []uint32{1, 2}
+	ops := map[string]func(){
+		"Count":       func() { _, _ = s.Count(1) },
+		"SumInt64":    func() { _, _ = s.SumInt64(1, 1) },
+		"MaxCommitTS": func() { _, _ = s.MaxCommitTS(1) },
+		"ScanCols": func() {
+			_ = s.ScanCols(1, 0, ^uint64(0), cols, func(uint64, int64, [][]byte) bool { return true })
+		},
+		"ScanKeys": func() {
+			_ = s.ScanKeys(1, 0, ^uint64(0), func([]uint64, []int64) bool { return true })
+		},
+	}
+	for name, op := range ops {
+		op() // warm scratch buffers
+		if allocs := testing.AllocsPerRun(50, op); allocs != 0 {
+			t.Errorf("%s allocates %.1f/op, want 0", name, allocs)
+		}
+	}
+}
+
+// TestColumnarFirstCompactionUnderScan pins the torn-publish guard: a
+// query planned while the table has never been compacted must run its row
+// fallback under the table read lock, so a racing first compaction cannot
+// empty chains mid-scan. (Deterministic shape; the race variant is
+// TestColumnarConcurrent.)
+func TestColumnarRowFallbackBeforeFirstCompaction(t *testing.T) {
+	vis := &fakeVis{}
+	mt := memtable.New()
+	cs := colstore.NewStore()
+	ex := NewExecutorWith(mt, vis, cs)
+	ts := int64(0)
+	for k := uint64(0); k < 10; k++ {
+		ts++
+		mt.Table(1).GetOrCreate(k).Append(&memtable.Version{
+			TxnID: uint64(ts), CommitTS: ts, Columns: []wal.Column{colI64(int64(k))},
+		})
+	}
+	vis.ts.Store(ts)
+	s := ex.Begin(ts, 1)
+	n := 0
+	if err := s.Scan(1, 0, ^uint64(0), func(Row) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("pre-compaction scan = %d rows, want 10", n)
+	}
+	if got, _ := s.Count(1); got != 10 {
+		t.Fatalf("pre-compaction Count = %d, want 10", got)
+	}
+	if fmt.Sprint(cs.Segments.Load()) != "0" {
+		t.Fatal("no segment should exist yet")
+	}
+}

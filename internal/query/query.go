@@ -4,12 +4,22 @@
 // Algorithm 3 until the replayer has made that snapshot visible for the
 // tables it touches, and then reads record versions with commit timestamps
 // at or below the snapshot — the visibility rule of paper §V-B.
+//
+// When the executor carries a columnar store (query.NewExecutorWith), every
+// read is planned as columnar-segments + memtable-delta merge: the frozen
+// base segment supplies the cold rows through vectorized column arrays,
+// the hot delta is stitched over it with newest-wins semantics, and the
+// two views are reference-equal to the row-wise path by construction (the
+// freeze rule stores exactly the version a Vacuum at the watermark keeps;
+// see DESIGN.md §17 and the FuzzColumnarScan differential test).
 package query
 
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
+	"aets/internal/colstore"
 	"aets/internal/memtable"
 	"aets/internal/wal"
 )
@@ -24,11 +34,23 @@ type Visibility interface {
 type Executor struct {
 	mt  *memtable.Memtable
 	vis Visibility
+	cs  *colstore.Store // nil = row-wise only
+
+	// scratch pools the planner's per-operation state (delta gather,
+	// value buffers, exclusion lists) so steady-state columnar scans and
+	// aggregates run allocation-free.
+	scratch sync.Pool // *planScratch
 }
 
 // NewExecutor returns an Executor over the given Memtable and replayer.
 func NewExecutor(mt *memtable.Memtable, vis Visibility) *Executor {
 	return &Executor{mt: mt, vis: vis}
+}
+
+// NewExecutorWith returns an Executor that plans reads over cs's columnar
+// segments stitched with mt's hot delta. A nil cs degrades to NewExecutor.
+func NewExecutorWith(mt *memtable.Memtable, vis Visibility, cs *colstore.Store) *Executor {
+	return &Executor{mt: mt, vis: vis, cs: cs}
 }
 
 // Row is one materialised row of a snapshot scan.
@@ -40,6 +62,10 @@ type Row struct {
 
 // Snapshot is a read view at a fixed timestamp, already admitted by
 // Algorithm 3 for its table set.
+//
+// On a columnar executor, snapshot timestamps below the freeze watermark
+// are outside the read contract, exactly as they are below the Vacuum
+// watermark on a row-wise node: the versions are gone either way.
 type Snapshot struct {
 	ex     *Executor
 	TS     int64
@@ -76,6 +102,13 @@ func (s *Snapshot) Get(table wal.TableID, key uint64) (Row, bool, error) {
 	if err := s.check(table); err != nil {
 		return Row{}, false, err
 	}
+	if s.ex.cs != nil {
+		return s.colGet(table, key)
+	}
+	return s.rowGet(table, key)
+}
+
+func (s *Snapshot) rowGet(table wal.TableID, key uint64) (Row, bool, error) {
 	rec := s.ex.mt.Table(table).Get(key)
 	if rec == nil {
 		return Row{}, false, nil
@@ -93,6 +126,14 @@ func (s *Snapshot) Scan(table wal.TableID, from, to uint64, fn func(Row) bool) e
 	if err := s.check(table); err != nil {
 		return err
 	}
+	if s.ex.cs != nil {
+		return s.colScan(table, from, to, fn)
+	}
+	s.rowScan(table, from, to, fn)
+	return nil
+}
+
+func (s *Snapshot) rowScan(table wal.TableID, from, to uint64, fn func(Row) bool) {
 	s.ex.mt.Table(table).Scan(from, to, func(key uint64, rec *memtable.Record) bool {
 		v := rec.Visible(s.TS)
 		if v == nil || v.Deleted {
@@ -100,19 +141,19 @@ func (s *Snapshot) Scan(table wal.TableID, from, to uint64, fn func(Row) bool) e
 		}
 		return fn(Row{Key: key, CommitTS: v.CommitTS, Columns: rec.ReadRow(s.TS)})
 	})
-	return nil
 }
 
 // ScanAny visits all visible rows with from ≤ key ≤ to in NO particular
-// key order — shards of the underlying table are walked one after another,
-// each in its own ascending order, with zero merge cost. fn returning
-// false stops the scan early. Aggregations that do not care about key
-// order (counts, sums, freshness probes) should prefer this over Scan;
-// queries whose consumer needs globally sorted keys (merge joins, ordered
-// pagination) must use Scan.
+// key order. On a row-wise executor the shards of the underlying table are
+// walked one after another with zero merge cost; on a columnar executor
+// the planner's ordered merge is already the cheapest enumeration, so
+// ScanAny shares it. fn returning false stops the scan early.
 func (s *Snapshot) ScanAny(table wal.TableID, from, to uint64, fn func(Row) bool) error {
 	if err := s.check(table); err != nil {
 		return err
+	}
+	if s.ex.cs != nil {
+		return s.colScan(table, from, to, fn)
 	}
 	s.ex.mt.Table(table).ScanAny(from, to, func(key uint64, rec *memtable.Record) bool {
 		v := rec.Visible(s.TS)
@@ -124,12 +165,67 @@ func (s *Snapshot) ScanAny(table wal.TableID, from, to uint64, fn func(Row) bool
 	return nil
 }
 
+// ScanCols visits rows with from ≤ key ≤ to in key order without
+// materialising per-row column maps: vals[i] is the value of cols[i] for
+// the visited row (nil when the row does not carry it), resolved with the
+// same newest-wins semantics as Get. The vals slice and its backing
+// buffers are reused across calls — callers must copy anything they keep.
+// On a columnar executor the segment rows are served straight from the
+// column arrays (0 allocs/op steady state); without one, the row store is
+// walked with per-column chain resolution, which is the honest baseline
+// the columnar benchmarks compare against.
+func (s *Snapshot) ScanCols(table wal.TableID, from, to uint64, cols []uint32, fn func(key uint64, ts int64, vals [][]byte) bool) error {
+	if err := s.check(table); err != nil {
+		return err
+	}
+	if s.ex.cs != nil {
+		return s.colScanCols(table, from, to, cols, fn)
+	}
+	sc := s.ex.getScratch()
+	defer s.ex.putScratch(sc)
+	vals := sc.valBuf(len(cols))
+	s.ex.mt.Table(table).Scan(from, to, func(key uint64, rec *memtable.Record) bool {
+		v := rec.Visible(s.TS)
+		if v == nil || v.Deleted {
+			return true
+		}
+		for i, col := range cols {
+			vals[i], _ = chainColValue(v, col)
+		}
+		return fn(key, v.CommitTS, vals)
+	})
+	return nil
+}
+
+// ScanKeys streams the visible keys and their commit timestamps of
+// [from, to] in ascending key order as column vectors. This is the
+// vectorized scan: on a columnar executor, frozen runs arrive as
+// zero-copy windows directly over the segment's key/timestamp vectors
+// with no per-row version resolution, and hot-delta rows arrive in
+// buffered batches. Batch sizes vary; the slices may be reused between
+// callbacks — copy out anything kept past the return.
+func (s *Snapshot) ScanKeys(table wal.TableID, from, to uint64, fn func(keys []uint64, ts []int64) bool) error {
+	if err := s.check(table); err != nil {
+		return err
+	}
+	if s.ex.cs != nil {
+		s.colScanKeys(table, from, to, fn)
+	} else {
+		s.rowScanKeys(table, from, to, fn)
+	}
+	return nil
+}
+
 // Count returns the number of rows visible in the table at the snapshot.
-// Order-insensitive, so it rides the unordered shard walk and skips Row
-// materialization entirely — no per-row map allocation, no merge.
+// Columnar plans answer from the segment's live-row stat plus an O(delta)
+// adjustment; row-wise plans ride the unordered shard walk with no per-row
+// allocation.
 func (s *Snapshot) Count(table wal.TableID) (int, error) {
 	if err := s.check(table); err != nil {
 		return 0, err
+	}
+	if s.ex.cs != nil {
+		return s.colCount(table)
 	}
 	n := 0
 	s.ex.mt.Table(table).ScanAny(0, ^uint64(0), func(_ uint64, rec *memtable.Record) bool {
@@ -143,10 +239,15 @@ func (s *Snapshot) Count(table wal.TableID) (int, error) {
 
 // MaxCommitTS returns the newest commit timestamp visible in the table at
 // the snapshot — a freshness probe: how recent is the data this query can
-// actually see. Order-insensitive and allocation-free like Count.
+// actually see. Columnar plans run a vectorized max over the segment's
+// commit-ts vector (skipping delta-shadowed rows); row-wise plans ride the
+// unordered shard walk.
 func (s *Snapshot) MaxCommitTS(table wal.TableID) (int64, error) {
 	if err := s.check(table); err != nil {
 		return 0, err
+	}
+	if s.ex.cs != nil {
+		return s.colMaxCommitTS(table)
 	}
 	var max int64
 	s.ex.mt.Table(table).ScanAny(0, ^uint64(0), func(_ uint64, rec *memtable.Record) bool {
@@ -164,11 +265,14 @@ func (s *Snapshot) MaxCommitTS(table wal.TableID) (int64, error) {
 // under ReadRow semantics — the first version at or below the snapshot
 // that carries the column, never reaching past a delete. Rows without the
 // column, or whose value is not exactly 8 bytes, contribute nothing.
-// Order-insensitive: rides the unordered shard walk with no per-row
-// allocation.
+// Columnar plans answer from the segment's precomputed column sum plus an
+// O(delta) adjustment; row-wise plans ride the unordered shard walk.
 func (s *Snapshot) SumInt64(table wal.TableID, col uint32) (int64, error) {
 	if err := s.check(table); err != nil {
 		return 0, err
+	}
+	if s.ex.cs != nil {
+		return s.colSumInt64(table, col)
 	}
 	var sum int64
 	s.ex.mt.Table(table).ScanAny(0, ^uint64(0), func(_ uint64, rec *memtable.Record) bool {
